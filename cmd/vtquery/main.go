@@ -1,0 +1,127 @@
+// Command vtquery inspects one sample's scan history in a collected
+// store and prints its dynamics summary: AV-Rank trajectory,
+// stable/dynamic class, Δ, stabilization, per-threshold category, and
+// the engines that flipped on it.
+//
+// Usage:
+//
+//	vtquery -store ./vtdata -sha <sha256> [-t 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vtdynamics/internal/core"
+	"vtdynamics/internal/family"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
+)
+
+func main() {
+	var (
+		dir = flag.String("store", "./vtdata", "store directory")
+		sha = flag.String("sha", "", "sample sha256 (required)")
+		t   = flag.Int("t", 5, "labeling threshold for the category/stabilization summary")
+	)
+	flag.Parse()
+	if *sha == "" {
+		fatal(fmt.Errorf("-sha is required"))
+	}
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := st.Get(*sha)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("sample %s\n", h.Meta.SHA256)
+	fmt.Printf("  type %s, size %d, times_submitted %d\n",
+		h.Meta.FileType, h.Meta.Size, h.Meta.TimesSubmitted)
+	fmt.Printf("  first submission %s\n", h.Meta.FirstSubmissionDate.Format("2006-01-02 15:04"))
+
+	series := core.FromHistory(h)
+	fmt.Printf("  scans: %d\n", series.Len())
+	for i, r := range h.Reports {
+		fmt.Printf("    %2d  %s  AV-Rank %3d / %d engines\n",
+			i+1, r.AnalysisDate.Format("2006-01-02 15:04"), r.AVRank, r.EnginesTotal)
+	}
+
+	// Family label from the last scan's detection strings (§3.1's
+	// AVClass practice).
+	last := h.Reports[len(h.Reports)-1]
+	var labels []string
+	for _, er := range last.Results {
+		if er.Verdict == report.Malicious {
+			labels = append(labels, er.Label)
+		}
+	}
+	if v, ok := family.Label(labels, 2); ok {
+		fmt.Printf("  family: %s (%d engines agree)\n", v.Family, v.Engines)
+	} else {
+		fmt.Println("  family: (none / singleton)")
+	}
+
+	sum := core.Summarize(h, *t)
+	fmt.Printf("  class: %s (Δ = %d, final rank %d, span %.1f d)\n",
+		sum.Class, sum.Delta, sum.FinalRank, sum.Span.Hours()/24)
+	if series.Len() >= 2 {
+		fmt.Printf("  category at t=%d: %s\n", *t, sum.Category)
+		if sum.RankStable.Stable {
+			fmt.Printf("  AV-Rank stabilized at scan %d (%.1f days after first scan)\n",
+				sum.RankStable.Index+1, sum.RankStable.TimeToStability.Hours()/24)
+		} else {
+			fmt.Println("  AV-Rank not yet stable")
+		}
+		if sum.LabelStable.Stable {
+			fmt.Printf("  label (t=%d) stabilized at scan %d\n", *t, sum.LabelStable.Index+1)
+		} else {
+			fmt.Printf("  label (t=%d) not yet stable\n", *t)
+		}
+		fmt.Printf("  engine flips: %d up, %d down across %d engines\n",
+			sum.Flips.Up, sum.Flips.Down, sum.FlippingEngines)
+		// Engines that flipped on this sample.
+		type flip struct {
+			engine string
+			counts core.FlipCounts
+		}
+		var flips []flip
+		seen := map[string]bool{}
+		for _, r := range h.Reports {
+			for _, er := range r.Results {
+				if seen[er.Engine] {
+					continue
+				}
+				seen[er.Engine] = true
+				fc := core.CountFlips(core.ExtractEngineSeries(h, er.Engine))
+				if fc.Flips() > 0 {
+					flips = append(flips, flip{er.Engine, fc})
+				}
+			}
+		}
+		sort.Slice(flips, func(i, j int) bool {
+			if flips[i].counts.Flips() != flips[j].counts.Flips() {
+				return flips[i].counts.Flips() > flips[j].counts.Flips()
+			}
+			return flips[i].engine < flips[j].engine
+		})
+		fmt.Printf("  engines that flipped: %d\n", len(flips))
+		for i, f := range flips {
+			if i == 15 {
+				fmt.Printf("    ... %d more\n", len(flips)-15)
+				break
+			}
+			fmt.Printf("    %-22s 0→1 ×%d, 1→0 ×%d\n", f.engine, f.counts.Up, f.counts.Down)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vtquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command vtsimd serves the simulated VirusTotal API over HTTP.
+//
+// Usage:
+//
+//	vtsimd [-addr :8099] [-seed 1] [-accel 0]
+//
+// By default the service runs on the real clock with an engine
+// window spanning a year around now. With -accel N > 0 the service
+// runs on a virtual clock starting at the paper's collection start
+// and advancing N virtual seconds per wall second, so a 14-month
+// campaign can be replayed quickly against live HTTP clients.
+//
+// Endpoints (see internal/vtapi):
+//
+//	POST /api/v3/files
+//	GET  /api/v3/files/{id}
+//	POST /api/v3/files/{id}/analyse
+//	GET  /api/v3/feed/reports?from=&to=
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtsim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8099", "listen address")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		accel      = flag.Float64("accel", 0, "virtual-clock acceleration (0 = real clock)")
+		quiet      = flag.Bool("quiet", false, "disable request logging")
+		publicKey  = flag.String("public-key", "", "enable auth: API key on the public tier (4 req/min, 500/day, no feed)")
+		premiumKey = flag.String("premium-key", "", "enable auth: API key on the premium tier (unlimited, feed access)")
+		fault500   = flag.Float64("fault-500", 0, "inject 500s at this rate (chaos testing for clients)")
+		fault503   = flag.Float64("fault-503", 0, "inject 503s with Retry-After at this rate")
+	)
+	flag.Parse()
+
+	var clock simclock.Clock
+	var start, end time.Time
+	if *accel > 0 {
+		start, end = simclock.CollectionStart, simclock.CollectionEnd
+		sim := simclock.NewSim(start)
+		clock = sim
+		go func() {
+			ticker := time.NewTicker(100 * time.Millisecond)
+			defer ticker.Stop()
+			for range ticker.C {
+				sim.Advance(time.Duration(*accel * float64(100*time.Millisecond)))
+			}
+		}()
+	} else {
+		now := time.Now().UTC()
+		start, end = now.AddDate(-1, 0, 0), now.AddDate(1, 0, 0)
+		clock = simclock.Real{}
+	}
+
+	set, err := engine.NewSet(engine.DefaultRoster(), *seed, start, end)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vtsimd:", err)
+		os.Exit(1)
+	}
+	svc := vtsim.NewService(set, clock)
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "vtsimd ", log.LstdFlags)
+	}
+	var opts []vtapi.Option
+	if *fault500 > 0 || *fault503 > 0 {
+		opts = append(opts, vtapi.WithFaults(vtapi.FaultConfig{
+			Error500Rate: *fault500,
+			Error503Rate: *fault503,
+			Seed:         *seed,
+		}))
+		log.Printf("vtsimd: fault injection enabled (500: %.2f, 503: %.2f)", *fault500, *fault503)
+	}
+	if *publicKey != "" || *premiumKey != "" {
+		keys := map[string]vtapi.Tier{}
+		if *publicKey != "" {
+			keys[*publicKey] = vtapi.PublicTier
+		}
+		if *premiumKey != "" {
+			keys[*premiumKey] = vtapi.PremiumTier
+		}
+		opts = append(opts, vtapi.WithAuth(clock, keys))
+		log.Printf("vtsimd: auth enabled (%d keys)", len(keys))
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           vtapi.NewServer(svc, logger, opts...),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("vtsimd: %d engines, window %s .. %s, listening on %s",
+		set.Len(), start.Format("2006-01-02"), end.Format("2006-01-02"), *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal("vtsimd:", err)
+	}
+}

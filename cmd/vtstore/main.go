@@ -1,0 +1,84 @@
+// Command vtstore inspects and verifies a collected report store.
+//
+// Usage:
+//
+//	vtstore -store ./vtdata stats     per-month and per-type accounting
+//	vtstore -store ./vtdata verify    re-read and validate every row
+//	vtstore -store ./vtdata list      list stored sample hashes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vtdynamics/internal/store"
+)
+
+func main() {
+	dir := flag.String("store", "./vtdata", "store directory")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "stats"
+	}
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "stats":
+		fmt.Printf("samples: %d\n", st.NumSamples())
+		fmt.Printf("%-10s %10s %14s %14s %8s\n", "month", "reports", "stored", "raw", "ratio")
+		total := st.TotalStats()
+		for _, month := range st.Months() {
+			ps := st.Stats(month)
+			fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
+				month, ps.Reports, ps.StoredBytes, ps.RawBytes, ps.CompressionRatio())
+		}
+		fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
+			"total", total.Reports, total.StoredBytes, total.RawBytes, total.CompressionRatio())
+
+		byType, err := st.StatsByType()
+		if err != nil {
+			fatal(err)
+		}
+		types := make([]string, 0, len(byType))
+		for ft := range byType {
+			types = append(types, ft)
+		}
+		sort.Slice(types, func(i, j int) bool {
+			return byType[types[i]].Samples > byType[types[j]].Samples
+		})
+		fmt.Printf("\n%-22s %10s %10s\n", "file type", "samples", "reports")
+		for _, ft := range types {
+			ts := byType[ft]
+			fmt.Printf("%-22s %10d %10d\n", ft, ts.Samples, ts.Reports)
+		}
+
+	case "verify":
+		n, err := st.Verify()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vtstore: verification FAILED after %d rows: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("verified %d rows across %d partitions: OK\n", n, len(st.Months()))
+
+	case "list":
+		for _, sha := range st.SampleHashes() {
+			meta, _ := st.Meta(sha)
+			fmt.Printf("%s  %-20s %d submissions\n", sha, meta.FileType, meta.TimesSubmitted)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q (stats, verify, list)", cmd))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vtstore:", err)
+	os.Exit(1)
+}

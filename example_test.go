@@ -1,0 +1,102 @@
+package vtdynamics_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vtdynamics"
+)
+
+// ExampleRankSeries_Categorize shows the §5.4 white/black/gray
+// classification: a sample whose AV-Rank history straddles the
+// threshold would receive different labels depending on when it is
+// scanned.
+func ExampleRankSeries_Categorize() {
+	t0 := vtdynamics.CollectionStart
+	day := 24 * time.Hour
+	series := vtdynamics.RankSeries{
+		Times: []time.Time{t0, t0.Add(3 * day), t0.Add(9 * day)},
+		Ranks: []int{2, 7, 12},
+	}
+	fmt.Println(series.Categorize(1))  // every scan >= 1
+	fmt.Println(series.Categorize(5))  // crosses 5 mid-history
+	fmt.Println(series.Categorize(20)) // never reaches 20
+	// Output:
+	// black
+	// gray
+	// white
+}
+
+// ExampleRankSeries_StabilizeWithin shows the §6.1 stabilization
+// criterion: the series settles once its suffix stays within the
+// fluctuation range.
+func ExampleRankSeries_StabilizeWithin() {
+	t0 := vtdynamics.CollectionStart
+	day := 24 * time.Hour
+	series := vtdynamics.RankSeries{
+		Times: []time.Time{t0, t0.Add(2 * day), t0.Add(5 * day), t0.Add(9 * day)},
+		Ranks: []int{0, 9, 14, 14},
+	}
+	strict := series.StabilizeWithin(0)
+	fmt.Println(strict.Stable, strict.Index, int(strict.TimeToStability.Hours()/24))
+	loose := series.StabilizeWithin(5)
+	fmt.Println(loose.Stable, loose.Index)
+	// Output:
+	// true 2 5
+	// true 1
+}
+
+// ExampleCategorySweep reproduces the Figure 8 methodology on a toy
+// population.
+func ExampleCategorySweep() {
+	t0 := vtdynamics.CollectionStart
+	mk := func(ranks ...int) vtdynamics.RankSeries {
+		times := make([]time.Time, len(ranks))
+		for i := range ranks {
+			times[i] = t0.Add(time.Duration(i) * 24 * time.Hour)
+		}
+		return vtdynamics.RankSeries{Times: times, Ranks: ranks}
+	}
+	population := []vtdynamics.RankSeries{
+		mk(0, 1),   // touches 1: gray at t=1
+		mk(4, 9),   // gray for t in 5..9
+		mk(20, 25), // black until t=20
+	}
+	for _, counts := range vtdynamics.CategorySweep(population, []int{1, 7, 30}) {
+		fmt.Printf("t=%d gray=%.0f%%\n", counts.Threshold, counts.GrayFraction()*100)
+	}
+	// Output:
+	// t=1 gray=33%
+	// t=7 gray=33%
+	// t=30 gray=0%
+}
+
+// ExampleNewSimulation runs the end-to-end loop: upload, rescan,
+// analyze. (Unverified output: the exact AV-Ranks depend on the
+// calibrated engine roster.)
+func ExampleNewSimulation() {
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, clock := sim.NewService()
+	env, err := svc.Upload(vtdynamics.UploadRequest{
+		SHA256:        "example-sample",
+		FileType:      vtdynamics.FileTypeWin32EXE,
+		Malicious:     true,
+		Detectability: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first scan AV-Rank: %d of %d engines\n",
+		env.Scan.AVRank, env.Scan.EnginesTotal)
+
+	clock.Advance(30 * 24 * time.Hour)
+	env, err = svc.Rescan("example-sample")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a month later: %d\n", env.Scan.AVRank)
+}

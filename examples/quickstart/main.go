@@ -1,0 +1,79 @@
+// Quickstart: spin up the simulated VirusTotal service, submit a
+// file, watch its AV-Rank evolve over rescans, and aggregate a label
+// — the end-to-end loop every study in the paper begins with.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vtdynamics"
+)
+
+func main() {
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, clock := sim.NewService()
+
+	// Upload a fresh malicious PE file. In the simulator the latent
+	// attributes stand in for the file bytes the real service would
+	// receive.
+	const sha = "3b4d6e1f0a92c85577e02d46b8cb16deadbeef0123456789aabbccddeeff0011"
+	env, err := svc.Upload(vtdynamics.UploadRequest{
+		SHA256:        sha,
+		FileType:      vtdynamics.FileTypeWin32EXE,
+		Size:          1 << 20,
+		Malicious:     true,
+		Detectability: 0.85,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 0: AV-Rank %d of %d engines\n", env.Scan.AVRank, env.Scan.EnginesTotal)
+
+	// Rescan over the following weeks: engine latency and signature
+	// updates move the rank (the paper's §5 dynamics).
+	for _, days := range []int{1, 3, 7, 14, 30, 60} {
+		clock.Set(vtdynamics.CollectionStart.Add(time.Duration(days) * 24 * time.Hour))
+		env, err = svc.Rescan(sha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %2d: AV-Rank %d\n", days, env.Scan.AVRank)
+	}
+
+	// Pull the full history and analyze its dynamics.
+	history, err := svc.History(sha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := vtdynamics.FromHistory(history)
+	fmt.Printf("\ndynamics class: %s, Δ = %d\n", series.Classify(), series.Delta())
+	if res := series.StabilizeWithin(0); res.Stable {
+		fmt.Printf("AV-Rank stabilized at scan %d (%.0f days in)\n",
+			res.Index+1, res.TimeToStability.Hours()/24)
+	}
+
+	// Aggregate with a threshold, the standard practice (§3.1).
+	threshold, err := vtdynamics.NewThreshold(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := vtdynamics.LabelHistory(threshold, history)
+	fmt.Printf("labels under %s: ", threshold.Name())
+	for _, m := range labels {
+		if m {
+			fmt.Print("M")
+		} else {
+			fmt.Print("B")
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,86 @@
+// When can you trust a label? — the §6 stabilization measurement.
+// Scans a fresh dynamic corpus and reports how long AV-Ranks and
+// aggregated labels take to settle, for fluctuation ranges r = 0..5
+// and a sweep of thresholds.
+//
+// Run with:
+//
+//	go run ./examples/stabilization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vtdynamics"
+)
+
+func main() {
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := vtdynamics.GenerateWorkload(vtdynamics.WorkloadConfig{
+		Seed:         3,
+		NumSamples:   6000,
+		MultiOnly:    true,
+		TopTypesOnly: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var corpus []vtdynamics.RankSeries
+	for _, s := range samples {
+		if !s.Fresh || len(s.ScanTimes) < 2 {
+			continue
+		}
+		rs := vtdynamics.FromHistory(sim.ScanSample(s))
+		if rs.Delta() > 0 {
+			corpus = append(corpus, rs)
+		}
+	}
+	fmt.Printf("dynamic samples: %d\n\n", len(corpus))
+
+	fmt.Println("AV-Rank stabilization by fluctuation range r:")
+	fmt.Printf("%-4s %-10s %-14s\n", "r", "stable", "<=30d of those")
+	for r := 0; r <= 5; r++ {
+		stable, within30 := 0, 0
+		for _, s := range corpus {
+			res := s.StabilizeWithin(r)
+			if !res.Stable {
+				continue
+			}
+			stable++
+			if res.TimeToStability.Hours() <= 30*24 {
+				within30++
+			}
+		}
+		frac := float64(stable) / float64(len(corpus))
+		w30 := 0.0
+		if stable > 0 {
+			w30 = float64(within30) / float64(stable)
+		}
+		fmt.Printf("%-4d %-10.2f %-14.2f\n", r, frac*100, w30*100)
+	}
+
+	fmt.Println("\nlabel stabilization by threshold:")
+	fmt.Printf("%-4s %-10s %-12s\n", "t", "stable", "mean days")
+	for _, t := range []int{2, 5, 10, 20, 40} {
+		stable := 0
+		var days float64
+		for _, s := range corpus {
+			res := s.LabelStabilization(t)
+			if res.Stable {
+				stable++
+				days += res.TimeToStability.Hours() / 24
+			}
+		}
+		mean := 0.0
+		if stable > 0 {
+			mean = days / float64(stable)
+		}
+		fmt.Printf("%-4d %-10.2f %-12.2f\n", t, float64(stable)/float64(len(corpus))*100, mean)
+	}
+	fmt.Println("\nRule of thumb from the paper: wait ~30 days before trusting a fresh sample's label.")
+}

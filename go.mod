@@ -1,0 +1,3 @@
+module vtdynamics
+
+go 1.22

@@ -1,0 +1,215 @@
+package vtdynamics_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vtdynamics"
+	"vtdynamics/internal/core"
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/feed"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/store"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtclient"
+	"vtdynamics/internal/vtsim"
+)
+
+// TestEndToEndHTTPPipeline replays the paper's entire data path over
+// real HTTP: a workload drives the simulated service; the collector
+// polls the feed endpoint through the typed client (with a premium
+// key, since the public tier has no feed access); envelopes land in
+// the compressed store; and the analyses run on what was stored. The
+// store's view must agree byte-for-byte (per scan) with the service's
+// own history.
+func TestEndToEndHTTPPipeline(t *testing.T) {
+	// --- service side ---------------------------------------------------
+	set, err := engine.NewSet(engine.DefaultRoster(), 77,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	svc := vtsim.NewService(set, clock)
+	srv := httptest.NewServer(vtapi.NewServer(svc, nil, vtapi.WithAuth(clock,
+		map[string]vtapi.Tier{"premium": vtapi.PremiumTier})))
+	defer srv.Close()
+
+	// Drive two months of workload.
+	end := simclock.CollectionStart.AddDate(0, 2, 0)
+	samples, err := sampleset.Generate(sampleset.Config{
+		Seed:       77,
+		NumSamples: 400,
+		Start:      simclock.CollectionStart,
+		End:        end,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vtsim.RunWorkload(svc, clock, samples); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- collection side over HTTP ---------------------------------------
+	client := vtclient.New(srv.URL, vtclient.WithAPIKey("premium"))
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := feed.NewCollector(
+		feed.SourceFunc(func(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+			return client.FeedBetween(ctx, from, to)
+		}),
+		feed.SinkFunc(st.Put),
+	)
+	stats, err := collector.RunHourly(context.Background(), simclock.CollectionStart, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No loss, no duplication.
+	if stats.Envelopes != svc.NumReports() {
+		t.Fatalf("collected %d envelopes, service generated %d",
+			stats.Envelopes, svc.NumReports())
+	}
+	if got := st.TotalStats().Reports; got != svc.NumReports() {
+		t.Fatalf("stored %d reports, service generated %d", got, svc.NumReports())
+	}
+	if st.NumSamples() != svc.NumSamples() {
+		t.Fatalf("stored %d samples, service has %d", st.NumSamples(), svc.NumSamples())
+	}
+
+	// --- store agrees with the service per sample -------------------------
+	checked := 0
+	for _, s := range samples {
+		if len(s.ScanTimes) < 2 {
+			continue
+		}
+		fromSvc, err := svc.History(s.SHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromStore, err := st.Get(s.SHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fromSvc.Reports) != len(fromStore.Reports) {
+			t.Fatalf("%s: service %d reports, store %d",
+				s.SHA256, len(fromSvc.Reports), len(fromStore.Reports))
+		}
+		for i := range fromSvc.Reports {
+			a, b := fromSvc.Reports[i], fromStore.Reports[i]
+			if a.AVRank != b.AVRank || !a.AnalysisDate.Equal(b.AnalysisDate) ||
+				a.EnginesTotal != b.EnginesTotal {
+				t.Fatalf("%s scan %d differs: svc(%d@%v) store(%d@%v)",
+					s.SHA256, i, a.AVRank, a.AnalysisDate, b.AVRank, b.AnalysisDate)
+			}
+			for _, er := range a.Results {
+				if b.VerdictOf(er.Engine) != er.Verdict {
+					t.Fatalf("%s scan %d engine %s verdict differs", s.SHA256, i, er.Engine)
+				}
+			}
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no multi-scan samples verified")
+	}
+
+	// --- analysis runs on the stored data ---------------------------------
+	var stable, dynamic int
+	flips := core.NewFlipMatrix()
+	for _, s := range samples {
+		h, err := st.Get(s.SHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := core.FromHistory(h)
+		switch series.Classify() {
+		case core.Stable:
+			stable++
+		case core.Dynamic:
+			dynamic++
+		}
+		flips.AddHistory(h)
+	}
+	if stable == 0 || dynamic == 0 {
+		t.Fatalf("degenerate classes from stored data: stable=%d dynamic=%d", stable, dynamic)
+	}
+	if flips.Total().Opportunities == 0 {
+		t.Fatal("no flip opportunities from stored data")
+	}
+}
+
+// TestScanSampleMatchesServicePath verifies the two generation paths
+// — the stateful service and the pure ScanSample function — produce
+// identical verdicts for the same sample at the same instants.
+func TestScanSampleMatchesServicePath(t *testing.T) {
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := vtdynamics.GenerateWorkload(vtdynamics.WorkloadConfig{
+		Seed: 31, NumSamples: 40, MultiOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, s := range samples {
+		if checked == 10 {
+			break
+		}
+		// Only fresh samples are path-equivalent: for an old sample
+		// the pure path knows the true pre-window FirstSeen while the
+		// service can only date it from its first in-window upload.
+		if !s.Fresh {
+			continue
+		}
+		checked++
+		// A fresh service per sample: the virtual clock is monotonic,
+		// so interleaving samples would clamp earlier scan times.
+		svc, clock := sim.NewService()
+		pure := sim.ScanSample(s)
+		// Drive the service to the same instants.
+		for i, at := range s.ScanTimes {
+			clock.Set(at)
+			if i == 0 {
+				if _, err := svc.Upload(vtdynamics.UploadRequest{
+					SHA256:        s.SHA256,
+					FileType:      s.FileType,
+					Size:          s.Size,
+					Malicious:     s.Malicious,
+					Detectability: s.Detectability,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := svc.Rescan(s.SHA256); err != nil {
+				t.Fatal(err)
+			}
+		}
+		served, err := svc.History(s.SHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(served.Reports) != len(pure.Reports) {
+			t.Fatalf("%s: lengths differ", s.SHA256)
+		}
+		for i := range pure.Reports {
+			if pure.Reports[i].AVRank != served.Reports[i].AVRank {
+				t.Fatalf("%s scan %d: pure AVRank %d, service %d",
+					s.SHA256, i, pure.Reports[i].AVRank, served.Reports[i].AVRank)
+			}
+		}
+	}
+}

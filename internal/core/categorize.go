@@ -1,0 +1,143 @@
+package core
+
+// §5.4: impact of AV-Rank dynamics on threshold-based label
+// aggregation. Given a voting threshold t, a sample is labeled
+// malicious at a given scan iff its AV-Rank >= t. Across a sample's
+// whole history this induces three categories:
+//
+//   - White: every scan labels it benign  (p_max <  t)
+//   - Black: every scan labels it malicious (p_min >= t)
+//   - Gray:  the label depends on *when* you scan.
+//
+// Note on conventions: the paper's prose says "p_max <= t" for white
+// but glosses it as "all the AV-Ranks of the sample are less than t";
+// since the labeling rule is "malicious iff AV-Rank >= t", white must
+// be p_max < t for the categories to partition. We follow the gloss.
+
+// Category is a sample's stability class under a threshold.
+type Category int
+
+const (
+	// White samples are labeled benign at every scan.
+	White Category = iota
+	// Black samples are labeled malicious at every scan.
+	Black
+	// Gray samples would receive inconsistent labels depending on
+	// scan time — the failure mode threshold selection must minimize.
+	Gray
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case White:
+		return "white"
+	case Black:
+		return "black"
+	case Gray:
+		return "gray"
+	default:
+		return "unknown"
+	}
+}
+
+// Categorize classifies the series under threshold t. It panics on an
+// empty series (categorization of nothing is meaningless) and
+// requires t >= 1 (a threshold of 0 marks everything malicious).
+func (s RankSeries) Categorize(t int) Category {
+	if len(s.Ranks) == 0 {
+		panic("core: Categorize on empty series")
+	}
+	if t < 1 {
+		panic("core: threshold must be >= 1")
+	}
+	mn, mx := s.Ranks[0], s.Ranks[0]
+	for _, p := range s.Ranks[1:] {
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	switch {
+	case mx < t:
+		return White
+	case mn >= t:
+		return Black
+	default:
+		return Gray
+	}
+}
+
+// CategoryCounts tallies a population under one threshold.
+type CategoryCounts struct {
+	Threshold          int
+	White, Black, Gray int
+}
+
+// Total returns the population size.
+func (c CategoryCounts) Total() int { return c.White + c.Black + c.Gray }
+
+// GrayFraction returns the gray share, the quantity Figure 8 sweeps.
+func (c CategoryCounts) GrayFraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Gray) / float64(t)
+}
+
+// WhiteFraction returns the white share.
+func (c CategoryCounts) WhiteFraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.White) / float64(t)
+}
+
+// BlackFraction returns the black share.
+func (c CategoryCounts) BlackFraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Black) / float64(t)
+}
+
+// CategorySweep classifies every series under each threshold,
+// returning one CategoryCounts per threshold — the series behind
+// Figure 8(a)/(b).
+func CategorySweep(series []RankSeries, thresholds []int) []CategoryCounts {
+	out := make([]CategoryCounts, len(thresholds))
+	for i, t := range thresholds {
+		out[i].Threshold = t
+	}
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		// Compute min/max once per sample, reuse across thresholds.
+		mn, mx := s.Ranks[0], s.Ranks[0]
+		for _, p := range s.Ranks[1:] {
+			if p < mn {
+				mn = p
+			}
+			if p > mx {
+				mx = p
+			}
+		}
+		for i, t := range thresholds {
+			switch {
+			case mx < t:
+				out[i].White++
+			case mn >= t:
+				out[i].Black++
+			default:
+				out[i].Gray++
+			}
+		}
+	}
+	return out
+}

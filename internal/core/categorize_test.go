@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCategorizeBasic(t *testing.T) {
+	// Ranks 0..2, threshold 3: always benign -> white.
+	if got := series(0, 2, 1).Categorize(3); got != White {
+		t.Fatalf("got %v, want white", got)
+	}
+	// Ranks all >= t -> black.
+	if got := series(5, 7, 5).Categorize(5); got != Black {
+		t.Fatalf("got %v, want black", got)
+	}
+	// Straddling -> gray.
+	if got := series(2, 6).Categorize(5); got != Gray {
+		t.Fatalf("got %v, want gray", got)
+	}
+}
+
+func TestCategorizeBoundary(t *testing.T) {
+	// AV-Rank exactly t labels malicious (rule: p >= t), so a
+	// constant series at t is black, and a series hitting t once from
+	// below is gray.
+	if got := series(5, 5).Categorize(5); got != Black {
+		t.Fatalf("constant at t = %v, want black", got)
+	}
+	if got := series(4, 5).Categorize(5); got != Gray {
+		t.Fatalf("4,5 at t=5 = %v, want gray", got)
+	}
+	if got := series(4, 4).Categorize(5); got != White {
+		t.Fatalf("below t = %v, want white", got)
+	}
+}
+
+func TestCategorizePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { series().Categorize(5) })
+	mustPanic("t=0", func() { series(1).Categorize(0) })
+}
+
+func TestStableSamplesNeverGray(t *testing.T) {
+	// Stable samples are always labeled consistently: never gray, at
+	// any threshold (the reason §5.4 only studies dynamic samples).
+	for _, rank := range []int{0, 1, 5, 30, 69} {
+		s := series(rank, rank, rank)
+		for th := 1; th <= 50; th++ {
+			if got := s.Categorize(th); got == Gray {
+				t.Fatalf("stable sample rank %d gray at t=%d", rank, th)
+			}
+		}
+	}
+}
+
+// Property: the three categories partition any series at any valid
+// threshold, and gray iff p_min < t <= p_max.
+func TestQuickCategorizePartition(t *testing.T) {
+	f := func(raw []uint8, tRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		th := int(tRaw%50) + 1
+		ranks := make([]int, len(raw))
+		mn, mx := 255, 0
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+			if ranks[i] < mn {
+				mn = ranks[i]
+			}
+			if ranks[i] > mx {
+				mx = ranks[i]
+			}
+		}
+		got := series(ranks...).Categorize(th)
+		switch {
+		case mx < th:
+			return got == White
+		case mn >= th:
+			return got == Black
+		default:
+			return got == Gray
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorySweep(t *testing.T) {
+	population := []RankSeries{
+		series(0, 0),   // white for all t >= 1
+		series(10, 12), // black for t <= 10, gray for 11..12, white for t > 12
+		series(3, 30),  // gray for 4..30, black for t <= 3, white for t > 30
+	}
+	thresholds := []int{1, 5, 11, 31}
+	counts := CategorySweep(population, thresholds)
+	if len(counts) != 4 {
+		t.Fatalf("sweep length = %d", len(counts))
+	}
+	// t=1: s1 white, s2 black, s3 black.
+	if counts[0].White != 1 || counts[0].Black != 2 || counts[0].Gray != 0 {
+		t.Fatalf("t=1: %+v", counts[0])
+	}
+	// t=5: s1 white, s2 black, s3 gray.
+	if counts[1].White != 1 || counts[1].Black != 1 || counts[1].Gray != 1 {
+		t.Fatalf("t=5: %+v", counts[1])
+	}
+	// t=11: s1 white, s2 gray, s3 gray.
+	if counts[2].White != 1 || counts[2].Gray != 2 {
+		t.Fatalf("t=11: %+v", counts[2])
+	}
+	// t=31: all white.
+	if counts[3].White != 3 {
+		t.Fatalf("t=31: %+v", counts[3])
+	}
+	for _, c := range counts {
+		if c.Total() != 3 {
+			t.Fatalf("total = %d", c.Total())
+		}
+	}
+}
+
+func TestCategoryFractions(t *testing.T) {
+	c := CategoryCounts{White: 2, Black: 3, Gray: 5}
+	if c.GrayFraction() != 0.5 || c.WhiteFraction() != 0.2 || c.BlackFraction() != 0.3 {
+		t.Fatalf("fractions: %v %v %v", c.GrayFraction(), c.WhiteFraction(), c.BlackFraction())
+	}
+	var zero CategoryCounts
+	if zero.GrayFraction() != 0 || zero.WhiteFraction() != 0 || zero.BlackFraction() != 0 {
+		t.Fatal("zero counts should give zero fractions")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if White.String() != "white" || Black.String() != "black" || Gray.String() != "gray" {
+		t.Fatal("category strings wrong")
+	}
+}
+
+// Property: CategorySweep result agrees with per-sample Categorize.
+func TestQuickSweepConsistent(t *testing.T) {
+	f := func(raw [][]uint8) bool {
+		var pop []RankSeries
+		for _, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			ranks := make([]int, len(r))
+			for i, v := range r {
+				ranks[i] = int(v % 70)
+			}
+			pop = append(pop, series(ranks...))
+		}
+		ths := []int{1, 7, 24, 50}
+		counts := CategorySweep(pop, ths)
+		for i, th := range ths {
+			var w, b, g int
+			for _, s := range pop {
+				switch s.Categorize(th) {
+				case White:
+					w++
+				case Black:
+					b++
+				case Gray:
+					g++
+				}
+			}
+			if counts[i].White != w || counts[i].Black != b || counts[i].Gray != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (cross-invariant): a series is gray at threshold t exactly
+// when its B/M label sequence under t contains both labels — the
+// categorization and the stabilization views of §5.4/§6.2 must agree.
+func TestQuickGrayIffMixedLabels(t *testing.T) {
+	f := func(raw []uint8, tRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		th := int(tRaw%50) + 1
+		ranks := make([]int, len(raw))
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+		}
+		s := series(ranks...)
+		labels := s.LabelSequence(th)
+		hasB, hasM := false, false
+		for _, l := range labels {
+			if l == LabelBenign {
+				hasB = true
+			} else {
+				hasM = true
+			}
+		}
+		return (s.Categorize(th) == Gray) == (hasB && hasM)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/stats"
+)
+
+// §7.2: correlation between engines' labeling decisions. Scans are
+// rows of a matrix R with R[i][j] ∈ {1, 0, -1} (malicious, benign,
+// undetected — Equation 1); each engine's column is a decision
+// vector, and engine pairs with Spearman ρ > 0.8 are "strongly
+// correlated". Connected components of the strong-correlation graph
+// are the engine groups of Tables 4–8.
+
+// VerdictMatrix is the scans × engines decision matrix.
+type VerdictMatrix struct {
+	engines []string
+	index   map[string]int
+	// columns[j][i] is engine j's verdict for scan i. Column-major
+	// storage because every analysis is per-column.
+	columns [][]int8
+	rows    int
+}
+
+// NewVerdictMatrix creates a matrix over a fixed engine roster.
+func NewVerdictMatrix(engines []string) *VerdictMatrix {
+	m := &VerdictMatrix{
+		engines: append([]string(nil), engines...),
+		index:   make(map[string]int, len(engines)),
+		columns: make([][]int8, len(engines)),
+	}
+	for i, e := range m.engines {
+		m.index[e] = i
+	}
+	return m
+}
+
+// AddReport appends one scan as a row. Engines absent from the report
+// are recorded as undetected; engines not in the roster are ignored.
+func (m *VerdictMatrix) AddReport(r *report.ScanReport) {
+	for j := range m.columns {
+		m.columns[j] = append(m.columns[j], int8(report.Undetected))
+	}
+	for _, er := range r.Results {
+		if j, ok := m.index[er.Engine]; ok {
+			m.columns[j][m.rows] = int8(er.Verdict)
+		}
+	}
+	m.rows++
+}
+
+// AddHistory appends every report of the history.
+func (m *VerdictMatrix) AddHistory(h *report.History) {
+	for _, r := range h.Reports {
+		m.AddReport(r)
+	}
+}
+
+// Rows returns the number of scans added.
+func (m *VerdictMatrix) Rows() int { return m.rows }
+
+// Engines returns the roster in column order.
+func (m *VerdictMatrix) Engines() []string { return m.engines }
+
+// Column returns engine e's decision vector.
+func (m *VerdictMatrix) Column(e string) ([]int8, bool) {
+	j, ok := m.index[e]
+	if !ok {
+		return nil, false
+	}
+	return m.columns[j], true
+}
+
+// PairCorrelation is the Spearman correlation of one engine pair.
+type PairCorrelation struct {
+	A, B string
+	Rho  float64
+	P    float64
+}
+
+// Correlations computes the Spearman correlation for every engine
+// pair. Columns are ranked once, so the cost is
+// O(E · n log n + E² · n). Engines whose columns are constant are
+// reported with ρ = 0 (treated as uncorrelated).
+func (m *VerdictMatrix) Correlations() ([]PairCorrelation, error) {
+	if m.rows < 2 {
+		return nil, fmt.Errorf("core: need >= 2 scans, have %d", m.rows)
+	}
+	e := len(m.engines)
+	// Rank every column once.
+	ranked := make([][]float64, e)
+	for j := 0; j < e; j++ {
+		col := make([]float64, m.rows)
+		for i, v := range m.columns[j] {
+			col[i] = float64(v)
+		}
+		ranked[j] = stats.Ranks(col)
+	}
+	var out []PairCorrelation
+	for a := 0; a < e; a++ {
+		for b := a + 1; b < e; b++ {
+			rho, err := stats.Pearson(ranked[a], ranked[b])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PairCorrelation{
+				A:   m.engines[a],
+				B:   m.engines[b],
+				Rho: rho,
+				P:   pValueFor(rho, m.rows),
+			})
+		}
+	}
+	return out, nil
+}
+
+// pValueFor mirrors the t-approximation used by stats.Spearman.
+func pValueFor(rho float64, n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	if rho >= 1 || rho <= -1 {
+		return 0
+	}
+	t := rho * math.Sqrt(float64(n-2)/(1-rho*rho))
+	return stats.StudentTTwoSidedP(t, float64(n-2))
+}
+
+// PairAgreement is an engine pair's chance-corrected agreement, the
+// robustness companion to PairCorrelation: κ is computed only over
+// scans where both engines produced a verdict, so activity gaps do
+// not attenuate it the way they attenuate rank correlation.
+type PairAgreement struct {
+	A, B  string
+	Kappa float64
+	// N is the number of jointly defined scans.
+	N int
+}
+
+// KappaAgreements computes Cohen's κ for every engine pair over the
+// scans where both produced a defined verdict.
+func (m *VerdictMatrix) KappaAgreements() ([]PairAgreement, error) {
+	if m.rows < 2 {
+		return nil, fmt.Errorf("core: need >= 2 scans, have %d", m.rows)
+	}
+	e := len(m.engines)
+	var out []PairAgreement
+	for a := 0; a < e; a++ {
+		for b := a + 1; b < e; b++ {
+			var conf stats.Confusion
+			ca, cb := m.columns[a], m.columns[b]
+			for i := 0; i < m.rows; i++ {
+				if ca[i] < 0 || cb[i] < 0 {
+					continue // one side undetected
+				}
+				conf.Add(ca[i] == 1, cb[i] == 1)
+			}
+			out = append(out, PairAgreement{
+				A:     m.engines[a],
+				B:     m.engines[b],
+				Kappa: conf.Kappa(),
+				N:     conf.Total(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// StrongKappaGroups extracts the connected components of pairs with
+// κ > threshold, the kappa analogue of StrongGroups.
+func StrongKappaGroups(pairs []PairAgreement, threshold float64) [][]string {
+	g := stats.NewGraph()
+	for _, p := range pairs {
+		if p.Kappa > threshold {
+			g.AddEdge(p.A, p.B, p.Kappa)
+		}
+	}
+	return g.ConnectedComponents()
+}
+
+// StrongCorrelationGraph keeps the pairs with ρ > threshold (the
+// paper uses 0.8) as an undirected graph whose connected components
+// are the engine groups.
+func StrongCorrelationGraph(pairs []PairCorrelation, threshold float64) *stats.Graph {
+	g := stats.NewGraph()
+	for _, p := range pairs {
+		if p.Rho > threshold {
+			g.AddEdge(p.A, p.B, p.Rho)
+		}
+	}
+	return g
+}
+
+// StrongGroups returns the connected components of the
+// strong-correlation graph: the "groups of highly correlated
+// engines".
+func StrongGroups(pairs []PairCorrelation, threshold float64) [][]string {
+	return StrongCorrelationGraph(pairs, threshold).ConnectedComponents()
+}

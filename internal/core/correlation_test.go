@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+func addScan(m *VerdictMatrix, verdicts map[string]report.Verdict) {
+	var results []report.EngineResult
+	for e, v := range verdicts {
+		results = append(results, report.EngineResult{Engine: e, Verdict: v})
+	}
+	m.AddReport(&report.ScanReport{
+		SHA256:       "h",
+		AnalysisDate: t0.Add(time.Duration(m.Rows()) * time.Hour),
+		Results:      results,
+		AVRank:       report.ComputeAVRank(results),
+		EnginesTotal: report.CountActive(results),
+	})
+}
+
+func TestVerdictMatrixShape(t *testing.T) {
+	m := NewVerdictMatrix([]string{"A", "B"})
+	addScan(m, map[string]report.Verdict{"A": report.Malicious})
+	addScan(m, map[string]report.Verdict{"A": report.Benign, "B": report.Malicious})
+	if m.Rows() != 2 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+	colA, ok := m.Column("A")
+	if !ok || colA[0] != 1 || colA[1] != 0 {
+		t.Fatalf("col A = %v", colA)
+	}
+	colB, _ := m.Column("B")
+	if colB[0] != -1 || colB[1] != 1 {
+		t.Fatalf("col B = %v (absent engine should be undetected)", colB)
+	}
+	if _, ok := m.Column("missing"); ok {
+		t.Fatal("missing column returned ok")
+	}
+}
+
+func TestVerdictMatrixIgnoresUnknownEngines(t *testing.T) {
+	m := NewVerdictMatrix([]string{"A"})
+	addScan(m, map[string]report.Verdict{"A": report.Malicious, "Rogue": report.Malicious})
+	if m.Rows() != 1 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+	colA, _ := m.Column("A")
+	if colA[0] != 1 {
+		t.Fatalf("col A = %v", colA)
+	}
+}
+
+func TestCorrelationsPerfectPair(t *testing.T) {
+	m := NewVerdictMatrix([]string{"X", "Y", "Z"})
+	// X and Y always agree; Z alternates independently.
+	patterns := []struct{ x, y, z report.Verdict }{
+		{report.Malicious, report.Malicious, report.Benign},
+		{report.Benign, report.Benign, report.Malicious},
+		{report.Malicious, report.Malicious, report.Malicious},
+		{report.Benign, report.Benign, report.Benign},
+		{report.Malicious, report.Malicious, report.Benign},
+		{report.Benign, report.Benign, report.Benign},
+	}
+	for _, p := range patterns {
+		addScan(m, map[string]report.Verdict{"X": p.x, "Y": p.y, "Z": p.z})
+	}
+	pairs, err := m.Correlations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	var xy, xz PairCorrelation
+	for _, p := range pairs {
+		switch {
+		case p.A == "X" && p.B == "Y":
+			xy = p
+		case p.A == "X" && p.B == "Z":
+			xz = p
+		}
+	}
+	if xy.Rho < 0.999 {
+		t.Fatalf("identical engines rho = %v", xy.Rho)
+	}
+	if xz.Rho > 0.8 {
+		t.Fatalf("independent engines rho = %v", xz.Rho)
+	}
+}
+
+func TestCorrelationsConstantColumn(t *testing.T) {
+	m := NewVerdictMatrix([]string{"C", "D"})
+	addScan(m, map[string]report.Verdict{"C": report.Benign, "D": report.Malicious})
+	addScan(m, map[string]report.Verdict{"C": report.Benign, "D": report.Benign})
+	pairs, err := m.Correlations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[0].Rho != 0 {
+		t.Fatalf("constant column rho = %v, want 0", pairs[0].Rho)
+	}
+}
+
+func TestCorrelationsTooFewRows(t *testing.T) {
+	m := NewVerdictMatrix([]string{"A", "B"})
+	addScan(m, map[string]report.Verdict{"A": report.Benign, "B": report.Benign})
+	if _, err := m.Correlations(); err == nil {
+		t.Fatal("expected error with a single row")
+	}
+}
+
+func TestStrongGroups(t *testing.T) {
+	pairs := []PairCorrelation{
+		{A: "Avast", B: "AVG", Rho: 0.98},
+		{A: "BitDefender", B: "GData", Rho: 0.95},
+		{A: "GData", B: "FireEye", Rho: 0.92},
+		{A: "Avast", B: "BitDefender", Rho: 0.3},
+		{A: "Paloalto", B: "APEX", Rho: 0.99},
+		{A: "Lonely", B: "Avast", Rho: 0.79}, // below threshold
+	}
+	groups := StrongGroups(pairs, 0.8)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][0] != "BitDefender" {
+		t.Fatalf("largest group = %v", groups[0])
+	}
+	g := StrongCorrelationGraph(pairs, 0.8)
+	if g.HasEdge("Lonely", "Avast") {
+		t.Fatal("sub-threshold edge included")
+	}
+	if w, ok := g.Weight("Paloalto", "APEX"); !ok || w != 0.99 {
+		t.Fatalf("edge weight = %v %v", w, ok)
+	}
+}
+
+func TestAddHistoryAppendsAllScans(t *testing.T) {
+	m := NewVerdictMatrix([]string{"A"})
+	h := historyFrom("TXT", map[string]string{"A": "BMB"})
+	m.AddHistory(h)
+	if m.Rows() != 3 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+}

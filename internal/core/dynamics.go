@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the
+// label-dynamics analyses of VirusTotal scan results.
+//
+// The package operates on per-sample scan histories
+// (report.History) and provides:
+//
+//   - §5.1–5.3: stable/dynamic classification, the Δ (max-min) and
+//     δᵢ (adjacent-scan) dynamics metrics, stable-span measurement,
+//     and pairwise rank-difference/time-interval extraction;
+//   - §5.4: white/black/gray threshold categorization;
+//   - §6: AV-Rank stabilization under fluctuation ranges r∈{0..5} and
+//     B/M label-sequence stabilization under thresholds;
+//   - §7.1: per-engine label-flip counting, hazard-flip detection,
+//     flip-ratio matrices, and update-coincidence attribution;
+//   - §7.2: the engine×scan verdict matrix and pairwise Spearman
+//     correlation with strong-group extraction.
+//
+// All functions are pure and safe for concurrent use.
+package core
+
+import (
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// RankSeries is a sample's AV-Rank trajectory: the minimal view most
+// analyses need. Times and Ranks are parallel, ascending in time.
+type RankSeries struct {
+	Times []time.Time
+	Ranks []int
+}
+
+// FromHistory extracts the rank series of a history.
+func FromHistory(h *report.History) RankSeries {
+	return RankSeries{Times: h.Times(), Ranks: h.AVRanks()}
+}
+
+// Len returns the number of scans.
+func (s RankSeries) Len() int { return len(s.Ranks) }
+
+// Delta returns Δ = p_max − p_min over the series (0 for empty or
+// single-scan series). Δ = 0 defines a stable sample (§5.1).
+func (s RankSeries) Delta() int {
+	if len(s.Ranks) == 0 {
+		return 0
+	}
+	mn, mx := s.Ranks[0], s.Ranks[0]
+	for _, p := range s.Ranks[1:] {
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	return mx - mn
+}
+
+// IsStable reports whether the sample's AV-Rank never changed across
+// its scans. Only meaningful for series with >= 2 scans; a
+// single-scan series is vacuously stable but excluded from the
+// paper's analysis (its dynamics are unmeasurable).
+func (s RankSeries) IsStable() bool { return s.Delta() == 0 }
+
+// AdjacentDeltas returns δᵢ = |pᵢ − pᵢ₋₁| for i = 2..n (n−1 values).
+func (s RankSeries) AdjacentDeltas() []int {
+	if len(s.Ranks) < 2 {
+		return nil
+	}
+	out := make([]int, len(s.Ranks)-1)
+	for i := 1; i < len(s.Ranks); i++ {
+		d := s.Ranks[i] - s.Ranks[i-1]
+		if d < 0 {
+			d = -d
+		}
+		out[i-1] = d
+	}
+	return out
+}
+
+// Span returns the interval between the first and last scan — the
+// "time span" of Figure 4 for stable samples.
+func (s RankSeries) Span() time.Duration {
+	if len(s.Times) < 2 {
+		return 0
+	}
+	return s.Times[len(s.Times)-1].Sub(s.Times[0])
+}
+
+// FinalRank returns the last observed AV-Rank, or 0 for an empty
+// series.
+func (s RankSeries) FinalRank() int {
+	if len(s.Ranks) == 0 {
+		return 0
+	}
+	return s.Ranks[len(s.Ranks)-1]
+}
+
+// ConstantRank returns the constant AV-Rank of a stable series and
+// true, or 0 and false if the series is dynamic or empty.
+func (s RankSeries) ConstantRank() (int, bool) {
+	if len(s.Ranks) == 0 || !s.IsStable() {
+		return 0, false
+	}
+	return s.Ranks[0], true
+}
+
+// PairDiff is one (time-interval, rank-difference) observation for a
+// pair of scans of the same sample — the raw material of Figure 7.
+type PairDiff struct {
+	Interval time.Duration
+	Diff     int
+}
+
+// AllPairDiffs returns |pᵢ − pⱼ| with tᵢⱼ for every unordered scan
+// pair (i < j) of the series. For a series of n scans this yields
+// n(n−1)/2 observations; callers working at scale can cap n.
+func (s RankSeries) AllPairDiffs() []PairDiff {
+	n := len(s.Ranks)
+	if n < 2 {
+		return nil
+	}
+	out := make([]PairDiff, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := s.Ranks[j] - s.Ranks[i]
+			if d < 0 {
+				d = -d
+			}
+			out = append(out, PairDiff{
+				Interval: s.Times[j].Sub(s.Times[i]),
+				Diff:     d,
+			})
+		}
+	}
+	return out
+}
+
+// Class labels a sample's dynamics.
+type Class int
+
+const (
+	// Unmeasurable marks single-scan samples, whose dynamics cannot
+	// be observed (88.8% of the paper's dataset).
+	Unmeasurable Class = iota
+	// Stable samples kept a constant AV-Rank across all scans.
+	Stable
+	// Dynamic samples changed AV-Rank at least once.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Unmeasurable:
+		return "unmeasurable"
+	case Stable:
+		return "stable"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify assigns the sample's dynamics class per §5.1.
+func (s RankSeries) Classify() Class {
+	if len(s.Ranks) < 2 {
+		return Unmeasurable
+	}
+	if s.IsStable() {
+		return Stable
+	}
+	return Dynamic
+}

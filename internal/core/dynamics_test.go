@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+var t0 = time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// series builds a RankSeries with daily scans.
+func series(ranks ...int) RankSeries {
+	times := make([]time.Time, len(ranks))
+	for i := range ranks {
+		times[i] = t0.Add(time.Duration(i) * 24 * time.Hour)
+	}
+	return RankSeries{Times: times, Ranks: ranks}
+}
+
+func TestDelta(t *testing.T) {
+	cases := []struct {
+		ranks []int
+		want  int
+	}{
+		{nil, 0},
+		{[]int{5}, 0},
+		{[]int{3, 3, 3}, 0},
+		{[]int{1, 5, 3}, 4},
+		{[]int{10, 0}, 10},
+	}
+	for _, c := range cases {
+		if got := series(c.ranks...).Delta(); got != c.want {
+			t.Fatalf("Delta(%v) = %d, want %d", c.ranks, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if got := series(4).Classify(); got != Unmeasurable {
+		t.Fatalf("single scan = %v", got)
+	}
+	if got := series(4, 4).Classify(); got != Stable {
+		t.Fatalf("constant = %v", got)
+	}
+	if got := series(4, 5).Classify(); got != Dynamic {
+		t.Fatalf("changing = %v", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Stable.String() != "stable" || Dynamic.String() != "dynamic" ||
+		Unmeasurable.String() != "unmeasurable" {
+		t.Fatal("Class strings wrong")
+	}
+}
+
+func TestAdjacentDeltas(t *testing.T) {
+	got := series(3, 5, 5, 1).AdjacentDeltas()
+	want := []int{2, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("AdjacentDeltas = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AdjacentDeltas = %v, want %v", got, want)
+		}
+	}
+	if series(7).AdjacentDeltas() != nil {
+		t.Fatal("single-scan deltas should be nil")
+	}
+}
+
+// Property: every δᵢ <= Δ, and Δ == 0 iff all δᵢ == 0.
+func TestQuickDeltaInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ranks := make([]int, len(raw))
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+		}
+		s := series(ranks...)
+		delta := s.Delta()
+		allZero := true
+		for _, d := range s.AdjacentDeltas() {
+			if d > delta {
+				return false
+			}
+			if d != 0 {
+				allZero = false
+			}
+		}
+		return (delta == 0) == allZero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s := series(1, 2, 3)
+	if got := s.Span(); got != 48*time.Hour {
+		t.Fatalf("Span = %v", got)
+	}
+	if got := series(1).Span(); got != 0 {
+		t.Fatalf("single-scan span = %v", got)
+	}
+}
+
+func TestConstantRank(t *testing.T) {
+	if r, ok := series(7, 7, 7).ConstantRank(); !ok || r != 7 {
+		t.Fatalf("ConstantRank = %d, %v", r, ok)
+	}
+	if _, ok := series(7, 8).ConstantRank(); ok {
+		t.Fatal("dynamic series reported constant")
+	}
+	if _, ok := series().ConstantRank(); ok {
+		t.Fatal("empty series reported constant")
+	}
+}
+
+func TestFinalRank(t *testing.T) {
+	if got := series(1, 9, 4).FinalRank(); got != 4 {
+		t.Fatalf("FinalRank = %d", got)
+	}
+	if got := series().FinalRank(); got != 0 {
+		t.Fatalf("empty FinalRank = %d", got)
+	}
+}
+
+func TestAllPairDiffs(t *testing.T) {
+	s := series(0, 3, 1)
+	pairs := s.AllPairDiffs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// (0,1): diff 3, 1 day; (0,2): diff 1, 2 days; (1,2): diff 2, 1 day.
+	if pairs[0].Diff != 3 || pairs[0].Interval != 24*time.Hour {
+		t.Fatalf("pair 0 = %+v", pairs[0])
+	}
+	if pairs[1].Diff != 1 || pairs[1].Interval != 48*time.Hour {
+		t.Fatalf("pair 1 = %+v", pairs[1])
+	}
+	if pairs[2].Diff != 2 {
+		t.Fatalf("pair 2 = %+v", pairs[2])
+	}
+}
+
+func TestFromHistory(t *testing.T) {
+	mk := func(rank int, at time.Time) *report.ScanReport {
+		results := make([]report.EngineResult, rank)
+		for i := range results {
+			results[i] = report.EngineResult{
+				Engine:  engineName(i),
+				Verdict: report.Malicious,
+			}
+		}
+		return &report.ScanReport{
+			SHA256:       "h",
+			AnalysisDate: at,
+			Results:      results,
+			AVRank:       rank,
+			EnginesTotal: rank,
+		}
+	}
+	h := &report.History{Reports: []*report.ScanReport{
+		mk(2, t0), mk(5, t0.Add(time.Hour)),
+	}}
+	s := FromHistory(h)
+	if s.Len() != 2 || s.Ranks[0] != 2 || s.Ranks[1] != 5 {
+		t.Fatalf("FromHistory = %+v", s)
+	}
+}
+
+func engineName(i int) string {
+	return "E" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}

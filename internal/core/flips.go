@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// §7.1: stability of individual engines. For a sample s and engine e
+// the label sequence is l_1..l_n over the sample's scans; a change
+// between two consecutive defined labels (0→1 or 1→0) is a flip, and
+// the three-scan patterns 0→1→0 / 1→0→1 are hazard flips. Undetected
+// entries (engine inactive for that scan) are skipped rather than
+// treated as benign, so activity gaps do not masquerade as flips.
+
+// EngineSeries is one engine's trajectory over one sample's scans.
+type EngineSeries struct {
+	Engine   string
+	Times    []time.Time
+	Labels   []report.Verdict
+	Versions []int
+}
+
+// ExtractEngineSeries pulls the named engine's series from a history.
+// Scans where the engine is absent contribute Undetected entries.
+func ExtractEngineSeries(h *report.History, engineName string) EngineSeries {
+	s := EngineSeries{
+		Engine:   engineName,
+		Times:    make([]time.Time, len(h.Reports)),
+		Labels:   make([]report.Verdict, len(h.Reports)),
+		Versions: make([]int, len(h.Reports)),
+	}
+	for i, r := range h.Reports {
+		s.Times[i] = r.AnalysisDate
+		s.Labels[i] = report.Undetected
+		for _, er := range r.Results {
+			if er.Engine == engineName {
+				s.Labels[i] = er.Verdict
+				s.Versions[i] = er.SignatureVersion
+				break
+			}
+		}
+	}
+	return s
+}
+
+// FlipCounts aggregates an engine's flip behaviour.
+type FlipCounts struct {
+	// Up counts 0→1 flips, Down counts 1→0 flips.
+	Up, Down int
+	// Hazard01 counts 0→1→0 patterns; Hazard10 counts 1→0→1.
+	Hazard01, Hazard10 int
+	// Opportunities is the number of consecutive defined label pairs
+	// — the denominator of the flip ratio.
+	Opportunities int
+	// UpdateCoincident counts flips where the engine's signature
+	// version changed between the two scans (§5.5 cause ii).
+	UpdateCoincident int
+}
+
+// Flips returns the total flip count.
+func (f FlipCounts) Flips() int { return f.Up + f.Down }
+
+// Hazards returns the total hazard-flip count.
+func (f FlipCounts) Hazards() int { return f.Hazard01 + f.Hazard10 }
+
+// Ratio returns flips per opportunity (0 when no opportunities).
+func (f FlipCounts) Ratio() float64 {
+	if f.Opportunities == 0 {
+		return 0
+	}
+	return float64(f.Flips()) / float64(f.Opportunities)
+}
+
+// Add accumulates other into f.
+func (f *FlipCounts) Add(other FlipCounts) {
+	f.Up += other.Up
+	f.Down += other.Down
+	f.Hazard01 += other.Hazard01
+	f.Hazard10 += other.Hazard10
+	f.Opportunities += other.Opportunities
+	f.UpdateCoincident += other.UpdateCoincident
+}
+
+// CountFlips scans the series, skipping Undetected entries, and
+// tallies flips, hazards, and update coincidence.
+func CountFlips(s EngineSeries) FlipCounts {
+	var fc FlipCounts
+	prevIdx := -1                    // index of last defined label
+	prev2Label := report.Verdict(-2) // label before prev (defined only)
+	for i, l := range s.Labels {
+		if l == report.Undetected {
+			continue
+		}
+		if prevIdx >= 0 {
+			fc.Opportunities++
+			prev := s.Labels[prevIdx]
+			if l != prev {
+				if prev == report.Benign {
+					fc.Up++
+				} else {
+					fc.Down++
+				}
+				if s.Versions[i] != s.Versions[prevIdx] {
+					fc.UpdateCoincident++
+				}
+				// Hazard: two consecutive opposite flips.
+				if prev2Label == l {
+					if l == report.Benign {
+						fc.Hazard01++ // 0→1→0
+					} else {
+						fc.Hazard10++ // 1→0→1
+					}
+				}
+			}
+			prev2Label = prev
+		}
+		prevIdx = i
+	}
+	return fc
+}
+
+// FlipMatrix accumulates flip counts per (engine, file type) — the
+// data behind Figure 10's heatmap — plus per-engine totals.
+type FlipMatrix struct {
+	// cells maps engine -> fileType -> counts.
+	cells map[string]map[string]*FlipCounts
+}
+
+// NewFlipMatrix returns an empty accumulator.
+func NewFlipMatrix() *FlipMatrix {
+	return &FlipMatrix{cells: make(map[string]map[string]*FlipCounts)}
+}
+
+// AddHistory extracts every engine appearing in the history and
+// accumulates its flip counts under the history's file type.
+func (m *FlipMatrix) AddHistory(h *report.History) {
+	if len(h.Reports) < 2 {
+		return
+	}
+	ft := h.Reports[0].FileType
+	for _, name := range enginesIn(h) {
+		fc := CountFlips(ExtractEngineSeries(h, name))
+		m.add(name, ft, fc)
+	}
+}
+
+func (m *FlipMatrix) add(engineName, fileType string, fc FlipCounts) {
+	row, ok := m.cells[engineName]
+	if !ok {
+		row = make(map[string]*FlipCounts)
+		m.cells[engineName] = row
+	}
+	cell, ok := row[fileType]
+	if !ok {
+		cell = &FlipCounts{}
+		row[fileType] = cell
+	}
+	cell.Add(fc)
+}
+
+// Merge folds another matrix into this one (used to combine
+// per-worker accumulators).
+func (m *FlipMatrix) Merge(other *FlipMatrix) {
+	for eng, row := range other.cells {
+		for ft, fc := range row {
+			m.add(eng, ft, *fc)
+		}
+	}
+}
+
+// Cell returns the accumulated counts for (engine, fileType).
+func (m *FlipMatrix) Cell(engineName, fileType string) FlipCounts {
+	if row, ok := m.cells[engineName]; ok {
+		if c, ok := row[fileType]; ok {
+			return *c
+		}
+	}
+	return FlipCounts{}
+}
+
+// EngineTotal sums an engine's counts over all file types.
+func (m *FlipMatrix) EngineTotal(engineName string) FlipCounts {
+	var total FlipCounts
+	for _, c := range m.cells[engineName] {
+		total.Add(*c)
+	}
+	return total
+}
+
+// Total sums every cell.
+func (m *FlipMatrix) Total() FlipCounts {
+	var total FlipCounts
+	for _, row := range m.cells {
+		for _, c := range row {
+			total.Add(*c)
+		}
+	}
+	return total
+}
+
+// Engines returns the engines present, sorted.
+func (m *FlipMatrix) Engines() []string {
+	out := make([]string, 0, len(m.cells))
+	for e := range m.cells {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileTypes returns the file types present, sorted.
+func (m *FlipMatrix) FileTypes() []string {
+	seen := map[string]bool{}
+	for _, row := range m.cells {
+		for ft := range row {
+			seen[ft] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ft := range seen {
+		out = append(out, ft)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enginesIn returns the union of engine names across the history's
+// reports, in first-appearance order.
+func enginesIn(h *report.History) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range h.Reports {
+		for _, er := range r.Results {
+			if !seen[er.Engine] {
+				seen[er.Engine] = true
+				names = append(names, er.Engine)
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// mkSeries builds an EngineSeries with daily scans from verdict runes:
+// 'M' malicious, 'B' benign, 'U' undetected. Versions increment at
+// positions listed in bumps.
+func mkSeries(pattern string, bumps ...int) EngineSeries {
+	s := EngineSeries{Engine: "E"}
+	ver := 1
+	bumpSet := map[int]bool{}
+	for _, b := range bumps {
+		bumpSet[b] = true
+	}
+	for i, c := range pattern {
+		if bumpSet[i] {
+			ver++
+		}
+		s.Times = append(s.Times, t0.Add(time.Duration(i)*24*time.Hour))
+		switch c {
+		case 'M':
+			s.Labels = append(s.Labels, report.Malicious)
+		case 'B':
+			s.Labels = append(s.Labels, report.Benign)
+		default:
+			s.Labels = append(s.Labels, report.Undetected)
+		}
+		s.Versions = append(s.Versions, ver)
+	}
+	return s
+}
+
+func TestCountFlipsUpDown(t *testing.T) {
+	fc := CountFlips(mkSeries("BBMM"))
+	if fc.Up != 1 || fc.Down != 0 {
+		t.Fatalf("BBMM: %+v", fc)
+	}
+	if fc.Opportunities != 3 {
+		t.Fatalf("opportunities = %d", fc.Opportunities)
+	}
+	fc = CountFlips(mkSeries("MMBB"))
+	if fc.Up != 0 || fc.Down != 1 {
+		t.Fatalf("MMBB: %+v", fc)
+	}
+}
+
+func TestCountFlipsNoFlips(t *testing.T) {
+	fc := CountFlips(mkSeries("BBBB"))
+	if fc.Flips() != 0 || fc.Opportunities != 3 {
+		t.Fatalf("BBBB: %+v", fc)
+	}
+	if fc.Ratio() != 0 {
+		t.Fatalf("ratio = %v", fc.Ratio())
+	}
+}
+
+func TestCountFlipsSkipsUndetected(t *testing.T) {
+	// B U M: one defined pair (B, M) -> one up flip; the U gap is not
+	// an opportunity boundary.
+	fc := CountFlips(mkSeries("BUM"))
+	if fc.Up != 1 || fc.Opportunities != 1 {
+		t.Fatalf("BUM: %+v", fc)
+	}
+	// U-only series: nothing.
+	fc = CountFlips(mkSeries("UUU"))
+	if fc.Flips() != 0 || fc.Opportunities != 0 {
+		t.Fatalf("UUU: %+v", fc)
+	}
+}
+
+func TestHazardFlips(t *testing.T) {
+	// B M B = 0→1→0 hazard.
+	fc := CountFlips(mkSeries("BMB"))
+	if fc.Hazard01 != 1 || fc.Hazard10 != 0 {
+		t.Fatalf("BMB: %+v", fc)
+	}
+	if fc.Up != 1 || fc.Down != 1 {
+		t.Fatalf("BMB flips: %+v", fc)
+	}
+	// M B M = 1→0→1 hazard.
+	fc = CountFlips(mkSeries("MBM"))
+	if fc.Hazard10 != 1 || fc.Hazard01 != 0 {
+		t.Fatalf("MBM: %+v", fc)
+	}
+	// B M M B: flips up then down, but separated — no hazard.
+	fc = CountFlips(mkSeries("BMMB"))
+	if fc.Hazards() != 0 {
+		t.Fatalf("BMMB hazards: %+v", fc)
+	}
+	if fc.Up != 1 || fc.Down != 1 {
+		t.Fatalf("BMMB flips: %+v", fc)
+	}
+	// B M B M: two hazards (BMB and MBM overlap).
+	fc = CountFlips(mkSeries("BMBM"))
+	if fc.Hazard01 != 1 || fc.Hazard10 != 1 {
+		t.Fatalf("BMBM: %+v", fc)
+	}
+}
+
+func TestHazardAcrossUndetectedGap(t *testing.T) {
+	// B M U B: defined sequence B M B -> hazard.
+	fc := CountFlips(mkSeries("BMUB"))
+	if fc.Hazard01 != 1 {
+		t.Fatalf("BMUB: %+v", fc)
+	}
+}
+
+func TestUpdateCoincidence(t *testing.T) {
+	// Version bumps at index 2, flip between index 1 and 2 -> coincident.
+	fc := CountFlips(mkSeries("BBMM", 2))
+	if fc.Up != 1 || fc.UpdateCoincident != 1 {
+		t.Fatalf("coincident: %+v", fc)
+	}
+	// No version change across the flip -> not coincident.
+	fc = CountFlips(mkSeries("BBMM", 1))
+	if fc.UpdateCoincident != 0 {
+		t.Fatalf("non-coincident: %+v", fc)
+	}
+}
+
+func TestFlipCountsAdd(t *testing.T) {
+	a := FlipCounts{Up: 1, Down: 2, Hazard01: 1, Opportunities: 5, UpdateCoincident: 1}
+	b := FlipCounts{Up: 3, Hazard10: 2, Opportunities: 7}
+	a.Add(b)
+	if a.Up != 4 || a.Down != 2 || a.Hazard01 != 1 || a.Hazard10 != 2 ||
+		a.Opportunities != 12 || a.UpdateCoincident != 1 {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func historyFrom(ft string, engineLabels map[string]string) *report.History {
+	// All engines share the same number of scans.
+	var n int
+	for _, pattern := range engineLabels {
+		n = len(pattern)
+		break
+	}
+	h := &report.History{}
+	for i := 0; i < n; i++ {
+		var results []report.EngineResult
+		for eng, pattern := range engineLabels {
+			var v report.Verdict
+			switch pattern[i] {
+			case 'M':
+				v = report.Malicious
+			case 'B':
+				v = report.Benign
+			default:
+				v = report.Undetected
+			}
+			results = append(results, report.EngineResult{Engine: eng, Verdict: v, SignatureVersion: 1})
+		}
+		h.Reports = append(h.Reports, &report.ScanReport{
+			SHA256:       "h",
+			FileType:     ft,
+			AnalysisDate: t0.Add(time.Duration(i) * 24 * time.Hour),
+			Results:      results,
+			AVRank:       report.ComputeAVRank(results),
+			EnginesTotal: report.CountActive(results),
+		})
+	}
+	return h
+}
+
+func TestExtractEngineSeries(t *testing.T) {
+	h := historyFrom("TXT", map[string]string{"A": "BM", "B": "UM"})
+	s := ExtractEngineSeries(h, "A")
+	if s.Labels[0] != report.Benign || s.Labels[1] != report.Malicious {
+		t.Fatalf("A series: %v", s.Labels)
+	}
+	s = ExtractEngineSeries(h, "B")
+	if s.Labels[0] != report.Undetected {
+		t.Fatalf("B series: %v", s.Labels)
+	}
+	s = ExtractEngineSeries(h, "missing")
+	if s.Labels[0] != report.Undetected || s.Labels[1] != report.Undetected {
+		t.Fatalf("missing engine series: %v", s.Labels)
+	}
+}
+
+func TestFlipMatrix(t *testing.T) {
+	m := NewFlipMatrix()
+	m.AddHistory(historyFrom("TXT", map[string]string{"A": "BM", "B": "BB"}))
+	m.AddHistory(historyFrom("TXT", map[string]string{"A": "MB", "B": "BB"}))
+	m.AddHistory(historyFrom("PDF", map[string]string{"A": "BB", "B": "BM"}))
+
+	aTXT := m.Cell("A", "TXT")
+	if aTXT.Up != 1 || aTXT.Down != 1 || aTXT.Opportunities != 2 {
+		t.Fatalf("A/TXT: %+v", aTXT)
+	}
+	if got := m.Cell("A", "PDF"); got.Flips() != 0 || got.Opportunities != 1 {
+		t.Fatalf("A/PDF: %+v", got)
+	}
+	if got := m.Cell("B", "PDF"); got.Up != 1 {
+		t.Fatalf("B/PDF: %+v", got)
+	}
+	if got := m.Cell("nope", "TXT"); got.Opportunities != 0 {
+		t.Fatalf("missing cell: %+v", got)
+	}
+
+	totalA := m.EngineTotal("A")
+	if totalA.Flips() != 2 || totalA.Opportunities != 3 {
+		t.Fatalf("A total: %+v", totalA)
+	}
+	grand := m.Total()
+	if grand.Flips() != 3 || grand.Opportunities != 6 {
+		t.Fatalf("grand total: %+v", grand)
+	}
+
+	engines := m.Engines()
+	if len(engines) != 2 || engines[0] != "A" || engines[1] != "B" {
+		t.Fatalf("engines: %v", engines)
+	}
+	fts := m.FileTypes()
+	if len(fts) != 2 || fts[0] != "PDF" || fts[1] != "TXT" {
+		t.Fatalf("file types: %v", fts)
+	}
+}
+
+func TestFlipMatrixIgnoresSingleScan(t *testing.T) {
+	m := NewFlipMatrix()
+	m.AddHistory(historyFrom("TXT", map[string]string{"A": "M"}))
+	if got := m.Total(); got.Opportunities != 0 {
+		t.Fatalf("single-scan history counted: %+v", got)
+	}
+}
+
+func TestFlipMatrixMerge(t *testing.T) {
+	a := NewFlipMatrix()
+	a.AddHistory(historyFrom("TXT", map[string]string{"A": "BM"}))
+	b := NewFlipMatrix()
+	b.AddHistory(historyFrom("TXT", map[string]string{"A": "MB"}))
+	a.Merge(b)
+	cell := a.Cell("A", "TXT")
+	if cell.Up != 1 || cell.Down != 1 || cell.Opportunities != 2 {
+		t.Fatalf("merged: %+v", cell)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// §5.5 cause (i) — engine latency: "an engine may not be able to
+// detect a malicious sample at first ... the previously ineffective
+// engines may eventually update their detection capabilities and
+// change the label." This file quantifies that learning process from
+// observed histories: for every (engine, sample) whose first defined
+// verdict was Benign and that later flipped to Malicious, the
+// observed conversion latency is the interval from the sample's first
+// scan to the first Malicious verdict.
+
+// ConversionObservation is one observed 0→1 learning event.
+type ConversionObservation struct {
+	Engine string
+	// Latency is the interval from the sample's first scan to the
+	// engine's first malicious verdict. It upper-bounds the engine's
+	// true latency (the flip is only *observed* at the next scan).
+	Latency time.Duration
+}
+
+// ObservedConversions extracts every engine's conversion event from a
+// history. Engines already detecting at their first defined verdict
+// contribute nothing (their latency is unobservable: it predates the
+// first scan).
+func ObservedConversions(h *report.History) []ConversionObservation {
+	if len(h.Reports) < 2 {
+		return nil
+	}
+	first := h.Reports[0].AnalysisDate
+	// state: 0 unseen, 1 benign-first (eligible), 2 done.
+	state := make(map[string]int)
+	var out []ConversionObservation
+	for _, r := range h.Reports {
+		for _, er := range r.Results {
+			if er.Verdict == report.Undetected {
+				continue
+			}
+			switch state[er.Engine] {
+			case 0:
+				if er.Verdict == report.Benign {
+					state[er.Engine] = 1
+				} else {
+					state[er.Engine] = 2 // detected at first sight
+				}
+			case 1:
+				if er.Verdict == report.Malicious {
+					out = append(out, ConversionObservation{
+						Engine:  er.Engine,
+						Latency: r.AnalysisDate.Sub(first),
+					})
+					state[er.Engine] = 2
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LatencyAccumulator aggregates conversion latencies per engine.
+type LatencyAccumulator struct {
+	byEngine map[string][]float64 // days
+}
+
+// NewLatencyAccumulator returns an empty accumulator.
+func NewLatencyAccumulator() *LatencyAccumulator {
+	return &LatencyAccumulator{byEngine: make(map[string][]float64)}
+}
+
+// AddHistory extracts and accumulates the history's conversions.
+func (a *LatencyAccumulator) AddHistory(h *report.History) {
+	for _, obs := range ObservedConversions(h) {
+		a.byEngine[obs.Engine] = append(a.byEngine[obs.Engine], obs.Latency.Hours()/24)
+	}
+}
+
+// Merge folds another accumulator into this one.
+func (a *LatencyAccumulator) Merge(other *LatencyAccumulator) {
+	for eng, days := range other.byEngine {
+		a.byEngine[eng] = append(a.byEngine[eng], days...)
+	}
+}
+
+// EngineLatency is one engine's observed learning profile.
+type EngineLatency struct {
+	Engine      string
+	Conversions int
+	MeanDays    float64
+	MedianDays  float64
+}
+
+// PerEngine returns each engine's profile, sorted by engine name.
+// Engines with fewer than minConversions observations are skipped
+// (their statistics would be noise).
+func (a *LatencyAccumulator) PerEngine(minConversions int) []EngineLatency {
+	engines := make([]string, 0, len(a.byEngine))
+	for e := range a.byEngine {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	var out []EngineLatency
+	for _, e := range engines {
+		days := a.byEngine[e]
+		if len(days) < minConversions {
+			continue
+		}
+		out = append(out, EngineLatency{
+			Engine:      e,
+			Conversions: len(days),
+			MeanDays:    mean(days),
+			MedianDays:  median(days),
+		})
+	}
+	return out
+}
+
+// AllDays returns every observed latency in days, unsorted.
+func (a *LatencyAccumulator) AllDays() []float64 {
+	var out []float64
+	for _, days := range a.byEngine {
+		out = append(out, days...)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestObservedConversionsBasic(t *testing.T) {
+	// Engine A: B then M at day 1 -> one conversion with 1-day latency.
+	// Engine B: M from the start -> unobservable, no event.
+	// Engine C: B throughout -> no event.
+	h := historyFrom("TXT", map[string]string{
+		"A": "BMM",
+		"B": "MMM",
+		"C": "BBB",
+	})
+	obs := ObservedConversions(h)
+	if len(obs) != 1 {
+		t.Fatalf("observations = %v", obs)
+	}
+	if obs[0].Engine != "A" || obs[0].Latency != 24*time.Hour {
+		t.Fatalf("obs = %+v", obs[0])
+	}
+}
+
+func TestObservedConversionsOncePerEngine(t *testing.T) {
+	// A converts, regresses, converts again: only the first
+	// conversion is a learning event.
+	h := historyFrom("TXT", map[string]string{"A": "BMBM"})
+	obs := ObservedConversions(h)
+	if len(obs) != 1 {
+		t.Fatalf("observations = %v", obs)
+	}
+}
+
+func TestObservedConversionsSkipsUndetected(t *testing.T) {
+	// First defined verdict is benign (after a gap), conversion at
+	// day 3.
+	h := historyFrom("TXT", map[string]string{"A": "UBUM"})
+	obs := ObservedConversions(h)
+	if len(obs) != 1 || obs[0].Latency != 3*24*time.Hour {
+		t.Fatalf("observations = %v", obs)
+	}
+	// Malicious-first after a gap: unobservable.
+	h = historyFrom("TXT", map[string]string{"A": "UMBB"})
+	if got := ObservedConversions(h); len(got) != 0 {
+		t.Fatalf("observations = %v", got)
+	}
+}
+
+func TestObservedConversionsSingleScan(t *testing.T) {
+	h := historyFrom("TXT", map[string]string{"A": "B"})
+	if got := ObservedConversions(h); got != nil {
+		t.Fatalf("single-scan observations = %v", got)
+	}
+}
+
+func TestLatencyAccumulator(t *testing.T) {
+	a := NewLatencyAccumulator()
+	a.AddHistory(historyFrom("TXT", map[string]string{"A": "BMM", "B": "BBM"}))
+	a.AddHistory(historyFrom("TXT", map[string]string{"A": "BBBM"}))
+	per := a.PerEngine(1)
+	if len(per) != 2 {
+		t.Fatalf("engines = %v", per)
+	}
+	// A: latencies 1 and 3 days -> mean 2, median 2.
+	var engA EngineLatency
+	for _, e := range per {
+		if e.Engine == "A" {
+			engA = e
+		}
+	}
+	if engA.Conversions != 2 || math.Abs(engA.MeanDays-2) > 1e-9 || math.Abs(engA.MedianDays-2) > 1e-9 {
+		t.Fatalf("A = %+v", engA)
+	}
+	// minConversions filter.
+	if got := a.PerEngine(2); len(got) != 1 || got[0].Engine != "A" {
+		t.Fatalf("filtered = %v", got)
+	}
+	if got := len(a.AllDays()); got != 3 {
+		t.Fatalf("all days = %d", got)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	a := NewLatencyAccumulator()
+	a.AddHistory(historyFrom("TXT", map[string]string{"A": "BM"}))
+	b := NewLatencyAccumulator()
+	b.AddHistory(historyFrom("TXT", map[string]string{"A": "BBM"}))
+	a.Merge(b)
+	per := a.PerEngine(2)
+	if len(per) != 1 || per[0].Conversions != 2 {
+		t.Fatalf("merged = %v", per)
+	}
+}
+
+func TestKappaAgreements(t *testing.T) {
+	m := NewVerdictMatrix([]string{"X", "Y", "Z"})
+	// X and Y agree perfectly where both defined; Z independent.
+	h := historyFrom("TXT", map[string]string{
+		"X": "MBMBMB",
+		"Y": "MBMBUB",
+		"Z": "MMBBMB",
+	})
+	m.AddHistory(h)
+	pairs, err := m.KappaAgreements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	var xy PairAgreement
+	for _, p := range pairs {
+		if p.A == "X" && p.B == "Y" {
+			xy = p
+		}
+	}
+	if xy.N != 5 {
+		t.Fatalf("jointly defined N = %d, want 5 (one Y scan undetected)", xy.N)
+	}
+	if math.Abs(xy.Kappa-1) > 1e-9 {
+		t.Fatalf("perfect agreement kappa = %v", xy.Kappa)
+	}
+}
+
+func TestKappaAgreementsTooFewRows(t *testing.T) {
+	m := NewVerdictMatrix([]string{"A", "B"})
+	if _, err := m.KappaAgreements(); err == nil {
+		t.Fatal("expected error with no rows")
+	}
+}
+
+func TestStrongKappaGroups(t *testing.T) {
+	pairs := []PairAgreement{
+		{A: "A", B: "B", Kappa: 0.9},
+		{A: "B", B: "C", Kappa: 0.85},
+		{A: "C", B: "D", Kappa: 0.5},
+	}
+	groups := StrongKappaGroups(pairs, 0.8)
+	if len(groups) == 0 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+}

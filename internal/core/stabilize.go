@@ -1,0 +1,112 @@
+package core
+
+import "time"
+
+// §6: stabilization of AV-Rank and of aggregated labels.
+//
+// A series "reaches stability within fluctuation range r" if there is
+// a scan index k from which the AV-Rank stays within a band of width
+// r through the end of the observation — with the suffix required to
+// contain at least two scans, so the trivial single-scan suffix does
+// not count as evidence of stability. r = 0 is the strict "finally
+// constant" criterion (Observation 8: 10.9% of dataset-S samples).
+
+// StabilizationResult describes when a series stabilized.
+type StabilizationResult struct {
+	// Stable reports whether a qualifying suffix exists.
+	Stable bool
+	// Index is the 0-based scan index where the stable suffix begins.
+	Index int
+	// TimeToStability is the interval from the first scan to the
+	// stabilization point.
+	TimeToStability time.Duration
+}
+
+// StabilizeWithin finds the earliest index k <= n-2 such that
+// max(ranks[k:]) - min(ranks[k:]) <= r. It returns Stable == false
+// for series with fewer than two scans or when no qualifying suffix
+// exists.
+func (s RankSeries) StabilizeWithin(r int) StabilizationResult {
+	n := len(s.Ranks)
+	if n < 2 || r < 0 {
+		return StabilizationResult{}
+	}
+	// Walk suffixes from the shortest allowed (k = n-2) to the
+	// longest (k = 0), maintaining the running min/max, and remember
+	// the smallest k that still satisfies the band. One O(n) pass.
+	best := -1
+	mn, mx := s.Ranks[n-1], s.Ranks[n-1]
+	for k := n - 2; k >= 0; k-- {
+		p := s.Ranks[k]
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+		if mx-mn <= r {
+			best = k
+		} else {
+			// Suffixes only grow, so once the band is exceeded no
+			// earlier k can qualify.
+			break
+		}
+	}
+	if best < 0 {
+		return StabilizationResult{}
+	}
+	return StabilizationResult{
+		Stable:          true,
+		Index:           best,
+		TimeToStability: s.Times[best].Sub(s.Times[0]),
+	}
+}
+
+// BinaryLabel is the aggregated malicious/benign label of one scan
+// under a threshold (§6.2's "B"/"M" coding).
+type BinaryLabel byte
+
+const (
+	// LabelBenign is coded "B".
+	LabelBenign BinaryLabel = 'B'
+	// LabelMalicious is coded "M".
+	LabelMalicious BinaryLabel = 'M'
+)
+
+// LabelSequence derives the sample's B/M sequence under threshold t:
+// "M" where AV-Rank >= t, else "B".
+func (s RankSeries) LabelSequence(t int) []BinaryLabel {
+	out := make([]BinaryLabel, len(s.Ranks))
+	for i, p := range s.Ranks {
+		if p >= t {
+			out[i] = LabelMalicious
+		} else {
+			out[i] = LabelBenign
+		}
+	}
+	return out
+}
+
+// LabelStabilization finds the earliest scan index from which the
+// aggregated label under threshold t never changes again, requiring
+// — like StabilizeWithin — at least two scans in the stable suffix.
+// A series whose last two labels differ has not stabilized.
+func (s RankSeries) LabelStabilization(t int) StabilizationResult {
+	n := len(s.Ranks)
+	if n < 2 {
+		return StabilizationResult{}
+	}
+	labels := s.LabelSequence(t)
+	if labels[n-1] != labels[n-2] {
+		return StabilizationResult{}
+	}
+	k := n - 2
+	for k > 0 && labels[k-1] == labels[n-1] {
+		k--
+	}
+	return StabilizationResult{
+		Stable:          true,
+		Index:           k,
+		TimeToStability: s.Times[k].Sub(s.Times[0]),
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStabilizeWithinConstantTail(t *testing.T) {
+	// 5, 3, 8, 8, 8: stabilizes at index 2 for r=0.
+	res := series(5, 3, 8, 8, 8).StabilizeWithin(0)
+	if !res.Stable || res.Index != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.TimeToStability != 48*time.Hour {
+		t.Fatalf("time to stability = %v", res.TimeToStability)
+	}
+}
+
+func TestStabilizeWithinNeverStable(t *testing.T) {
+	// Last two scans differ by more than r.
+	res := series(1, 5, 1, 9).StabilizeWithin(0)
+	if res.Stable {
+		t.Fatalf("expected unstable, got %+v", res)
+	}
+	// But within r=8 it is stable from index 0.
+	res = series(1, 5, 1, 9).StabilizeWithin(8)
+	if !res.Stable || res.Index != 0 {
+		t.Fatalf("r=8: %+v", res)
+	}
+}
+
+func TestStabilizeTwoScan(t *testing.T) {
+	// Two equal scans stabilize at index 0 for r=0.
+	res := series(4, 4).StabilizeWithin(0)
+	if !res.Stable || res.Index != 0 || res.TimeToStability != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Two scans differing by 2 need r >= 2.
+	if series(4, 6).StabilizeWithin(1).Stable {
+		t.Fatal("r=1 should not stabilize a 2-wide change")
+	}
+	if !series(4, 6).StabilizeWithin(2).Stable {
+		t.Fatal("r=2 should stabilize a 2-wide change")
+	}
+}
+
+func TestStabilizeSingleScan(t *testing.T) {
+	if series(4).StabilizeWithin(0).Stable {
+		t.Fatal("single scan cannot demonstrate stability")
+	}
+}
+
+func TestStabilizeNegativeRange(t *testing.T) {
+	if series(4, 4).StabilizeWithin(-1).Stable {
+		t.Fatal("negative range should never stabilize")
+	}
+}
+
+func TestStabilizeConstantSeries(t *testing.T) {
+	res := series(2, 2, 2, 2).StabilizeWithin(0)
+	if !res.Stable || res.Index != 0 {
+		t.Fatalf("constant series: %+v", res)
+	}
+}
+
+// Property: stability is monotone in r — if stable within r, then
+// stable within r+1 with an index no later.
+func TestQuickStabilizeMonotoneInRange(t *testing.T) {
+	f := func(raw []uint8, rRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ranks := make([]int, len(raw))
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+		}
+		r := int(rRaw % 6)
+		s := series(ranks...)
+		a := s.StabilizeWithin(r)
+		b := s.StabilizeWithin(r + 1)
+		if a.Stable {
+			if !b.Stable {
+				return false
+			}
+			if b.Index > a.Index {
+				return false
+			}
+			if b.TimeToStability > a.TimeToStability {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the returned suffix really satisfies the band and the
+// suffix has >= 2 elements.
+func TestQuickStabilizeSuffixValid(t *testing.T) {
+	f := func(raw []uint8, rRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ranks := make([]int, len(raw))
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+		}
+		r := int(rRaw % 6)
+		s := series(ranks...)
+		res := s.StabilizeWithin(r)
+		if !res.Stable {
+			return true
+		}
+		if res.Index > len(ranks)-2 {
+			return false
+		}
+		mn, mx := ranks[res.Index], ranks[res.Index]
+		for _, p := range ranks[res.Index:] {
+			if p < mn {
+				mn = p
+			}
+			if p > mx {
+				mx = p
+			}
+		}
+		return mx-mn <= r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelSequence(t *testing.T) {
+	s := series(0, 5, 10)
+	got := s.LabelSequence(5)
+	want := []BinaryLabel{'B', 'M', 'M'}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LabelSequence = %c%c%c", got[0], got[1], got[2])
+		}
+	}
+}
+
+func TestLabelStabilization(t *testing.T) {
+	// Ranks 0, 6, 7 at t=5: B M M -> stabilizes at index 1.
+	res := series(0, 6, 7).LabelStabilization(5)
+	if !res.Stable || res.Index != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.TimeToStability != 24*time.Hour {
+		t.Fatalf("time = %v", res.TimeToStability)
+	}
+	// Ranks 6, 0 at t=5: M B -> last two differ, not stabilized.
+	if series(6, 0).LabelStabilization(5).Stable {
+		t.Fatal("M,B should not be stable")
+	}
+	// All-B sequence stabilizes at index 0.
+	res = series(0, 1, 2).LabelStabilization(5)
+	if !res.Stable || res.Index != 0 {
+		t.Fatalf("all-B: %+v", res)
+	}
+	// Flip at the very end after long stability.
+	if series(0, 0, 0, 0, 9).LabelStabilization(5).Stable {
+		t.Fatal("trailing flip should not be stable")
+	}
+}
+
+func TestLabelStabilizationSingleScan(t *testing.T) {
+	if series(9).LabelStabilization(5).Stable {
+		t.Fatal("single scan cannot demonstrate label stability")
+	}
+}
+
+// Property: label stabilization at threshold t is implied by AV-Rank
+// stabilization with r=0 at the same point (a constant rank suffix
+// gives a constant label suffix).
+func TestQuickLabelStabilizationImplied(t *testing.T) {
+	f := func(raw []uint8, tRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ranks := make([]int, len(raw))
+		for i, v := range raw {
+			ranks[i] = int(v % 70)
+		}
+		th := int(tRaw%50) + 1
+		s := series(ranks...)
+		rank := s.StabilizeWithin(0)
+		if !rank.Stable {
+			return true
+		}
+		label := s.LabelStabilization(th)
+		return label.Stable && label.Index <= rank.Index
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// Summary is the one-stop per-sample dynamics digest: everything the
+// paper's analyses say about a single history, computed in one pass.
+// It is what an interactive tool (cmd/vtquery) or a triage pipeline
+// wants per sample.
+type Summary struct {
+	SHA256   string
+	FileType string
+	Scans    int
+
+	// Class is the §5.1 stable/dynamic/unmeasurable classification.
+	Class Class
+	// Delta is p_max − p_min over the history.
+	Delta int
+	// FinalRank is the last observed AV-Rank.
+	FinalRank int
+	// Span is first-to-last scan interval.
+	Span time.Duration
+
+	// Category is the §5.4 class under the supplied threshold.
+	Category Category
+	// RankStable / LabelStable are the §6 stabilization results
+	// (rank at r=0; label under the supplied threshold).
+	RankStable  StabilizationResult
+	LabelStable StabilizationResult
+
+	// Flips aggregates every engine's flip counts on this sample.
+	Flips FlipCounts
+	// FlippingEngines counts engines with at least one flip.
+	FlippingEngines int
+}
+
+// Summarize computes the digest for one history under a labeling
+// threshold t (t >= 1). Histories with no reports yield a zero
+// Summary with Scans == 0.
+func Summarize(h *report.History, t int) Summary {
+	s := Summary{
+		SHA256:   h.Meta.SHA256,
+		FileType: h.Meta.FileType,
+		Scans:    len(h.Reports),
+	}
+	if len(h.Reports) == 0 {
+		return s
+	}
+	if s.FileType == "" {
+		s.FileType = h.Reports[0].FileType
+	}
+	series := FromHistory(h)
+	s.Class = series.Classify()
+	s.Delta = series.Delta()
+	s.FinalRank = series.FinalRank()
+	s.Span = series.Span()
+	if t >= 1 {
+		s.Category = series.Categorize(t)
+		s.LabelStable = series.LabelStabilization(t)
+	}
+	s.RankStable = series.StabilizeWithin(0)
+	for _, name := range enginesIn(h) {
+		fc := CountFlips(ExtractEngineSeries(h, name))
+		s.Flips.Add(fc)
+		if fc.Flips() > 0 {
+			s.FlippingEngines++
+		}
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"vtdynamics/internal/report"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	h := historyFrom("TXT", map[string]string{
+		"A": "BMM", // one up flip
+		"B": "MMM", // steady detector
+		"C": "BBB", // steady benign
+	})
+	h.Meta.SHA256 = "sum-1"
+	s := Summarize(h, 2)
+	if s.SHA256 != "sum-1" || s.FileType != "TXT" || s.Scans != 3 {
+		t.Fatalf("identity fields: %+v", s)
+	}
+	// Ranks: 1, 2, 2 -> dynamic, delta 1, final 2.
+	if s.Class != Dynamic || s.Delta != 1 || s.FinalRank != 2 {
+		t.Fatalf("dynamics fields: %+v", s)
+	}
+	// At t=2: ranks straddle (1 < 2 <= 2) -> gray.
+	if s.Category != Gray {
+		t.Fatalf("category = %v", s.Category)
+	}
+	// Rank stabilizes at index 1 (suffix 2,2); label (t=2) also at 1.
+	if !s.RankStable.Stable || s.RankStable.Index != 1 {
+		t.Fatalf("rank stabilization: %+v", s.RankStable)
+	}
+	if !s.LabelStable.Stable || s.LabelStable.Index != 1 {
+		t.Fatalf("label stabilization: %+v", s.LabelStable)
+	}
+	if s.Flips.Up != 1 || s.Flips.Down != 0 || s.FlippingEngines != 1 {
+		t.Fatalf("flips: %+v engines %d", s.Flips, s.FlippingEngines)
+	}
+	if s.Span != 48*60*60*1e9 {
+		t.Fatalf("span = %v", s.Span)
+	}
+}
+
+func TestSummarizeEmptyHistory(t *testing.T) {
+	s := Summarize(&report.History{Meta: report.SampleMeta{SHA256: "empty"}}, 5)
+	if s.Scans != 0 || s.SHA256 != "empty" {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeStableSample(t *testing.T) {
+	h := historyFrom("PDF", map[string]string{"A": "MM", "B": "BB"})
+	s := Summarize(h, 1)
+	if s.Class != Stable || s.Delta != 0 {
+		t.Fatalf("stable sample: %+v", s)
+	}
+	if s.Category != Black { // constant rank 1 >= t=1
+		t.Fatalf("category = %v", s.Category)
+	}
+	if s.Flips.Flips() != 0 || s.FlippingEngines != 0 {
+		t.Fatalf("flips on stable sample: %+v", s.Flips)
+	}
+}
+
+func TestSummarizeThresholdZeroSkipsLabeling(t *testing.T) {
+	h := historyFrom("TXT", map[string]string{"A": "BM"})
+	s := Summarize(h, 0)
+	if s.LabelStable.Stable {
+		t.Fatal("labeling computed despite t=0")
+	}
+	// Dynamics fields still filled.
+	if s.Class != Dynamic {
+		t.Fatalf("class = %v", s.Class)
+	}
+}

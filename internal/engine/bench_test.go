@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/simclock"
+)
+
+func benchSet(b *testing.B) *Set {
+	b.Helper()
+	set, err := NewSet(DefaultRoster(), 1, simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func BenchmarkScanSingle(b *testing.B) {
+	set := benchSet(b)
+	tgt := malTarget("bench-single")
+	at := tgt.FirstSeen.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Scan(tgt, at)
+	}
+}
+
+func BenchmarkScanSeries8(b *testing.B) {
+	set := benchSet(b)
+	tgt := malTarget("bench-series")
+	times := make([]time.Time, 8)
+	for i := range times {
+		times[i] = tgt.FirstSeen.Add(time.Duration(i*3) * 24 * time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.ScanSeries(tgt, times)
+	}
+}
+
+func BenchmarkTrajectory(b *testing.B) {
+	set := benchSet(b)
+	e := set.Engines()[0]
+	tgt := malTarget("bench-traj")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.trajectory(tgt)
+	}
+}

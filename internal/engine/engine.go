@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/xrand"
+)
+
+// Engine is an instantiated engine model: a Spec plus its realized
+// signature-update schedule over the simulation window.
+type Engine struct {
+	Spec
+	seed int64
+	// updates holds the realized Poisson update instants, ascending.
+	updates []time.Time
+	// leaders[i] is the resolved engine for Copies[i].
+	leaders []*Engine
+}
+
+// newEngine realizes the update schedule for the window [start, end).
+func newEngine(spec Spec, seed int64, start, end time.Time) *Engine {
+	e := &Engine{Spec: spec, seed: seed}
+	rng := xrand.New(seed).SplitFor("updates|" + spec.Name)
+	if spec.UpdateMeanDays > 0 {
+		t := start
+		for {
+			gapDays := rng.ExpFloat64() * spec.UpdateMeanDays
+			t = t.Add(time.Duration(gapDays * float64(24*time.Hour)))
+			if !t.Before(end) {
+				break
+			}
+			e.updates = append(e.updates, t)
+		}
+	}
+	return e
+}
+
+// VersionAt returns the engine's signature version at instant t: the
+// number of update events at or before t, plus one (versions start at
+// 1). Reports embed this so analyses can test update-coincidence of
+// flips.
+func (e *Engine) VersionAt(t time.Time) int {
+	i := sort.Search(len(e.updates), func(i int) bool { return e.updates[i].After(t) })
+	return i + 1
+}
+
+// NumUpdates returns the number of realized update events.
+func (e *Engine) NumUpdates() int { return len(e.updates) }
+
+// nextUpdateAfter returns the first update instant at or after t, and
+// whether one exists inside the window.
+func (e *Engine) nextUpdateAfter(t time.Time) (time.Time, bool) {
+	i := sort.Search(len(e.updates), func(i int) bool { return !e.updates[i].Before(t) })
+	if i == len(e.updates) {
+		return time.Time{}, false
+	}
+	return e.updates[i], true
+}
+
+// pairRand returns the deterministic latent-variable stream for this
+// (engine, sample) pair.
+func (e *Engine) pairRand(sha string) *xrand.Rand {
+	return xrand.New(e.seed).SplitFor(e.Name + "|" + sha)
+}
+
+// latent describes the engine's sticky verdict trajectory for one
+// sample: Benign before convertAt, Malicious in [convertAt, clearAt)
+// — with clearAt zero meaning "forever" — plus an optional hazard
+// excursion window during which the verdict temporarily regresses.
+type latent struct {
+	everDetects  bool
+	convertAt    time.Time
+	clearAt      time.Time // zero: never clears
+	hazardStart  time.Time // zero: no hazard excursion
+	hazardEnd    time.Time
+	hazardActive bool
+}
+
+// trajectory derives the sample's latent verdict trajectory from the
+// pair stream. It is a pure function of (engine, sample).
+func (e *Engine) trajectory(t Target) latent {
+	rng := e.pairRand(t.SHA256)
+	var l latent
+	const day = 24 * time.Hour
+	if t.Malicious {
+		p := e.DetectRate.Of(t.FileType) * t.Detectability
+		l.everDetects = rng.Bool(p)
+		if !l.everDetects {
+			return l
+		}
+		// The fraction of eventual detectors that are delayed depends
+		// on the sample's circulation, a property of the sample shared
+		// by every engine: well-circulated strains are in most
+		// signature databases on day one, brand-new strains drift for
+		// weeks. This per-sample mixture produces the right-skewed Δ
+		// distributions of Figures 5–6 (low medians, heavy tails).
+		delayed := (1 - e.InstantRate.Of(t.FileType)) * noveltyScale(t.SHA256)
+		if delayed > 0.90 {
+			delayed = 0.90
+		}
+		if !rng.Bool(delayed) {
+			// Detection active from first sight: no observable flip.
+			l.convertAt = t.FirstSeen
+			if rng.Bool(e.RetractProb.Of(t.FileType)) {
+				// The detection is later cleaned up — an over-broad
+				// heuristic being retracted, the main source of 1→0
+				// flips on genuinely malicious samples. Retraction
+				// only applies to first-sight detections: the label
+				// sequence is then 1..1→0..0, a plain down flip. A
+				// retraction after an observed 0→1 would be a hazard
+				// pattern, which the paper found to be vanishingly
+				// rare (9 in 16.8M flips).
+				mean := e.RetractMeanDays
+				if mean <= 0 {
+					mean = 30
+				}
+				clearDays := rng.ExpFloat64() * mean
+				l.clearAt = l.convertAt.Add(time.Duration(clearDays * float64(day)))
+			}
+		} else {
+			mean := e.LatencyMeanDays.Of(t.FileType)
+			if rng.Bool(0.08) {
+				// Slow-learner tail: some engines take months, which
+				// sustains the diff-vs-interval growth of Figure 7.
+				mean *= 4
+			}
+			delayDays := rng.ExpFloat64() * mean
+			conv := t.FirstSeen.Add(time.Duration(delayDays * float64(day)))
+			if rng.Bool(e.UpdateCoupling) {
+				if up, ok := e.nextUpdateAfter(conv); ok {
+					conv = up
+				}
+			}
+			l.convertAt = conv
+		}
+	} else {
+		if !rng.Bool(e.FPRate.Of(t.FileType)) {
+			return l
+		}
+		l.everDetects = true
+		// False positives usually fire from the first scan.
+		l.convertAt = t.FirstSeen
+		clearDays := rng.ExpFloat64() * e.FPClearMeanDays
+		l.clearAt = l.convertAt.Add(time.Duration(clearDays * float64(day)))
+	}
+	// Rare hazard excursion: verdict regresses for a short window
+	// after conversion, then returns — the source of the paper's
+	// nine observed hazard flips.
+	if rng.Bool(e.HazardProb) {
+		l.hazardActive = true
+		startDays := 1 + rng.ExpFloat64()*10
+		lenDays := 1 + rng.ExpFloat64()*5
+		l.hazardStart = l.convertAt.Add(time.Duration(startDays * float64(day)))
+		l.hazardEnd = l.hazardStart.Add(time.Duration(lenDays * float64(day)))
+	}
+	return l
+}
+
+// verdictAt evaluates the latent trajectory at an instant.
+func (l latent) verdictAt(scanAt time.Time) report.Verdict {
+	if !l.everDetects {
+		return report.Benign
+	}
+	if scanAt.Before(l.convertAt) {
+		return report.Benign
+	}
+	if !l.clearAt.IsZero() && !scanAt.Before(l.clearAt) {
+		return report.Benign
+	}
+	if l.hazardActive && !scanAt.Before(l.hazardStart) && scanAt.Before(l.hazardEnd) {
+		// Temporary regression.
+		return report.Benign
+	}
+	return report.Malicious
+}
+
+// stickyVerdict returns the engine's own latent verdict for the
+// sample at instant scanAt, ignoring activity and copying.
+func (e *Engine) stickyVerdict(t Target, scanAt time.Time) report.Verdict {
+	return e.trajectory(t).verdictAt(scanAt)
+}
+
+// resolvedTrajectory returns the latent trajectory after applying the
+// group-copy rules: the first rule applicable to the sample's file
+// type wins a per-sample coin with its fidelity, in which case the
+// leader's trajectory is used.
+func (e *Engine) resolvedTrajectory(t Target) latent {
+	for i, rule := range e.Copies {
+		f := rule.Fidelity.Of(t.FileType)
+		if f <= 0 {
+			continue
+		}
+		rng := e.pairRand(t.SHA256 + "|copy|" + rule.From)
+		if rng.Bool(f) {
+			return e.leaders[i].trajectory(t)
+		}
+		break // the applicable rule's coin failed: fall through to own process
+	}
+	return e.trajectory(t)
+}
+
+// pairSeed derives the integer seed keying the (engine, sample)
+// activity hash.
+func (e *Engine) pairSeed(sha string) uint64 {
+	return fnv64(e.Name+"|act|"+sha) ^ uint64(e.seed)
+}
+
+// activeAt draws the engine's per-scan participation as a stateless
+// hash of the pair seed and the scan instant: idempotent for repeated
+// reads of the same scan, independent across scans.
+func (e *Engine) activeAt(pair uint64, scanAt time.Time) bool {
+	if e.ActivityRate >= 1 {
+		return true
+	}
+	x := mix64(pair ^ uint64(scanAt.Unix())*0x9E3779B97F4A7C15)
+	u := float64(x>>11) / (1 << 53)
+	return u < e.ActivityRate
+}
+
+// Evaluate produces the engine's result for one scan of the target at
+// scanAt. Equivalent to EvaluateSeries with a single instant.
+func (e *Engine) Evaluate(t Target, scanAt time.Time) report.EngineResult {
+	return e.EvaluateSeries(t, []time.Time{scanAt})[0]
+}
+
+// supportsType draws whether the engine scans this sample's type at
+// all (a per-pair latent: an engine either handles the file or it
+// does not, consistently across rescans).
+func (e *Engine) supportsType(t Target) bool {
+	p := 1.0
+	if e.TypeSupport.Default != 0 || e.TypeSupport.ByType != nil {
+		p = e.TypeSupport.Of(t.FileType)
+	}
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	u := float64(mix64(fnv64(e.Name+"|support|"+t.SHA256))>>11) / (1 << 53)
+	return u < p
+}
+
+// EvaluateSeries produces the engine's results for every scan instant
+// of one sample. The latent trajectory and family label are derived
+// once, so evaluating a whole history costs little more than a single
+// scan; this is the hot path of large experiments.
+func (e *Engine) EvaluateSeries(t Target, times []time.Time) []report.EngineResult {
+	if !e.supportsType(t) {
+		out := make([]report.EngineResult, len(times))
+		for i, at := range times {
+			out[i] = report.EngineResult{
+				Engine:           e.Name,
+				Verdict:          report.Undetected,
+				SignatureVersion: e.VersionAt(at),
+			}
+		}
+		return out
+	}
+	traj := e.resolvedTrajectory(t)
+	pair := e.pairSeed(t.SHA256)
+	label := ""
+	out := make([]report.EngineResult, len(times))
+	for i, at := range times {
+		res := report.EngineResult{
+			Engine:           e.Name,
+			SignatureVersion: e.VersionAt(at),
+		}
+		if !e.activeAt(pair, at) {
+			res.Verdict = report.Undetected
+			out[i] = res
+			continue
+		}
+		res.Verdict = traj.verdictAt(at)
+		if res.Verdict == report.Malicious {
+			if label == "" {
+				label = e.familyLabel(t)
+			}
+			res.Label = label
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// familyLabel synthesizes a stable family label for a detection.
+func (e *Engine) familyLabel(t Target) string {
+	prefix := e.LabelPrefix
+	if prefix == "" {
+		prefix = "Gen"
+	}
+	h := uint32(0)
+	for i := 0; i < len(t.SHA256); i++ {
+		h = h*31 + uint32(t.SHA256[i])
+	}
+	return fmt.Sprintf("%s.%s.%04x", prefix, sanitizeType(t.FileType), h&0xffff)
+}
+
+func sanitizeType(ft string) string {
+	out := make([]byte, 0, len(ft))
+	for i := 0; i < len(ft); i++ {
+		c := ft[i]
+		if c == ' ' {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "File"
+	}
+	return string(out)
+}
+
+// Set is a roster of engines sharing one simulation window and seed.
+type Set struct {
+	engines []*Engine
+	byName  map[string]*Engine
+}
+
+// NewSet instantiates the given specs over [start, end) with the given
+// seed, resolving CopyFrom references. It returns an error for
+// duplicate names, dangling CopyFrom references, or copy chains
+// (leaders must be independent engines).
+func NewSet(specs []Spec, seed int64, start, end time.Time) (*Set, error) {
+	s := &Set{byName: make(map[string]*Engine, len(specs))}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("engine: empty engine name")
+		}
+		if _, dup := s.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("engine: duplicate engine %q", spec.Name)
+		}
+		e := newEngine(spec, seed, start, end)
+		s.engines = append(s.engines, e)
+		s.byName[spec.Name] = e
+	}
+	for _, e := range s.engines {
+		for _, rule := range e.Copies {
+			leader, ok := s.byName[rule.From]
+			if !ok {
+				return nil, fmt.Errorf("engine: %q copies unknown engine %q", e.Name, rule.From)
+			}
+			if len(leader.Copies) > 0 {
+				return nil, fmt.Errorf("engine: %q copies %q which itself copies (chains not allowed)",
+					e.Name, leader.Name)
+			}
+			e.leaders = append(e.leaders, leader)
+		}
+	}
+	return s, nil
+}
+
+// Engines returns the roster in declaration order.
+func (s *Set) Engines() []*Engine { return s.engines }
+
+// Names returns the engine names in declaration order.
+func (s *Set) Names() []string {
+	names := make([]string, len(s.engines))
+	for i, e := range s.engines {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Lookup returns the engine with the given name, if present.
+func (s *Set) Lookup(name string) (*Engine, bool) {
+	e, ok := s.byName[name]
+	return e, ok
+}
+
+// Len returns the roster size.
+func (s *Set) Len() int { return len(s.engines) }
+
+// Scan runs every engine against the target at scanAt and returns the
+// per-engine results in roster order.
+func (s *Set) Scan(t Target, scanAt time.Time) []report.EngineResult {
+	rows := s.ScanSeries(t, []time.Time{scanAt})
+	return rows[0]
+}
+
+// ScanSeries runs every engine against the target at each instant,
+// returning one result row per instant (engines in roster order).
+// Deriving each engine's trajectory once makes this the efficient way
+// to produce a whole sample history.
+func (s *Set) ScanSeries(t Target, times []time.Time) [][]report.EngineResult {
+	rows := make([][]report.EngineResult, len(times))
+	for i := range rows {
+		rows[i] = make([]report.EngineResult, len(s.engines))
+	}
+	for j, e := range s.engines {
+		series := e.EvaluateSeries(t, times)
+		for i := range times {
+			rows[i][j] = series[i]
+		}
+	}
+	return rows
+}
+
+// fnv64 is the FNV-1a hash used to key per-pair activity streams.
+func fnv64(s string) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// noveltyScale maps a sample to its circulation class, identical for
+// every engine: 55% of samples are well-circulated (little engine
+// drift), 30% are ordinary, 15% are brand-new strains with heavy
+// drift.
+func noveltyScale(sha string) float64 {
+	u := float64(mix64(fnv64("novelty|"+sha))>>11) / (1 << 53)
+	switch {
+	case u < 0.55:
+		return 0.35
+	case u < 0.85:
+		return 1.0
+	default:
+		return 1.8
+	}
+}
+
+// mix64 is the splitmix64 finalizer, used as a stateless hash.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/simclock"
+)
+
+const testSeed = 1234
+
+func window() (time.Time, time.Time) {
+	return simclock.CollectionStart, simclock.CollectionEnd
+}
+
+func testSet(t *testing.T, specs []Spec) *Set {
+	t.Helper()
+	start, end := window()
+	s, err := NewSet(specs, testSeed, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func malTarget(sha string) Target {
+	return Target{
+		SHA256:        sha,
+		FileType:      ftypes.Win32EXE,
+		Malicious:     true,
+		Detectability: 0.9,
+		FirstSeen:     simclock.CollectionStart.Add(24 * time.Hour),
+	}
+}
+
+func benTarget(sha string) Target {
+	t := malTarget(sha)
+	t.Malicious = false
+	return t
+}
+
+func TestNewSetRejectsDuplicates(t *testing.T) {
+	start, end := window()
+	_, err := NewSet([]Spec{base("A", "x"), base("A", "x")}, testSeed, start, end)
+	if err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestNewSetRejectsEmptyName(t *testing.T) {
+	start, end := window()
+	_, err := NewSet([]Spec{{}}, testSeed, start, end)
+	if err == nil {
+		t.Fatal("expected empty-name error")
+	}
+}
+
+func TestNewSetRejectsUnknownLeader(t *testing.T) {
+	start, end := window()
+	s := base("B", "x")
+	s.Copies = []CopyRule{copyAll("NoSuch", 0.9)}
+	_, err := NewSet([]Spec{s}, testSeed, start, end)
+	if err == nil {
+		t.Fatal("expected unknown-leader error")
+	}
+}
+
+func TestNewSetRejectsCopyChains(t *testing.T) {
+	start, end := window()
+	a := base("A", "x")
+	b := base("B", "x")
+	b.Copies = []CopyRule{copyAll("A", 0.9)}
+	c := base("C", "x")
+	c.Copies = []CopyRule{copyAll("B", 0.9)}
+	_, err := NewSet([]Spec{a, b, c}, testSeed, start, end)
+	if err == nil {
+		t.Fatal("expected chain error")
+	}
+}
+
+func TestVersionMonotonicOverTime(t *testing.T) {
+	set := testSet(t, []Spec{base("E", "x")})
+	e := set.Engines()[0]
+	start, _ := window()
+	prev := 0
+	for d := 0; d < 420; d += 7 {
+		v := e.VersionAt(start.Add(time.Duration(d) * 24 * time.Hour))
+		if v < prev {
+			t.Fatalf("version went backwards at day %d: %d < %d", d, v, prev)
+		}
+		prev = v
+	}
+	if e.NumUpdates() == 0 {
+		t.Fatal("expected at least one update event over 14 months")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	set1 := testSet(t, DefaultRoster())
+	set2 := testSet(t, DefaultRoster())
+	tgt := malTarget("deadbeef")
+	at := simclock.CollectionStart.Add(30 * 24 * time.Hour)
+	r1 := set1.Scan(tgt, at)
+	r2 := set2.Scan(tgt, at)
+	if len(r1) != len(r2) {
+		t.Fatal("result length mismatch")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("nondeterministic result for %s: %+v vs %+v", r1[i].Engine, r1[i], r2[i])
+		}
+	}
+}
+
+func TestStickyVerdictMonotoneForMalicious(t *testing.T) {
+	// With hazards and retractions disabled, a malicious sample's
+	// sticky verdict never goes 1 -> 0.
+	spec := base("E", "x")
+	spec.HazardProb = 0
+	spec.RetractProb = uniform(0)
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	for s := 0; s < 200; s++ {
+		tgt := malTarget(shaN(s))
+		seen1 := false
+		for d := 0; d < 400; d += 3 {
+			at := tgt.FirstSeen.Add(time.Duration(d) * 24 * time.Hour)
+			v := e.stickyVerdict(tgt, at)
+			if v == report.Malicious {
+				seen1 = true
+			} else if seen1 {
+				t.Fatalf("sample %d: sticky verdict regressed at day %d", s, d)
+			}
+		}
+	}
+}
+
+func TestBenignFalsePositiveClears(t *testing.T) {
+	// With a forced FP rate of 1 and a short clear time, benign
+	// samples are flagged early then cleared: a 1 -> 0 trajectory.
+	spec := base("E", "x")
+	spec.FPRate = uniform(1)
+	spec.FPClearMeanDays = 5
+	spec.HazardProb = 0
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	tgt := benTarget("benign-sample")
+	early := e.stickyVerdict(tgt, tgt.FirstSeen)
+	if early != report.Malicious {
+		t.Fatalf("FP did not fire at first sight: %v", early)
+	}
+	late := e.stickyVerdict(tgt, tgt.FirstSeen.Add(365*24*time.Hour))
+	if late != report.Benign {
+		t.Fatalf("FP never cleared: %v", late)
+	}
+}
+
+func TestZeroDetectRateNeverDetects(t *testing.T) {
+	spec := base("E", "x")
+	spec.DetectRate = uniform(0)
+	spec.FPRate = uniform(0)
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	for s := 0; s < 100; s++ {
+		tgt := malTarget(shaN(s))
+		at := tgt.FirstSeen.Add(100 * 24 * time.Hour)
+		if v := e.stickyVerdict(tgt, at); v != report.Benign {
+			t.Fatalf("zero-capability engine detected sample %d", s)
+		}
+	}
+}
+
+func TestActivityZeroAlwaysUndetected(t *testing.T) {
+	spec := base("E", "x")
+	spec.ActivityRate = 0
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	tgt := malTarget("x")
+	res := e.Evaluate(tgt, tgt.FirstSeen.Add(time.Hour))
+	if res.Verdict != report.Undetected {
+		t.Fatalf("inactive engine produced verdict %v", res.Verdict)
+	}
+}
+
+func TestActivityVariesAcrossScans(t *testing.T) {
+	spec := base("E", "x")
+	spec.ActivityRate = 0.5
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	tgt := malTarget("x")
+	active, inactive := 0, 0
+	for d := 0; d < 400; d++ {
+		res := e.Evaluate(tgt, tgt.FirstSeen.Add(time.Duration(d)*24*time.Hour))
+		if res.Verdict == report.Undetected {
+			inactive++
+		} else {
+			active++
+		}
+	}
+	if active == 0 || inactive == 0 {
+		t.Fatalf("activity not varying: active=%d inactive=%d", active, inactive)
+	}
+}
+
+func TestCopyingProducesAgreement(t *testing.T) {
+	leader := base("Leader", "x")
+	leader.HazardProb = 0
+	follower := base("Follower", "x")
+	follower.HazardProb = 0
+	follower.Copies = []CopyRule{copyAll("Leader", 1.0)}
+	follower.ActivityRate = 1
+	leader.ActivityRate = 1
+	set := testSet(t, []Spec{leader, follower})
+	le, _ := set.Lookup("Leader")
+	fe, _ := set.Lookup("Follower")
+	agree, total := 0, 0
+	for s := 0; s < 300; s++ {
+		tgt := malTarget(shaN(s))
+		at := tgt.FirstSeen.Add(60 * 24 * time.Hour)
+		lv := le.Evaluate(tgt, at).Verdict
+		fv := fe.Evaluate(tgt, at).Verdict
+		total++
+		if lv == fv {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.99 {
+		t.Fatalf("perfect-fidelity follower agreed only %.2f of the time", frac)
+	}
+}
+
+func TestCopyFidelityZeroTypeIndependent(t *testing.T) {
+	// A rule scoped to DEX must not apply to EXE samples.
+	leader := base("Leader", "x")
+	follower := base("Follower", "x")
+	follower.Copies = []CopyRule{copyTypes("Leader", 1.0, ftypes.DEX)}
+	set := testSet(t, []Spec{leader, follower})
+	fe, _ := set.Lookup("Follower")
+	// For EXE, the follower must use its own process; with its own
+	// detect rate zeroed it should never flag even though the leader
+	// would.
+	fe.DetectRate = uniform(0)
+	fe.FPRate = uniform(0)
+	tgt := malTarget("exe-sample") // Win32 EXE
+	at := tgt.FirstSeen.Add(90 * 24 * time.Hour)
+	if v := fe.Evaluate(tgt, at).Verdict; v == report.Malicious {
+		t.Fatal("type-scoped copy rule leaked to another type")
+	}
+}
+
+func TestDefaultRosterInstantiates(t *testing.T) {
+	set := testSet(t, DefaultRoster())
+	if set.Len() < 70 {
+		t.Fatalf("roster has %d engines, want >= 70", set.Len())
+	}
+	names := map[string]bool{}
+	for _, n := range set.Names() {
+		if names[n] {
+			t.Fatalf("duplicate engine %q", n)
+		}
+		names[n] = true
+	}
+	for _, want := range []string{"Avast", "AVG", "BitDefender", "Paloalto", "APEX",
+		"Webroot", "CrowdStrike", "Arcabit", "F-Secure", "Jiangmin", "Microsoft"} {
+		if !names[want] {
+			t.Fatalf("roster missing %q", want)
+		}
+	}
+}
+
+func TestScanResultsValidateAsReport(t *testing.T) {
+	set := testSet(t, DefaultRoster())
+	tgt := malTarget("validate-me")
+	at := tgt.FirstSeen.Add(10 * 24 * time.Hour)
+	results := set.Scan(tgt, at)
+	r := &report.ScanReport{
+		SHA256:       tgt.SHA256,
+		FileType:     tgt.FileType,
+		AnalysisDate: at,
+		Results:      results,
+		AVRank:       report.ComputeAVRank(results),
+		EnginesTotal: report.CountActive(results),
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.AVRank == 0 {
+		t.Fatal("highly detectable malicious PE got AVRank 0")
+	}
+}
+
+func TestMaliciousLabelPresentOnlyOnDetections(t *testing.T) {
+	set := testSet(t, DefaultRoster())
+	tgt := malTarget("labels")
+	at := tgt.FirstSeen.Add(200 * 24 * time.Hour)
+	for _, res := range set.Scan(tgt, at) {
+		if res.Verdict == report.Malicious && res.Label == "" {
+			t.Fatalf("%s: malicious verdict without label", res.Engine)
+		}
+		if res.Verdict != report.Malicious && res.Label != "" {
+			t.Fatalf("%s: label %q on non-malicious verdict", res.Engine, res.Label)
+		}
+	}
+}
+
+func TestAVRankGrowsOverTime(t *testing.T) {
+	// Engine latency means the expected AV-Rank of a malicious sample
+	// rises between first sight and much later.
+	set := testSet(t, DefaultRoster())
+	const n = 60
+	sumEarly, sumLate := 0, 0
+	for s := 0; s < n; s++ {
+		tgt := malTarget(shaN(s))
+		early := set.Scan(tgt, tgt.FirstSeen)
+		late := set.Scan(tgt, tgt.FirstSeen.Add(300*24*time.Hour))
+		sumEarly += report.ComputeAVRank(early)
+		sumLate += report.ComputeAVRank(late)
+	}
+	if sumLate <= sumEarly {
+		t.Fatalf("AV-Rank did not grow: early=%d late=%d", sumEarly, sumLate)
+	}
+}
+
+func TestPerTypeOf(t *testing.T) {
+	p := withTypes(0.5, map[string]float64{"A": 0.9})
+	if p.Of("A") != 0.9 || p.Of("B") != 0.5 {
+		t.Fatalf("PerType lookup broken: %v %v", p.Of("A"), p.Of("B"))
+	}
+}
+
+func shaN(i int) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, 8)
+	for j := range b {
+		b[j] = hex[(i>>uint(j*4))&0xf]
+	}
+	return "sha" + string(b)
+}

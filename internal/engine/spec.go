@@ -1,0 +1,163 @@
+// Package engine models the behaviour of the 70+ antivirus engines
+// behind the simulated VirusTotal service.
+//
+// The paper's §5.5 attributes label dynamics to three mechanisms —
+// engine latency, engine update, and engine activity — and its §7
+// adds a fourth structural property, correlation between engines'
+// labeling decisions. Each engine here is a generative model with
+// exactly those four knobs:
+//
+//   - Latency: for a truly malicious sample the engine initially
+//     misses and converts to detection after an exponential delay
+//     (a learning curve), producing the dominant 0→1 flips.
+//   - Update: engines run a Poisson signature-update process; verdict
+//     conversions are coupled to update events with a configurable
+//     probability, so a calibrated fraction (~60%) of flips coincide
+//     with a signature-version change between the two scans.
+//   - Activity: per scan, an engine abstains (timeout / inactive)
+//     with a small probability, yielding Undetected entries that vary
+//     engine sets between scans without changing sticky verdicts.
+//   - Correlation: engines may copy another engine's latent verdict
+//     with per-file-type fidelity, creating the strongly correlated
+//     groups of Figures 11–12 and Tables 4–8.
+//
+// Verdicts are pure functions of (engine, sample, time): every latent
+// variable is drawn from a PRNG keyed by the engine name and the
+// sample hash, so the whole 14-month simulation is reproducible and
+// needs no per-pair mutable state.
+package engine
+
+import "time"
+
+// Target is the minimal view of a sample that an engine needs. The
+// workload generator (internal/sampleset) produces these.
+type Target struct {
+	// SHA256 identifies the sample and keys all latent draws.
+	SHA256 string
+	// FileType is VT's type label, e.g. "Win32 EXE".
+	FileType string
+	// Malicious is the latent ground truth.
+	Malicious bool
+	// Detectability in [0, 1] scales how many engines will ever
+	// detect a malicious sample; it shapes the AV-Rank plateau.
+	Detectability float64
+	// FirstSeen is when the sample first reached the service; engine
+	// learning curves start here.
+	FirstSeen time.Time
+}
+
+// PerType is a per-file-type parameter with a default: the value for
+// file type ft is m[ft] if present, otherwise the Default.
+type PerType struct {
+	Default float64
+	ByType  map[string]float64
+}
+
+// Of returns the parameter value for the given file type.
+func (p PerType) Of(fileType string) float64 {
+	if v, ok := p.ByType[fileType]; ok {
+		return v
+	}
+	return p.Default
+}
+
+// uniform is a convenience constructor for a PerType with no
+// per-type overrides.
+func uniform(v float64) PerType { return PerType{Default: v} }
+
+// withTypes builds a PerType from a default and override pairs.
+func withTypes(def float64, overrides map[string]float64) PerType {
+	return PerType{Default: def, ByType: overrides}
+}
+
+// Spec is the full behavioural parameterization of one engine.
+type Spec struct {
+	// Name is the engine's display name, unique within a Set.
+	Name string
+
+	// DetectRate is the probability (per file type) that this engine
+	// will *ever* detect a malicious sample, before scaling by the
+	// sample's Detectability.
+	DetectRate PerType
+
+	// LatencyMeanDays is the mean of the exponential delay (per file
+	// type) from first submission to the engine's detection
+	// conversion. Small values ⇒ the engine detects on the first
+	// scan; large values ⇒ many observable 0→1 flips.
+	LatencyMeanDays PerType
+
+	// FPRate is the probability (per file type) that the engine
+	// initially flags a benign sample; cleared after FPClearMeanDays,
+	// producing 1→0 flips.
+	FPRate PerType
+
+	// FPClearMeanDays is the mean of the exponential delay before a
+	// false positive is cleaned up.
+	FPClearMeanDays float64
+
+	// ActivityRate is the per-scan probability that the engine
+	// produces any verdict; the complement models timeouts and
+	// temporary inactivity (§5.5 cause iii).
+	ActivityRate float64
+
+	// TypeSupport is the per-file-type probability that the engine
+	// scans the type at all; unsupported types yield Undetected
+	// ("type-unsupported" in real VT reports). The zero value means
+	// full support for every type. Specialized engines (e.g. a
+	// mobile-only scanner) set this to abstain outside their domain.
+	TypeSupport PerType
+
+	// UpdateMeanDays is the mean interval of the engine's Poisson
+	// signature-update process.
+	UpdateMeanDays float64
+
+	// UpdateCoupling is the probability that a verdict conversion
+	// waits for the next signature update rather than taking effect
+	// immediately. The paper measured update-coincident flips at
+	// ~60%.
+	UpdateCoupling float64
+
+	// RetractProb is the probability that a detection on a truly
+	// malicious sample is later retracted (an over-broad heuristic or
+	// generic signature being cleaned up). Retractions are the bulk
+	// of real 1→0 flips beyond FP cleanups; the paper counted 4.57M
+	// 1→0 against 12.27M 0→1.
+	RetractProb PerType
+
+	// RetractMeanDays is the mean of the exponential delay from
+	// conversion to retraction.
+	RetractMeanDays float64
+
+	// HazardProb is the (tiny) probability that a converted verdict
+	// regresses and later re-converts, producing the extremely rare
+	// hazard flips (the paper found 9 in 16.8M flips).
+	HazardProb float64
+
+	// InstantRate is the per-file-type probability that a detection
+	// is active from the sample's first submission (no observable
+	// 0→1 flip). The complement goes through the latency process.
+	// Real engines detect most malware on first sight; the delayed
+	// remainder is what produces the paper's 12.3M 0→1 flips.
+	InstantRate PerType
+
+	// Copies lists group-leader rules, tried in order: for a sample
+	// of file type ft, the first rule whose Fidelity.Of(ft) > 0 wins
+	// a per-sample coin with that probability; on success the
+	// engine's sticky verdict is the leader's. This is the mechanism
+	// behind §7.2's correlated groups, and the per-type fidelities
+	// are what make the groups differ across file types
+	// (Tables 4–8, Figure 12).
+	Copies []CopyRule
+
+	// LabelPrefix seeds the family-label string for malicious
+	// verdicts.
+	LabelPrefix string
+}
+
+// CopyRule makes an engine copy another engine's latent verdict with
+// a per-file-type probability. Leaders must be independent engines
+// (no chains).
+type CopyRule struct {
+	From     string
+	Fidelity PerType
+}

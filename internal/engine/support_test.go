@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/report"
+)
+
+func TestTypeSupportZeroValueMeansFullSupport(t *testing.T) {
+	spec := base("E", "x")
+	spec.ActivityRate = 1
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	tgt := malTarget("zv")
+	for d := 0; d < 30; d++ {
+		res := e.Evaluate(tgt, tgt.FirstSeen.Add(time.Duration(d)*24*time.Hour))
+		if res.Verdict == report.Undetected {
+			t.Fatal("fully supported engine abstained")
+		}
+	}
+}
+
+func TestTypeSupportZeroProbAlwaysAbstains(t *testing.T) {
+	spec := base("E", "x")
+	spec.ActivityRate = 1
+	spec.TypeSupport = withTypes(1, map[string]float64{ftypes.Win32EXE: -1})
+	// Of() returns -1 for EXE: <= 0 means never supported.
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	tgt := malTarget("zp") // Win32 EXE
+	for d := 0; d < 10; d++ {
+		res := e.Evaluate(tgt, tgt.FirstSeen.Add(time.Duration(d)*24*time.Hour))
+		if res.Verdict != report.Undetected {
+			t.Fatal("unsupported type produced a verdict")
+		}
+	}
+}
+
+func TestTypeSupportConsistentPerSample(t *testing.T) {
+	// Partial support: each sample is either always scanned or never
+	// scanned — the coin must not be re-flipped per scan.
+	spec := base("E", "x")
+	spec.ActivityRate = 1
+	spec.TypeSupport = withTypes(0.5, nil)
+	set := testSet(t, []Spec{spec})
+	e := set.Engines()[0]
+	supported, abstained := 0, 0
+	for i := 0; i < 200; i++ {
+		tgt := malTarget(shaN(i))
+		var sawVerdict, sawAbstain bool
+		for d := 0; d < 20; d += 5 {
+			res := e.Evaluate(tgt, tgt.FirstSeen.Add(time.Duration(d)*24*time.Hour))
+			if res.Verdict == report.Undetected {
+				sawAbstain = true
+			} else {
+				sawVerdict = true
+			}
+		}
+		if sawVerdict && sawAbstain {
+			t.Fatalf("sample %d: support coin re-flipped across scans", i)
+		}
+		if sawVerdict {
+			supported++
+		} else {
+			abstained++
+		}
+	}
+	if supported == 0 || abstained == 0 {
+		t.Fatalf("partial support degenerate: %d / %d", supported, abstained)
+	}
+}
+
+func TestAvastMobileAbstainsOutsideDEX(t *testing.T) {
+	set := testSet(t, DefaultRoster())
+	e, ok := set.Lookup("Avast-Mobile")
+	if !ok {
+		t.Fatal("Avast-Mobile missing")
+	}
+	undetectedEXE, totalEXE := 0, 0
+	undetectedDEX := 0
+	for i := 0; i < 200; i++ {
+		exe := malTarget(shaN(i)) // Win32 EXE
+		at := exe.FirstSeen.Add(24 * time.Hour)
+		if e.Evaluate(exe, at).Verdict == report.Undetected {
+			undetectedEXE++
+		}
+		totalEXE++
+		dex := exe
+		dex.FileType = ftypes.DEX
+		if e.Evaluate(dex, at).Verdict == report.Undetected {
+			undetectedDEX++
+		}
+	}
+	if frac := float64(undetectedEXE) / float64(totalEXE); frac < 0.75 {
+		t.Fatalf("Avast-Mobile abstained on only %.2f of EXE scans", frac)
+	}
+	if frac := float64(undetectedDEX) / float64(totalEXE); frac > 0.10 {
+		t.Fatalf("Avast-Mobile abstained on %.2f of DEX scans", frac)
+	}
+}

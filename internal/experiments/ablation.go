@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vtdynamics/internal/core"
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtsim"
+)
+
+// Ablation experiments: each isolates one design choice called out in
+// DESIGN.md and measures its effect, grounding a discussion point of
+// the paper.
+//
+//   - AblationRescanPolicy: §7.1.1's discrepancy with Zhu et al.,
+//     who rescanned daily and saw hazard flips everywhere while the
+//     paper's organic data shows almost none. Scanning the *same*
+//     latent trajectories under both policies shows the methodology
+//     itself inflates hazard observations.
+//   - AblationUpdateCoupling: §5.5's ~60% update-coincident flips —
+//     sweep the coupling knob to show measured coincidence tracks it
+//     on top of the baseline "an update happened anyway" rate.
+//   - AblationMeasurementWindow: §8.1's warning that short windows
+//     understate Δ — recompute Δ per sample under growing windows.
+
+// --- Ablation 1: organic vs. daily-snapshot rescanning -----------------
+
+// RescanPolicyResult compares flip observations between organic
+// scanning and daily snapshots of the same samples. The right unit of
+// comparison is the (engine, sample) trajectory: both policies watch
+// the same latent processes, and the question is how many of the
+// transient excursions each observation schedule reveals.
+type RescanPolicyResult struct {
+	// Organic uses the workload's natural scan schedule.
+	Organic core.FlipCounts
+	// Daily rescans the same samples every day over the same span.
+	Daily core.FlipCounts
+	// HazardsPer10kTrajOrganic/Daily normalize observed hazards per
+	// 10,000 (engine, sample) trajectories.
+	HazardsPer10kTrajOrganic float64
+	HazardsPer10kTrajDaily   float64
+	// HazardsPerFlipOrganic/Daily use the paper's unit (it found 9
+	// hazards in 16.8M flips).
+	HazardsPerFlipOrganic float64
+	HazardsPerFlipDaily   float64
+	Samples               int
+	Trajectories          int
+}
+
+// AblationRescanPolicy scans sampleCount samples under both policies.
+// The engine roster's hazard probability is raised so the latent
+// excursions exist at measurable density in both arms; what differs
+// is purely the observation policy — exactly the methodological
+// difference between the paper (organic premium-feed data) and prior
+// work's daily snapshots.
+func (r *Runner) AblationRescanPolicy(sampleCount int) (*RescanPolicyResult, error) {
+	roster := engine.DefaultRoster()
+	for i := range roster {
+		roster[i].HazardProb = 0.02
+	}
+	set, err := engine.NewSet(roster, r.cfg.Seed+100,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := sampleset.NewGenerator(sampleset.Config{
+		Seed:         r.cfg.Seed + 101,
+		NumSamples:   1,
+		MultiOnly:    true,
+		TopTypesOnly: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RescanPolicyResult{}
+	const snapshotDays = 45
+	for res.Samples < sampleCount {
+		s := gen.Next()
+		if !s.Fresh || len(s.ScanTimes) < 2 {
+			continue
+		}
+		// Keep the snapshot span inside the collection window.
+		if s.FirstSeen.Add(snapshotDays * 24 * time.Hour).After(simclock.CollectionEnd) {
+			continue
+		}
+		res.Samples++
+
+		// Arm A: organic schedule.
+		organic := vtsim.ScanSample(set, s)
+		for _, name := range set.Names() {
+			res.Organic.Add(core.CountFlips(core.ExtractEngineSeries(organic, name)))
+		}
+
+		// Arm B: the same sample scanned daily — Zhu et al.'s
+		// methodology.
+		daily := *s
+		daily.ScanTimes = make([]time.Time, snapshotDays)
+		for d := 0; d < snapshotDays; d++ {
+			daily.ScanTimes[d] = s.FirstSeen.Add(time.Duration(d) * 24 * time.Hour)
+		}
+		dailyHist := vtsim.ScanSample(set, &daily)
+		for _, name := range set.Names() {
+			res.Daily.Add(core.CountFlips(core.ExtractEngineSeries(dailyHist, name)))
+		}
+	}
+	res.Trajectories = res.Samples * set.Len()
+	if res.Trajectories > 0 {
+		res.HazardsPer10kTrajOrganic = float64(res.Organic.Hazards()) / float64(res.Trajectories) * 1e4
+		res.HazardsPer10kTrajDaily = float64(res.Daily.Hazards()) / float64(res.Trajectories) * 1e4
+	}
+	if res.Organic.Flips() > 0 {
+		res.HazardsPerFlipOrganic = float64(res.Organic.Hazards()) / float64(res.Organic.Flips())
+	}
+	if res.Daily.Flips() > 0 {
+		res.HazardsPerFlipDaily = float64(res.Daily.Hazards()) / float64(res.Daily.Flips())
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (a *RescanPolicyResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: organic scanning vs. daily snapshots (same samples, same engines)")
+	tb := newTable(w, 10, 12, 12, 12, 18, 16)
+	tb.row("policy", "pairs", "flips", "hazards", "hazards/10k traj", "hazards/flip")
+	tb.row("organic", a.Organic.Opportunities, a.Organic.Flips(),
+		a.Organic.Hazards(), fmt.Sprintf("%.2f", a.HazardsPer10kTrajOrganic),
+		fmt.Sprintf("%.2e", a.HazardsPerFlipOrganic))
+	tb.row("daily", a.Daily.Opportunities, a.Daily.Flips(),
+		a.Daily.Hazards(), fmt.Sprintf("%.2f", a.HazardsPer10kTrajDaily),
+		fmt.Sprintf("%.2e", a.HazardsPerFlipDaily))
+	fmt.Fprintln(w, "(the paper speculates its hazard-flip scarcity vs. Zhu et al. comes from")
+	fmt.Fprintln(w, " organic scan spacing — daily snapshots catch transient excursions)")
+}
+
+// --- Ablation 2: update-coupling sweep ---------------------------------
+
+// CouplingRow is one coupling setting's measured coincidence.
+type CouplingRow struct {
+	Coupling float64
+	// CoincidentShare is the measured fraction of flips with a
+	// version change between the two scans.
+	CoincidentShare float64
+	Flips           int
+}
+
+// UpdateCouplingResult sweeps the coupling knob.
+type UpdateCouplingResult struct {
+	Rows []CouplingRow
+}
+
+// AblationUpdateCoupling measures §5.5's statistic under coupling
+// values 0, 0.2, 0.6, 1.0 on a fresh corpus per setting.
+func (r *Runner) AblationUpdateCoupling(sampleCount int) (*UpdateCouplingResult, error) {
+	res := &UpdateCouplingResult{}
+	for _, coupling := range []float64{0, 0.2, 0.6, 1.0} {
+		roster := engine.DefaultRoster()
+		for i := range roster {
+			roster[i].UpdateCoupling = coupling
+		}
+		set, err := engine.NewSet(roster, r.cfg.Seed+200,
+			simclock.CollectionStart, simclock.CollectionEnd)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := sampleset.NewGenerator(sampleset.Config{
+			Seed:         r.cfg.Seed + 201,
+			NumSamples:   1,
+			MultiOnly:    true,
+			TopTypesOnly: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var flips, coincident, seen int
+		for seen < sampleCount {
+			s := gen.Next()
+			if len(s.ScanTimes) < 2 {
+				continue
+			}
+			seen++
+			h := vtsim.ScanSample(set, s)
+			for _, name := range set.Names() {
+				fc := core.CountFlips(core.ExtractEngineSeries(h, name))
+				flips += fc.Flips()
+				coincident += fc.UpdateCoincident
+			}
+		}
+		row := CouplingRow{Coupling: coupling, Flips: flips}
+		if flips > 0 {
+			row.CoincidentShare = float64(coincident) / float64(flips)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (a *UpdateCouplingResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: update coupling vs. measured update-coincident flip share (§5.5)")
+	tb := newTable(w, 10, 12, 10)
+	tb.row("coupling", "coincident", "flips")
+	for _, row := range a.Rows {
+		tb.row(fmt.Sprintf("%.1f", row.Coupling), pct(row.CoincidentShare), row.Flips)
+	}
+	fmt.Fprintln(w, "(coincidence = coupling + baseline chance an update fell in the gap;")
+	fmt.Fprintln(w, " the paper measured ~60% on real data)")
+}
+
+// --- Ablation 3: measurement-window length -----------------------------
+
+// WindowRow is one window length's outcome.
+type WindowRow struct {
+	WindowDays int
+	// MeanDelta is the mean per-sample Δ within the window.
+	MeanDelta float64
+	// GrewFromPrev is the fraction of samples whose Δ grew relative
+	// to the previous (shorter) window (paper §8.1: 8.6% grew from 1
+	// to 3 months).
+	GrewFromPrev float64
+}
+
+// MeasurementWindowResult reproduces §8.1's window assessment.
+type MeasurementWindowResult struct {
+	Rows    []WindowRow
+	Samples int
+}
+
+// AblationMeasurementWindow recomputes Δ per dataset-S sample using
+// only the scans within 30, 90, 180, and 420 days of first
+// submission.
+func (r *Runner) AblationMeasurementWindow() (*MeasurementWindowResult, error) {
+	corpus, err := r.RankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	windows := []int{30, 90, 180, 420}
+	res := &MeasurementWindowResult{Samples: len(corpus)}
+	prev := make([]int, len(corpus))
+	for wi, days := range windows {
+		var sum float64
+		grew := 0
+		for i, ss := range corpus {
+			cutoff := ss.Series.Times[0].Add(time.Duration(days) * 24 * time.Hour)
+			// Δ over the prefix of scans inside the window.
+			mn, mx := -1, -1
+			for j, at := range ss.Series.Times {
+				if at.After(cutoff) {
+					break
+				}
+				p := ss.Series.Ranks[j]
+				if mn == -1 || p < mn {
+					mn = p
+				}
+				if p > mx {
+					mx = p
+				}
+			}
+			d := 0
+			if mn >= 0 {
+				d = mx - mn
+			}
+			sum += float64(d)
+			if wi > 0 && d > prev[i] {
+				grew++
+			}
+			prev[i] = d
+		}
+		row := WindowRow{WindowDays: days, MeanDelta: sum / float64(len(corpus))}
+		if wi > 0 {
+			row.GrewFromPrev = float64(grew) / float64(len(corpus))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the window sweep.
+func (a *MeasurementWindowResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: measurement window vs. observed Δ (%d samples, §8.1)\n", a.Samples)
+	tb := newTable(w, 12, 12, 14)
+	tb.row("window (d)", "mean Δ", "Δ grew vs prev")
+	for _, row := range a.Rows {
+		tb.row(row.WindowDays, fmt.Sprintf("%.2f", row.MeanDelta), pct(row.GrewFromPrev))
+	}
+	fmt.Fprintln(w, "(paper: extending 1 month to 3 grew 8.6% of samples' AV-Rank gap;")
+	fmt.Fprintln(w, " a short window understates dynamics)")
+}
+
+// --- Ablation 4: correlation threshold ---------------------------------
+
+// ThresholdGroupRow is one threshold's group structure.
+type ThresholdGroupRow struct {
+	Threshold   float64
+	StrongPairs int
+	Groups      int
+	// LargestGroup is the size of the biggest component.
+	LargestGroup int
+}
+
+// CorrelationThresholdResult sweeps the "strong" cutoff.
+type CorrelationThresholdResult struct {
+	Rows []ThresholdGroupRow
+}
+
+// AblationCorrelationThreshold recomputes the §7.2 group structure at
+// cutoffs 0.7, 0.8 (the paper's), and 0.9.
+func (r *Runner) AblationCorrelationThreshold() (*CorrelationThresholdResult, error) {
+	m, err := r.buildMatrix(nil)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := m.Correlations()
+	if err != nil {
+		return nil, err
+	}
+	res := &CorrelationThresholdResult{}
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		row := ThresholdGroupRow{Threshold: th}
+		for _, p := range pairs {
+			if p.Rho > th {
+				row.StrongPairs++
+			}
+		}
+		for _, g := range core.StrongGroups(pairs, th) {
+			if len(g) > 1 {
+				row.Groups++
+				if len(g) > row.LargestGroup {
+					row.LargestGroup = len(g)
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (a *CorrelationThresholdResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: strong-correlation cutoff vs. group structure (§7.2 uses 0.8)")
+	tb := newTable(w, 10, 12, 8, 14)
+	tb.row("cutoff", "strong pairs", "groups", "largest group")
+	for _, row := range a.Rows {
+		tb.row(fmt.Sprintf("%.1f", row.Threshold), row.StrongPairs, row.Groups, row.LargestGroup)
+	}
+}

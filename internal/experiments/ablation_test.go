@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationRescanPolicyInflatesHazards(t *testing.T) {
+	res, err := testRunner(t).AblationRescanPolicy(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 800 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if res.Daily.Opportunities <= res.Organic.Opportunities {
+		t.Fatal("daily snapshots should generate more label pairs")
+	}
+	// The same latent trajectories observed daily must reveal more
+	// hazard excursions than organic scanning — the paper's §7.1.1
+	// explanation for the discrepancy with Zhu et al.
+	if res.Daily.Hazards() <= res.Organic.Hazards() {
+		t.Errorf("daily hazards (%d) should exceed organic (%d)",
+			res.Daily.Hazards(), res.Organic.Hazards())
+	}
+	if res.HazardsPer10kTrajDaily <= res.HazardsPer10kTrajOrganic {
+		t.Errorf("daily hazard rate (%.2f/10k traj) should exceed organic (%.2f/10k traj)",
+			res.HazardsPer10kTrajDaily, res.HazardsPer10kTrajOrganic)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}
+
+func TestAblationUpdateCouplingMonotone(t *testing.T) {
+	res, err := testRunner(t).AblationUpdateCoupling(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Coincidence must increase with coupling and reach ~1 at
+	// coupling 1 for the delayed conversions (baseline keeps it below
+	// exactly 1 because FP clears are uncoupled).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CoincidentShare+0.02 < res.Rows[i-1].CoincidentShare {
+			t.Errorf("coincidence not monotone in coupling: %.3f -> %.3f",
+				res.Rows[i-1].CoincidentShare, res.Rows[i].CoincidentShare)
+		}
+	}
+	// Even with coupling 0 there is a baseline: updates happen anyway.
+	if res.Rows[0].CoincidentShare < 0.1 {
+		t.Errorf("baseline coincidence = %.3f, expected a natural floor", res.Rows[0].CoincidentShare)
+	}
+	if res.Rows[3].CoincidentShare < res.Rows[0].CoincidentShare+0.15 {
+		t.Errorf("full coupling (%.3f) should clearly exceed baseline (%.3f)",
+			res.Rows[3].CoincidentShare, res.Rows[0].CoincidentShare)
+	}
+}
+
+func TestAblationMeasurementWindowGrowsDelta(t *testing.T) {
+	res, err := testRunner(t).AblationMeasurementWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Mean Δ must be nondecreasing in window length (longer windows
+	// can only add scans).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].MeanDelta < res.Rows[i-1].MeanDelta {
+			t.Fatalf("mean Δ shrank with a longer window: %.3f -> %.3f",
+				res.Rows[i-1].MeanDelta, res.Rows[i].MeanDelta)
+		}
+	}
+	// Some samples' Δ must grow when the window extends (paper: 8.6%
+	// from 1 to 3 months).
+	if res.Rows[1].GrewFromPrev <= 0 {
+		t.Error("no samples grew Δ from 30 to 90 days")
+	}
+	if res.Rows[1].GrewFromPrev > 0.5 {
+		t.Errorf("implausibly many samples grew: %.3f", res.Rows[1].GrewFromPrev)
+	}
+}
+
+func TestAblationCorrelationThreshold(t *testing.T) {
+	res, err := testRunner(t).AblationCorrelationThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Lower cutoffs admit at least as many pairs and at-least-as-big
+	// largest groups.
+	if res.Rows[0].StrongPairs < res.Rows[1].StrongPairs ||
+		res.Rows[1].StrongPairs < res.Rows[2].StrongPairs {
+		t.Fatalf("pair counts not monotone: %+v", res.Rows)
+	}
+	if res.Rows[0].LargestGroup < res.Rows[2].LargestGroup {
+		t.Fatalf("largest group should not shrink with lower cutoff: %+v", res.Rows)
+	}
+	// At the paper's 0.8 cutoff the structure is non-trivial.
+	if res.Rows[1].Groups < 3 {
+		t.Errorf("too few groups at 0.8: %+v", res.Rows[1])
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vtdynamics/internal/core"
+	"vtdynamics/internal/ftypes"
+)
+
+// --- Figure 8: white/black/gray proportions under thresholds ---------
+
+// Figure8Result reproduces one panel of Figure 8: the category sweep
+// over thresholds 1..50.
+type Figure8Result struct {
+	// Scope labels the panel ("all types" or "PE files").
+	Scope string
+	// Counts has one entry per threshold 1..50.
+	Counts []core.CategoryCounts
+	// MaxGray/MinGray locate the extreme gray shares.
+	MaxGray, MinGray     float64
+	MaxGrayAt, MinGrayAt int
+	// Under10Thresholds lists thresholds with gray share < 10%.
+	Under10Thresholds []int
+}
+
+func sweep(series []core.RankSeries, scope string) *Figure8Result {
+	thresholds := make([]int, 50)
+	for i := range thresholds {
+		thresholds[i] = i + 1
+	}
+	res := &Figure8Result{
+		Scope:   scope,
+		Counts:  core.CategorySweep(series, thresholds),
+		MinGray: 2,
+	}
+	for _, c := range res.Counts {
+		g := c.GrayFraction()
+		if g > res.MaxGray {
+			res.MaxGray, res.MaxGrayAt = g, c.Threshold
+		}
+		if g < res.MinGray {
+			res.MinGray, res.MinGrayAt = g, c.Threshold
+		}
+		if g < 0.10 {
+			res.Under10Thresholds = append(res.Under10Thresholds, c.Threshold)
+		}
+	}
+	return res
+}
+
+// Figure8Categories runs the sweep over all dynamic dataset-S samples
+// (panel a) and over its PE subset (panel b). Only dynamic samples
+// matter: stable samples are never gray (§5.4.1).
+func (r *Runner) Figure8Categories() (allTypes, pe *Figure8Result, err error) {
+	corpus, cerr := r.RankCorpus()
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	var all, peOnly []core.RankSeries
+	for _, ss := range corpus {
+		if ss.Series.IsStable() {
+			continue
+		}
+		all = append(all, ss.Series)
+		if ftypes.IsPE(ss.FileType) {
+			peOnly = append(peOnly, ss.Series)
+		}
+	}
+	return sweep(all, "all types"), sweep(peOnly, "PE files"), nil
+}
+
+// Render prints the sweep.
+func (f *Figure8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8 (%s): sample categories under thresholds 1..50\n", f.Scope)
+	tb := newTable(w, 6, 10, 10, 10)
+	tb.row("t", "white", "black", "gray")
+	for _, c := range f.Counts {
+		if c.Threshold%5 != 0 && c.Threshold != 1 {
+			continue
+		}
+		tb.row(c.Threshold, pct(c.WhiteFraction()), pct(c.BlackFraction()), pct(c.GrayFraction()))
+	}
+	fmt.Fprintf(w, "gray max %s at t=%d, min %s at t=%d\n",
+		pct(f.MaxGray), f.MaxGrayAt, pct(f.MinGray), f.MinGrayAt)
+	fmt.Fprintf(w, "thresholds with gray < 10%%: %v\n", f.Under10Thresholds)
+}

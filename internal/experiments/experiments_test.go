@@ -1,0 +1,534 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"vtdynamics/internal/ftypes"
+)
+
+// testRunner returns a shared small-scale runner so the suite stays
+// fast; experiments must still land in loose bands around the paper's
+// values at this scale.
+var (
+	sharedRunner *Runner
+	runnerOnce   sync.Once
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		r, err := NewRunner(Config{
+			Seed:             7,
+			PopulationSize:   120_000,
+			DynamicsSize:     12_000,
+			ServiceSize:      1_500,
+			CorrelationScans: 12_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRunner = r
+	})
+	if sharedRunner == nil {
+		t.Fatal("runner construction failed earlier")
+	}
+	return sharedRunner
+}
+
+func between(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.4f, want in [%.4f, %.4f]", name, got, lo, hi)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := testRunner(t).Table1APIUpdateRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches() {
+		t.Fatalf("Table 1 mismatch: %+v", res)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "matches the paper's Table 1 exactly") {
+		t.Fatal("render should report the match")
+	}
+}
+
+func TestTable3SharesMatchPaper(t *testing.T) {
+	res, err := testRunner(t).Table3FileTypeDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: top-10 78.17%, top-20 87.04% of non-NULL samples.
+	between(t, "top10", res.Top10Share, 0.75, 0.81)
+	between(t, "top20", res.Top20Share, 0.84, 0.90)
+	if res.Rows[0].FileType != ftypes.Win32EXE {
+		t.Fatalf("most common type = %s, want Win32 EXE", res.Rows[0].FileType)
+	}
+	between(t, "Win32 EXE share", res.Rows[0].SampleShare, 0.23, 0.27)
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Win32 EXE") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestFigure1HeadlinesMatchPaper(t *testing.T) {
+	res, err := testRunner(t).Figure1ReportsCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	between(t, "single-report", res.SingleReport, 0.86, 0.92) // paper 0.8881
+	between(t, "<6 reports", res.LessThan6, 0.985, 1.0)       // paper 0.9910
+	between(t, "<20 reports", res.LessThan20, 0.997, 1.0)     // paper 0.9990
+	if res.MultiReport == 0 {
+		t.Fatal("no multi-report samples")
+	}
+	// CDF sanity: monotone, ends at 1.
+	for i := 1; i < len(res.CDFProbs); i++ {
+		if res.CDFProbs[i] < res.CDFProbs[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if res.CDFProbs[len(res.CDFProbs)-1] != 1 {
+		t.Fatal("CDF does not end at 1")
+	}
+}
+
+func TestFigure2SplitNearFiftyFifty(t *testing.T) {
+	res, err := testRunner(t).Figure2StableDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 49.90% stable. Accept a generous band at test scale.
+	between(t, "stable fraction", res.StableFraction(), 0.42, 0.62)
+	// Two-report dominance within both classes (paper 67-71%).
+	between(t, "stable two-report", res.StableTwoReport, 0.60, 0.82)
+	between(t, "dynamic two-report", res.DynamicTwoReport, 0.55, 0.78)
+	between(t, "stable <=4", res.StableAtMost4, 0.90, 1.0)
+	between(t, "dynamic <=4", res.DynamicAtMost4, 0.88, 1.0)
+}
+
+func TestFigure3MostStableSamplesBenign(t *testing.T) {
+	res, err := testRunner(t).Figure3StableAVRank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 66.36% at rank 0, >80% at rank <= 5.
+	between(t, "rank zero", res.RankZero, 0.55, 0.75)
+	between(t, "rank <= 5", res.AtMost5, 0.65, 0.90)
+	if res.Count == 0 {
+		t.Fatal("no stable samples")
+	}
+}
+
+func TestFigure4BenignSpansLongest(t *testing.T) {
+	res, err := testRunner(t).Figure4StableTimeSpan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: benign bucket mean 20.34 d, median 14 d; overall median 17 d.
+	between(t, "benign mean days", res.BenignMeanDays, 12, 35)
+	between(t, "benign median days", res.BenignMedianDays, 7, 22)
+	if len(res.Rows) < 3 {
+		t.Fatalf("too few rank buckets: %d", len(res.Rows))
+	}
+	// The benign bucket should be among the longest-lived (Obs. 2).
+	var benign, maxOther float64
+	for _, row := range res.Rows {
+		if row.AVRank == 0 {
+			benign = row.Box.Mean
+		} else if row.Box.Mean > maxOther && row.Box.N >= 50 {
+			maxOther = row.Box.Mean
+		}
+	}
+	if benign == 0 {
+		t.Fatal("no benign bucket")
+	}
+	if benign < 0.6*maxOther {
+		t.Errorf("benign span mean %.1f much shorter than other buckets' max %.1f", benign, maxOther)
+	}
+}
+
+func TestFigure5DeltaDistributions(t *testing.T) {
+	res, err := testRunner(t).Figure5DeltaCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 35.49% of adjacent pairs unchanged; Δ median 2-3, p90 ~11.
+	between(t, "delta zero share", res.DeltaZeroShare, 0.25, 0.45)
+	between(t, "big delta median", res.BigDeltaMedian, 1, 5)
+	between(t, "big delta p90", res.BigDeltaP90, 7, 22)
+	if res.DynamicSamples == 0 || res.Pairs == 0 {
+		t.Fatal("empty figure 5 inputs")
+	}
+}
+
+func TestFigure6TypeOrdering(t *testing.T) {
+	res, err := testRunner(t).Figure6DeltaByType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Executables must out-flip data formats (the paper's core
+	// Observation 4).
+	exe, ok1 := res.RowFor(ftypes.Win32EXE)
+	dll, ok2 := res.RowFor(ftypes.Win32DLL)
+	jsonRow, ok3 := res.RowFor(ftypes.JSON)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing file-type rows")
+	}
+	if exe.Big.Mean <= jsonRow.Big.Mean {
+		t.Errorf("EXE Δ mean %.2f should exceed JSON %.2f", exe.Big.Mean, jsonRow.Big.Mean)
+	}
+	if dll.Small.Mean <= jsonRow.Small.Mean {
+		t.Errorf("DLL δ mean %.2f should exceed JSON %.2f", dll.Small.Mean, jsonRow.Small.Mean)
+	}
+	// JPEG/FPX/EPUB low-dynamics group (paper Observation 4).
+	if jpeg, ok := res.RowFor(ftypes.JPEG); ok && jpeg.Big.N > 20 {
+		if jpeg.Big.Mean > exe.Big.Mean {
+			t.Errorf("JPEG Δ mean %.2f should be below EXE %.2f", jpeg.Big.Mean, exe.Big.Mean)
+		}
+	}
+}
+
+func TestFigure7PositiveCorrelation(t *testing.T) {
+	res, err := testRunner(t).Figure7DiffVsInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: strong positive correlation (ρ = 0.9181) between
+	// interval and difference at the bucket level.
+	if res.Spearman.Rho < 0.5 {
+		t.Errorf("bucket Spearman = %.3f, want strongly positive", res.Spearman.Rho)
+	}
+	if res.Spearman.PValue > 0.05 {
+		t.Errorf("bucket Spearman p = %.3g, want significant", res.Spearman.PValue)
+	}
+	if res.PairSpearman.Rho <= 0 {
+		t.Errorf("raw pair Spearman = %.3f, want positive", res.PairSpearman.Rho)
+	}
+	// Long intervals should show larger mean differences than short
+	// ones.
+	if len(res.Rows) >= 4 {
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		if last.Box.Mean <= first.Box.Mean {
+			t.Errorf("mean diff should grow with interval: %.2f -> %.2f",
+				first.Box.Mean, last.Box.Mean)
+		}
+	}
+}
+
+func TestFigure8GrayShapes(t *testing.T) {
+	all, pe, err := testRunner(t).Figure8Categories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper (overall): gray peaks mid-range at 14.92%, minima a few
+	// percent; partition always sums to 1.
+	between(t, "overall max gray", all.MaxGray, 0.08, 0.30)
+	between(t, "overall min gray", all.MinGray, 0.0, 0.08)
+	if all.MaxGrayAt <= all.MinGrayAt && all.MinGrayAt < 10 {
+		// max should not be at the very low thresholds where the
+		// minimum lives
+		t.Errorf("gray max at t=%d, min at t=%d: unexpected ordering", all.MaxGrayAt, all.MinGrayAt)
+	}
+	for _, c := range all.Counts {
+		if c.Total() == 0 {
+			t.Fatal("empty sweep bucket")
+		}
+	}
+	// PE files keep more gray mass at high thresholds than the
+	// overall mix (paper: PE gray grows with t).
+	peAt45 := pe.Counts[44].GrayFraction()
+	allAt45 := all.Counts[44].GrayFraction()
+	if peAt45 < allAt45*0.8 {
+		t.Errorf("PE gray at t=45 (%.4f) should not be far below overall (%.4f)", peAt45, allAt45)
+	}
+}
+
+func TestObservation8Shape(t *testing.T) {
+	res, err := testRunner(t).Observation8Stability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Monotone in r.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].StableShare < res.Rows[i-1].StableShare {
+			t.Fatal("stability share not monotone in r")
+		}
+	}
+	// Paper: r=0 small (10.9%), r=1 jumps (55.1%), r=5 large (88.1%).
+	between(t, "r=0 share", res.Rows[0].StableShare, 0.05, 0.30)
+	between(t, "r=1 share", res.Rows[1].StableShare, 0.35, 0.65)
+	between(t, "r=5 share", res.Rows[5].StableShare, 0.65, 0.95)
+	// The r=1 jump must be large (the paper's key observation: most
+	// samples fluctuate in a small range).
+	if res.Rows[1].StableShare < 2*res.Rows[0].StableShare {
+		t.Errorf("r=1 (%.3f) should be a big jump over r=0 (%.3f)",
+			res.Rows[1].StableShare, res.Rows[0].StableShare)
+	}
+	// Most stabilizing samples do so within 30 days for r >= 1.
+	between(t, "r=1 within 30d", res.Rows[1].Within30Days, 0.75, 1.0)
+	between(t, "r=5 within 30d", res.Rows[5].Within30Days, 0.85, 1.0)
+}
+
+func TestFigure9LabelStability(t *testing.T) {
+	all, err := testRunner(t).Figure9LabelStability(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != 9 {
+		t.Fatalf("rows = %d", len(all.Rows))
+	}
+	for _, row := range all.Rows {
+		// Paper: 93.14%-98.04% stabilize across thresholds.
+		between(t, "stable share", row.StableShare, 0.80, 1.0)
+		// Paper: ~87-92% of labels stable within 15-30 days.
+		between(t, "within 30d", row.Within30Days, 0.78, 1.0)
+		if row.MeanScanIndex < 1 {
+			t.Fatalf("mean scan index %.2f < 1", row.MeanScanIndex)
+		}
+	}
+	// Panel (b): excluding two-scan samples delays stabilization.
+	excl, err := testRunner(t).Figure9LabelStability(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.Samples >= all.Samples {
+		t.Fatal("exclusion did not shrink the sample set")
+	}
+	var meanA, meanB float64
+	for i := range all.Rows {
+		meanA += all.Rows[i].MeanDays
+		meanB += excl.Rows[i].MeanDays
+	}
+	if meanB <= meanA {
+		t.Errorf("excluding 2-scan samples should lengthen stabilization (%.2f vs %.2f)", meanB, meanA)
+	}
+}
+
+func TestFigure10FlipPersonalities(t *testing.T) {
+	res, err := testRunner(t).Figure10FlipRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Arcabit flips on 25.78% of ELF opportunities but 0.05%
+	// of DEX ones.
+	between(t, "Arcabit ELF", res.ArcabitELF, 0.08, 0.45)
+	between(t, "Arcabit DEX", res.ArcabitDEX, 0, 0.01)
+	flippy := map[string]bool{}
+	for _, c := range res.MostFlippy {
+		flippy[c.Engine] = true
+	}
+	if !flippy["F-Secure"] && !flippy["Lionic"] {
+		t.Errorf("expected F-Secure or Lionic among most flip-prone: %v", res.MostFlippy)
+	}
+	stable := map[string]bool{}
+	for _, c := range res.LeastFlippy {
+		stable[c.Engine] = true
+	}
+	if !stable["Jiangmin"] && !stable["AhnLab"] {
+		t.Errorf("expected Jiangmin or AhnLab among most stable: %v", res.LeastFlippy)
+	}
+}
+
+func TestSection71FlipCensus(t *testing.T) {
+	res, err := testRunner(t).Section71Flips()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Flips() == 0 {
+		t.Fatal("no flips observed")
+	}
+	// Paper: 0→1 flips dominate (12.27M vs 4.57M, share 72.9%).
+	between(t, "up share", res.UpShare, 0.55, 0.90)
+	// Paper: hazard flips vanishingly rare (9 in 16.8M).
+	hazardShare := float64(res.Total.Hazards()) / float64(res.Total.Flips())
+	if hazardShare > 0.001 {
+		t.Errorf("hazard share = %.2e, want ~1e-6 rarity", hazardShare)
+	}
+}
+
+func TestSection55UpdateCoincidence(t *testing.T) {
+	res, err := testRunner(t).Section55FlipCauses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: engine updates present in ~60% of flips.
+	between(t, "update-coincident share", res.Share, 0.40, 0.80)
+	if res.UndetectedShare <= 0 || res.UndetectedShare > 0.05 {
+		t.Errorf("undetected share = %.4f, want small but nonzero", res.UndetectedShare)
+	}
+}
+
+func TestFigure11StrongCorrelations(t *testing.T) {
+	res, err := testRunner(t).Figure11Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's flagship pairs must appear with high ρ.
+	for _, pair := range [][2]string{
+		{"Paloalto", "APEX"},
+		{"Avast", "AVG"},
+		{"CrowdStrike", "Webroot"},
+		{"F-Prot", "Babable"},
+	} {
+		p, ok := res.PairFor(pair[0], pair[1])
+		if !ok {
+			t.Errorf("missing strong pair %v", pair)
+			continue
+		}
+		if p.Rho < 0.85 {
+			t.Errorf("pair %v rho = %.3f, want > 0.85", pair, p.Rho)
+		}
+	}
+	// The BitDefender family forms one large group.
+	foundBig := false
+	for _, g := range res.Groups {
+		if len(g) >= 5 {
+			members := strings.Join(g, ",")
+			if strings.Contains(members, "BitDefender") && strings.Contains(members, "GData") {
+				foundBig = true
+			}
+		}
+	}
+	if !foundBig {
+		t.Errorf("BitDefender group missing: %v", res.Groups)
+	}
+	// Paper: 17 engines involved overall.
+	if res.InvolvedEngines < 10 || res.InvolvedEngines > 35 {
+		t.Errorf("involved engines = %d", res.InvolvedEngines)
+	}
+}
+
+func TestFigure12PerTypeDifferences(t *testing.T) {
+	res, err := testRunner(t).Figure12PerTypeGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, ok := res.ForType(ftypes.Win32EXE)
+	if !ok {
+		t.Fatal("missing Win32 EXE panel")
+	}
+	// Cyren–Fortinet strong on PE only (Table 4 Group 6 vs Table 5).
+	if !exe.HasGroupWith("Cyren", "Fortinet") {
+		t.Error("Cyren-Fortinet missing for Win32 EXE")
+	}
+	if txt, ok := res.ForType(ftypes.TXT); ok {
+		if txt.HasGroupWith("Cyren", "Fortinet") {
+			t.Error("Cyren-Fortinet should not be strong for TXT")
+		}
+		// Avira–Cynet strong for TXT (Table 5 Group 4) but not for
+		// Win32 EXE (Appendix 2).
+		if !txt.HasGroupWith("Avira", "Cynet") {
+			t.Error("Avira-Cynet missing for TXT")
+		}
+	}
+	if exe.HasGroupWith("Avira", "Cynet") {
+		t.Error("Avira-Cynet should not be strong for Win32 EXE")
+	}
+	// Avast-Mobile joins the Avast group on DEX only.
+	if dex, ok := res.ForType(ftypes.DEX); ok {
+		if !dex.HasGroupWith("Avast-Mobile", "AVG") {
+			t.Error("Avast-Mobile/AVG missing for DEX")
+		}
+	}
+	if exe.HasGroupWith("Avast-Mobile", "AVG") {
+		t.Error("Avast-Mobile should not correlate on Win32 EXE")
+	}
+	// Lionic–VirIT on GZIP only (paper: 0.8896 for GZIP).
+	if gz, ok := res.ForType(ftypes.GZIP); ok && gz.Scans > 500 {
+		if !gz.HasGroupWith("Lionic", "VirIT") {
+			t.Error("Lionic-VirIT missing for GZIP")
+		}
+	}
+	if exe.HasGroupWith("Lionic", "VirIT") {
+		t.Error("Lionic-VirIT should not be strong for Win32 EXE")
+	}
+}
+
+func TestTable2PipelineAccounting(t *testing.T) {
+	res, err := testRunner(t).Table2DatasetOverview(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Fatalf("months = %d, want 14 (May 2021 .. June 2022)", len(res.Rows))
+	}
+	if res.Rows[0].Month != "2021-05" || res.Rows[13].Month != "2022-06" {
+		t.Fatalf("month range: %s .. %s", res.Rows[0].Month, res.Rows[13].Month)
+	}
+	// No loss and no duplication between feed and store.
+	if res.FeedStats.Envelopes != res.TotalReports {
+		t.Fatalf("collector envelopes %d != stored reports %d",
+			res.FeedStats.Envelopes, res.TotalReports)
+	}
+	if res.CompressionRatio < 2 {
+		t.Fatalf("compression ratio = %.2f", res.CompressionRatio)
+	}
+	if res.TotalSamples == 0 {
+		t.Fatal("no samples stored")
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	r := testRunner(t)
+	var buf bytes.Buffer
+	if res, err := r.Figure2StableDynamic(); err == nil {
+		res.Render(&buf)
+	}
+	if res, err := r.Figure5DeltaCDF(); err == nil {
+		res.Render(&buf)
+	}
+	if res, err := r.Observation8Stability(); err == nil {
+		res.Render(&buf)
+	}
+	if res, err := r.Figure11Correlation(); err == nil {
+		res.Render(&buf)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("renders produced no output")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.PopulationSize == 0 || c.DynamicsSize == 0 || c.Workers == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestDatasetSAllDynamicFreshTop20(t *testing.T) {
+	r := testRunner(t)
+	samples, err := r.DatasetS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := r.RankCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(corpus) {
+		t.Fatalf("samples %d != corpus %d", len(samples), len(corpus))
+	}
+	for i, s := range samples {
+		if !s.Fresh {
+			t.Fatal("non-fresh sample in S")
+		}
+		if !ftypes.IsTop20(s.FileType) {
+			t.Fatalf("non-top-20 type %q in S", s.FileType)
+		}
+		if corpus[i].Series.Delta() == 0 {
+			t.Fatal("stable sample in S")
+		}
+	}
+}

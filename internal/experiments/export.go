@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSVTable is one plot-ready series: figures export their data so the
+// paper's plots can be regenerated with any plotting tool.
+type CSVTable struct {
+	// Name becomes the file name (<Name>.csv).
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteCSVDir writes every table into dir, creating it if needed.
+func WriteCSVDir(dir string, tables []CSVTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+		if err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(t.Header); err != nil {
+			f.Close()
+			return fmt.Errorf("export: %w", err)
+		}
+		if err := w.WriteAll(t.Rows); err != nil {
+			f.Close()
+			return fmt.Errorf("export: %w", err)
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return fmt.Errorf("export: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	return nil
+}
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func fi(v int) string     { return strconv.Itoa(v) }
+
+// CSVTables exports the Figure 1 CDF.
+func (f *Figure1Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure1_reports_cdf", Header: []string{"reports", "cdf"}}
+	for i := range f.CDFCounts {
+		t.Rows = append(t.Rows, []string{ff(f.CDFCounts[i]), ff(f.CDFProbs[i])})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports Figure 2's two per-class CDFs.
+func (f *Figure2Result) CSVTables() []CSVTable {
+	stable := CSVTable{Name: "figure2_stable_cdf", Header: []string{"reports", "cdf"}}
+	for i := range f.StableCounts {
+		stable.Rows = append(stable.Rows, []string{ff(f.StableCounts[i]), ff(f.StableProbs[i])})
+	}
+	dynamic := CSVTable{Name: "figure2_dynamic_cdf", Header: []string{"reports", "cdf"}}
+	for i := range f.DynamicCounts {
+		dynamic.Rows = append(dynamic.Rows, []string{ff(f.DynamicCounts[i]), ff(f.DynamicProbs[i])})
+	}
+	return []CSVTable{stable, dynamic}
+}
+
+// CSVTables exports the Figure 3 CDF.
+func (f *Figure3Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure3_stable_avrank_cdf", Header: []string{"avrank", "cdf"}}
+	for i := range f.Ranks {
+		t.Rows = append(t.Rows, []string{ff(f.Ranks[i]), ff(f.Probs[i])})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the Figure 4 boxplot summary.
+func (f *Figure4Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure4_span_by_avrank",
+		Header: []string{"avrank", "n", "mean_days", "median_days", "q1", "q3"}}
+	for _, row := range f.Rows {
+		t.Rows = append(t.Rows, []string{
+			fi(row.AVRank), fi(row.Box.N), ff(row.Box.Mean), ff(row.Box.Median),
+			ff(row.Box.Q1), ff(row.Box.Q3)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports Figure 5's δ and Δ CDFs.
+func (f *Figure5Result) CSVTables() []CSVTable {
+	small := CSVTable{Name: "figure5_small_delta_cdf", Header: []string{"delta", "cdf"}}
+	for i := range f.SmallDeltaXs {
+		small.Rows = append(small.Rows, []string{ff(f.SmallDeltaXs[i]), ff(f.SmallDeltaPs[i])})
+	}
+	big := CSVTable{Name: "figure5_big_delta_cdf", Header: []string{"delta", "cdf"}}
+	for i := range f.BigDeltaXs {
+		big.Rows = append(big.Rows, []string{ff(f.BigDeltaXs[i]), ff(f.BigDeltaPs[i])})
+	}
+	return []CSVTable{small, big}
+}
+
+// CSVTables exports the Figure 6 per-type boxplots.
+func (f *Figure6Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure6_delta_by_type",
+		Header: []string{"file_type", "n", "small_mean", "small_median", "big_mean", "big_median"}}
+	for _, row := range f.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.FileType, fi(row.Big.N), ff(row.Small.Mean), ff(row.Small.Median),
+			ff(row.Big.Mean), ff(row.Big.Median)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the Figure 7 interval buckets.
+func (f *Figure7Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure7_diff_vs_interval",
+		Header: []string{"max_days", "n", "mean_diff", "median_diff", "q1", "q3"}}
+	for _, row := range f.Rows {
+		t.Rows = append(t.Rows, []string{
+			fi(row.MaxDays), fi(row.Box.N), ff(row.Box.Mean), ff(row.Box.Median),
+			ff(row.Box.Q1), ff(row.Box.Q3)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the Figure 8 category sweep for this panel.
+func (f *Figure8Result) CSVTables() []CSVTable {
+	name := "figure8a_categories_all"
+	if f.Scope == "PE files" {
+		name = "figure8b_categories_pe"
+	}
+	t := CSVTable{Name: name,
+		Header: []string{"threshold", "white", "black", "gray"}}
+	for _, c := range f.Counts {
+		t.Rows = append(t.Rows, []string{
+			fi(c.Threshold), ff(c.WhiteFraction()), ff(c.BlackFraction()), ff(c.GrayFraction())})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the Figure 9 stabilization rows for this panel.
+func (f *Figure9Result) CSVTables() []CSVTable {
+	name := "figure9a_label_stability_all"
+	if f.Scope == "excluding 2-scan samples" {
+		name = "figure9b_label_stability_gt2"
+	}
+	t := CSVTable{Name: name,
+		Header: []string{"threshold", "stable_share", "mean_scan_index", "mean_days",
+			"within15d", "within30d"}}
+	for _, row := range f.Rows {
+		t.Rows = append(t.Rows, []string{
+			fi(row.Threshold), ff(row.StableShare), ff(row.MeanScanIndex),
+			ff(row.MeanDays), ff(row.Within15Days), ff(row.Within30Days)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the Observation 8 rows.
+func (o *Observation8Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "observation8_stabilization",
+		Header: []string{"range", "stable_share", "within10d", "within20d", "within30d"}}
+	for _, row := range o.Rows {
+		t.Rows = append(t.Rows, []string{
+			fi(row.Range), ff(row.StableShare), ff(row.Within10Days),
+			ff(row.Within20Days), ff(row.Within30Days)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the full Figure 10 flip-ratio matrix.
+func (f *Figure10Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure10_flip_ratio_matrix",
+		Header: []string{"engine", "file_type", "flips", "opportunities", "ratio"}}
+	for _, eng := range f.Matrix.Engines() {
+		for _, ft := range f.Matrix.FileTypes() {
+			cell := f.Matrix.Cell(eng, ft)
+			if cell.Opportunities == 0 {
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				eng, ft, fi(cell.Flips()), fi(cell.Opportunities), ff(cell.Ratio())})
+		}
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the strong pairs of Figure 11.
+func (f *Figure11Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure11_strong_pairs",
+		Header: []string{"engine_a", "engine_b", "rho", "p"}}
+	for _, p := range f.StrongPairs {
+		t.Rows = append(t.Rows, []string{p.A, p.B, ff(p.Rho), ff(p.P)})
+	}
+	return []CSVTable{t}
+}
+
+// CSVTables exports the per-type strong pairs (Figure 12 / Tables 4–8).
+func (f *Figure12Result) CSVTables() []CSVTable {
+	t := CSVTable{Name: "figure12_per_type_pairs",
+		Header: []string{"file_type", "engine_a", "engine_b", "rho"}}
+	for _, per := range f.PerType {
+		for _, p := range per.Pairs {
+			t.Rows = append(t.Rows, []string{per.FileType, p.A, p.B, ff(p.Rho)})
+		}
+	}
+	return []CSVTable{t}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteCSVDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tables := []CSVTable{
+		{Name: "demo", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"3", "4"}}},
+	}
+	if err := WriteCSVDir(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "demo.csv"))
+	if len(rows) != 3 || rows[0][0] != "a" || rows[2][1] != "4" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFigureCSVExports(t *testing.T) {
+	r := testRunner(t)
+	dir := t.TempDir()
+	var tables []CSVTable
+
+	f1, err := r.Figure1ReportsCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, f1.CSVTables()...)
+
+	f5, err := r.Figure5DeltaCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, f5.CSVTables()...)
+
+	f8a, f8b, err := r.Figure8Categories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, f8a.CSVTables()...)
+	tables = append(tables, f8b.CSVTables()...)
+
+	o8, err := r.Observation8Stability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, o8.CSVTables()...)
+
+	f10, err := r.Figure10FlipRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, f10.CSVTables()...)
+
+	f11, err := r.Figure11Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, f11.CSVTables()...)
+
+	if err := WriteCSVDir(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 1 CDF must parse and be monotone.
+	rows := readCSV(t, filepath.Join(dir, "figure1_reports_cdf.csv"))
+	if len(rows) < 3 {
+		t.Fatalf("figure1 rows = %d", len(rows))
+	}
+	prev := 0.0
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatal("exported CDF not monotone")
+		}
+		prev = v
+	}
+
+	// Figure 8 sweeps must have 50 thresholds and partition to ~1.
+	for _, name := range []string{"figure8a_categories_all", "figure8b_categories_pe"} {
+		rows := readCSV(t, filepath.Join(dir, name+".csv"))
+		if len(rows) != 51 {
+			t.Fatalf("%s rows = %d, want 51", name, len(rows))
+		}
+		for _, row := range rows[1:] {
+			var sum float64
+			for _, cell := range row[1:] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("%s partition sums to %v", name, sum)
+			}
+		}
+	}
+
+	// Flip matrix must include the Arcabit/ELF cell.
+	rows = readCSV(t, filepath.Join(dir, "figure10_flip_ratio_matrix.csv"))
+	found := false
+	for _, row := range rows[1:] {
+		if row[0] == "Arcabit" && row[1] == "ELF executable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Arcabit/ELF cell missing from export")
+	}
+
+	// Strong pairs must include Paloalto-APEX.
+	rows = readCSV(t, filepath.Join(dir, "figure11_strong_pairs.csv"))
+	found = false
+	for _, row := range rows[1:] {
+		if (row[0] == "Paloalto" && row[1] == "APEX") || (row[0] == "APEX" && row[1] == "Paloalto") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Paloalto-APEX missing from export")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFamilyStability(t *testing.T) {
+	res, err := testRunner(t).FamilyStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	// Most dynamic samples are malicious with several detectors, so a
+	// plurality family should usually emerge.
+	if res.Labeled < 0.5 {
+		t.Fatalf("labeled fraction = %.3f", res.Labeled)
+	}
+	if res.MeanSupport < 2 {
+		t.Fatalf("mean support = %.2f, below the vote threshold", res.MeanSupport)
+	}
+	// The headline: family labels are far more stable than binary
+	// threshold labels under the same dynamics.
+	if res.EverChanged >= res.BinaryEverChanged {
+		t.Errorf("family churn (%.4f) should be below binary churn (%.4f)",
+			res.EverChanged, res.BinaryEverChanged)
+	}
+	if res.EverChanged > 0.10 {
+		t.Errorf("family labels too unstable: %.4f", res.EverChanged)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}

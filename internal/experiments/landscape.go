@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/stats"
+)
+
+// --- Table 3: file-type distribution ---------------------------------
+
+// TypeRow is one row of Table 3.
+type TypeRow struct {
+	FileType    string
+	Samples     int
+	SampleShare float64
+	Reports     int
+	ReportShare float64
+}
+
+// Table3Result reproduces Table 3: samples and reports per file type.
+type Table3Result struct {
+	Rows         []TypeRow
+	TotalSamples int
+	TotalReports int
+	Top10Share   float64 // paper: 78.17% (excluding NULL)
+	Top20Share   float64 // paper: 87.04%
+}
+
+// Table3FileTypeDist generates the population and tallies Table 3.
+func (r *Runner) Table3FileTypeDist() (*Table3Result, error) {
+	pop, err := r.Population()
+	if err != nil {
+		return nil, err
+	}
+	samples := map[string]int{}
+	reports := map[string]int{}
+	res := &Table3Result{}
+	for _, s := range pop {
+		samples[s.FileType]++
+		reports[s.FileType] += len(s.ScanTimes)
+		res.TotalSamples++
+		res.TotalReports += len(s.ScanTimes)
+	}
+	for ft, n := range samples {
+		res.Rows = append(res.Rows, TypeRow{
+			FileType:    ft,
+			Samples:     n,
+			SampleShare: float64(n) / float64(res.TotalSamples),
+			Reports:     reports[ft],
+			ReportShare: float64(reports[ft]) / float64(res.TotalReports),
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Samples > res.Rows[j].Samples })
+
+	// Top-k shares over identified (non-NULL) samples: the paper's
+	// 78.17%/87.04% headline numbers are its Table 3 shares divided
+	// by the non-NULL total ("excluding NULL file type").
+	var identified []TypeRow
+	nonNull := 0
+	for _, row := range res.Rows {
+		if row.FileType != ftypes.NULL {
+			nonNull += row.Samples
+		}
+		if row.FileType != ftypes.NULL && row.FileType != ftypes.Others {
+			identified = append(identified, row)
+		}
+	}
+	if nonNull > 0 {
+		for i, row := range identified {
+			if i < 10 {
+				res.Top10Share += float64(row.Samples) / float64(nonNull)
+			}
+			if i < 20 {
+				res.Top20Share += float64(row.Samples) / float64(nonNull)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Table 3 analogue.
+func (t *Table3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: file-type distribution")
+	tb := newTable(w, 20, 10, 10, 10, 10)
+	tb.row("File Type", "#Samples", "%Samples", "#Reports", "%Reports")
+	for _, row := range t.Rows {
+		tb.row(row.FileType, row.Samples, pct(row.SampleShare), row.Reports, pct(row.ReportShare))
+	}
+	tb.row("Total", t.TotalSamples, "100.00%", t.TotalReports, "100.00%")
+	fmt.Fprintf(w, "top-10 share %s (paper 78.17%%), top-20 share %s (paper 87.04%%)\n",
+		pct(t.Top10Share), pct(t.Top20Share))
+}
+
+// --- Figure 1: CDF of reports per sample ------------------------------
+
+// Figure1Result reproduces Figure 1 plus the §4.2.2 headline numbers.
+type Figure1Result struct {
+	// CDFCounts and CDFProbs are the step points of the CDF.
+	CDFCounts []float64
+	CDFProbs  []float64
+	// Headline fractions (paper: 88.81%, 99.10%, 99.90%).
+	SingleReport float64
+	LessThan6    float64
+	LessThan20   float64
+	// MultiReport is the number of samples with > 1 report (the
+	// analyzable subset; paper: 63,999,984 of 571M).
+	MultiReport int
+	MaxReports  int
+}
+
+// Figure1ReportsCDF computes the reports-per-sample distribution.
+func (r *Runner) Figure1ReportsCDF() (*Figure1Result, error) {
+	pop, err := r.Population()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, len(pop))
+	res := &Figure1Result{}
+	for i, s := range pop {
+		n := len(s.ScanTimes)
+		counts[i] = float64(n)
+		if n == 1 {
+			res.SingleReport++
+		}
+		if n < 6 {
+			res.LessThan6++
+		}
+		if n < 20 {
+			res.LessThan20++
+		}
+		if n > 1 {
+			res.MultiReport++
+		}
+		if n > res.MaxReports {
+			res.MaxReports = n
+		}
+	}
+	total := float64(len(pop))
+	res.SingleReport /= total
+	res.LessThan6 /= total
+	res.LessThan20 /= total
+	ecdf := stats.NewECDF(counts)
+	res.CDFCounts, res.CDFProbs = ecdf.Points()
+	return res, nil
+}
+
+// Render prints the Figure 1 series and headlines.
+func (f *Figure1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: CDF of the number of reports per sample")
+	tb := newTable(w, 12, 10)
+	tb.row("#reports<=", "CDF")
+	for i, x := range f.CDFCounts {
+		if x > 20 && i != len(f.CDFCounts)-1 {
+			continue // print the knee and the final point only
+		}
+		tb.row(int(x), pct(f.CDFProbs[i]))
+	}
+	fmt.Fprintf(w, "single-report %s (paper 88.81%%), <6 reports %s (paper 99.10%%), <20 reports %s (paper 99.90%%)\n",
+		pct(f.SingleReport), pct(f.LessThan6), pct(f.LessThan20))
+	fmt.Fprintf(w, "multi-report samples: %d, max reports for one sample: %d (paper max 64,168)\n",
+		f.MultiReport, f.MaxReports)
+}

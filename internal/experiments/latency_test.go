@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEngineLatencyProfiles(t *testing.T) {
+	res, err := testRunner(t).EngineLatencyProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalConversions == 0 {
+		t.Fatal("no observed conversions")
+	}
+	if len(res.PerEngine) < 10 {
+		t.Fatalf("profiled engines = %d", len(res.PerEngine))
+	}
+	// Profiles sorted slowest-first.
+	for i := 1; i < len(res.PerEngine); i++ {
+		if res.PerEngine[i].MeanDays > res.PerEngine[i-1].MeanDays {
+			t.Fatal("profiles not sorted by mean latency")
+		}
+	}
+	// Observed latencies are positive and the overall median sits in
+	// a plausible band (conversions are observed at the next scan, so
+	// the floor is one inter-scan gap).
+	if res.Overall.Median <= 0 || res.Overall.Median > 120 {
+		t.Fatalf("overall median latency = %.1f d", res.Overall.Median)
+	}
+	// The flip-prone low-instant engines must be slower learners than
+	// the stable ones. F-Secure converts lazily by construction;
+	// Jiangmin detects almost everything instantly so its few
+	// conversions can be noise — compare means only if profiled.
+	var fsec, jiang float64
+	for _, row := range res.PerEngine {
+		switch row.Engine {
+		case "F-Secure":
+			fsec = row.MeanDays
+		case "Jiangmin":
+			jiang = row.MeanDays
+		}
+	}
+	if fsec == 0 {
+		t.Fatal("F-Secure (flip-prone) should have plenty of observed conversions")
+	}
+	_ = jiang // may legitimately be absent: too few conversions
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}
+
+func TestKappaRobustness(t *testing.T) {
+	res, err := testRunner(t).KappaRobustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline groups must persist under κ.
+	if len(res.KappaGroups) < 3 {
+		t.Fatalf("kappa groups = %v", res.KappaGroups)
+	}
+	find := func(groups [][]string, a, b string) bool {
+		for _, g := range groups {
+			hasA, hasB := false, false
+			for _, e := range g {
+				if e == a {
+					hasA = true
+				}
+				if e == b {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pair := range [][2]string{{"Paloalto", "APEX"}, {"Avast", "AVG"}} {
+		if !find(res.KappaGroups, pair[0], pair[1]) {
+			t.Errorf("pair %v missing from kappa groups %v", pair, res.KappaGroups)
+		}
+		if !find(res.SpearmanGroups, pair[0], pair[1]) {
+			t.Errorf("pair %v missing from spearman groups", pair)
+		}
+	}
+	// The metrics must substantially agree.
+	if res.AgreeingPairs == 0 {
+		t.Fatal("no pairs strong under both metrics")
+	}
+	if res.SpearmanOnly > res.AgreeingPairs && res.KappaOnly > res.AgreeingPairs {
+		t.Errorf("metrics disagree more than they agree: %d both, %d rho-only, %d kappa-only",
+			res.AgreeingPairs, res.SpearmanOnly, res.KappaOnly)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLabelPrediction(t *testing.T) {
+	res, err := testRunner(t).LabelPrediction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainSize == 0 || res.TestSize == 0 {
+		t.Fatal("empty splits")
+	}
+	// The learned aggregator must clearly beat coin-flipping and the
+	// extreme thresholds.
+	acc := res.Learned.Accuracy()
+	if acc < 0.75 {
+		t.Fatalf("learned accuracy = %.3f", acc)
+	}
+	t1 := res.Baselines[1]
+	t20 := res.Baselines[20]
+	if acc < t20.Accuracy()-0.05 {
+		t.Errorf("learned (%.3f) should be competitive with threshold(20) (%.3f)",
+			acc, t20.Accuracy())
+	}
+	// t=1 is recall-maximal by construction; the learned model should
+	// beat its accuracy (t=1 flags every FP).
+	if t1.Recall() < res.Learned.Recall()-0.1 {
+		t.Errorf("threshold(1) recall (%.3f) should be near-maximal", t1.Recall())
+	}
+	if len(res.TopWeights) == 0 {
+		t.Fatal("no weights reported")
+	}
+	// §7.2's prediction: copy-group engines share weight.
+	if res.GroupWeightRatio <= 0 {
+		t.Fatal("group weight ratio not computed")
+	}
+	if res.GroupWeightRatio > 1.3 {
+		t.Errorf("group engines carry %.2fx independent weight; expected <= ~1",
+			res.GroupWeightRatio)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}

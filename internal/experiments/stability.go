@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vtdynamics/internal/stats"
+)
+
+// --- Observation 1 + Figure 2: stable vs. dynamic --------------------
+
+// Figure2Result reproduces the stable/dynamic split (Observation 1)
+// and Figure 2's per-class report-count CDFs.
+type Figure2Result struct {
+	StableCount  int
+	DynamicCount int
+	// TwoReport fractions per class (paper: 67.09% stable, 71.3%
+	// dynamic).
+	StableTwoReport  float64
+	DynamicTwoReport float64
+	// AtMost4 fractions (paper: ~94% both).
+	StableAtMost4  float64
+	DynamicAtMost4 float64
+	// CDF step points per class.
+	StableCounts, StableProbs   []float64
+	DynamicCounts, DynamicProbs []float64
+}
+
+// StableFraction returns the stable share of multi-report samples
+// (paper: 49.90%).
+func (f *Figure2Result) StableFraction() float64 {
+	total := f.StableCount + f.DynamicCount
+	if total == 0 {
+		return 0
+	}
+	return float64(f.StableCount) / float64(total)
+}
+
+// Figure2StableDynamic classifies dataset S and builds the CDFs.
+func (r *Runner) Figure2StableDynamic() (*Figure2Result, error) {
+	corpus, err := r.MultiRankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{}
+	var stable, dynamic []float64
+	for _, ss := range corpus {
+		n := float64(ss.Series.Len())
+		if ss.Series.IsStable() {
+			res.StableCount++
+			stable = append(stable, n)
+			if ss.Series.Len() == 2 {
+				res.StableTwoReport++
+			}
+			if ss.Series.Len() <= 4 {
+				res.StableAtMost4++
+			}
+		} else {
+			res.DynamicCount++
+			dynamic = append(dynamic, n)
+			if ss.Series.Len() == 2 {
+				res.DynamicTwoReport++
+			}
+			if ss.Series.Len() <= 4 {
+				res.DynamicAtMost4++
+			}
+		}
+	}
+	if res.StableCount > 0 {
+		res.StableTwoReport /= float64(res.StableCount)
+		res.StableAtMost4 /= float64(res.StableCount)
+	}
+	if res.DynamicCount > 0 {
+		res.DynamicTwoReport /= float64(res.DynamicCount)
+		res.DynamicAtMost4 /= float64(res.DynamicCount)
+	}
+	res.StableCounts, res.StableProbs = stats.NewECDF(stable).Points()
+	res.DynamicCounts, res.DynamicProbs = stats.NewECDF(dynamic).Points()
+	return res, nil
+}
+
+// Render prints the Observation 1 split and Figure 2 headlines.
+func (f *Figure2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2 / Observation 1: stable vs. dynamic samples")
+	total := f.StableCount + f.DynamicCount
+	fmt.Fprintf(w, "stable %d (%s, paper 49.90%%)  dynamic %d (%s, paper 50.10%%)  of %d multi-report samples\n",
+		f.StableCount, pct(f.StableFraction()), f.DynamicCount, pct(1-f.StableFraction()), total)
+	fmt.Fprintf(w, "two-report share: stable %s (paper 67.09%%), dynamic %s (paper 71.3%%)\n",
+		pct(f.StableTwoReport), pct(f.DynamicTwoReport))
+	fmt.Fprintf(w, "<=4-report share: stable %s, dynamic %s (paper ~94%% both)\n",
+		pct(f.StableAtMost4), pct(f.DynamicAtMost4))
+}
+
+// --- Figure 3: AV-Rank distribution of stable samples -----------------
+
+// Figure3Result reproduces the AV-Rank CDF of stable samples.
+type Figure3Result struct {
+	// RankZero is the share of stable samples fixed at AV-Rank 0
+	// (paper: 66.36%).
+	RankZero float64
+	// AtMost5 is the share with AV-Rank <= 5 (paper: >80%).
+	AtMost5 float64
+	// CDF step points.
+	Ranks, Probs []float64
+	MaxRank      int
+	Count        int
+}
+
+// Figure3StableAVRank computes the constant-rank distribution.
+func (r *Runner) Figure3StableAVRank() (*Figure3Result, error) {
+	corpus, err := r.MultiRankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{}
+	var ranks []float64
+	for _, ss := range corpus {
+		rank, ok := ss.Series.ConstantRank()
+		if !ok {
+			continue
+		}
+		res.Count++
+		ranks = append(ranks, float64(rank))
+		if rank == 0 {
+			res.RankZero++
+		}
+		if rank <= 5 {
+			res.AtMost5++
+		}
+		if rank > res.MaxRank {
+			res.MaxRank = rank
+		}
+	}
+	if res.Count > 0 {
+		res.RankZero /= float64(res.Count)
+		res.AtMost5 /= float64(res.Count)
+	}
+	res.Ranks, res.Probs = stats.NewECDF(ranks).Points()
+	return res, nil
+}
+
+// Render prints Figure 3's headlines.
+func (f *Figure3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: CDF of AV-Ranks of stable samples")
+	fmt.Fprintf(w, "stable samples: %d; AV-Rank = 0: %s (paper 66.36%%); AV-Rank <= 5: %s (paper >80%%); max rank %d\n",
+		f.Count, pct(f.RankZero), pct(f.AtMost5), f.MaxRank)
+}
+
+// --- Figure 4: stable time span by AV-Rank ----------------------------
+
+// SpanRow is one AV-Rank bucket of Figure 4.
+type SpanRow struct {
+	AVRank int
+	Box    stats.BoxplotStats // of span in days
+}
+
+// Figure4Result reproduces the span-by-rank boxplots.
+type Figure4Result struct {
+	Rows []SpanRow
+	// MedianSpanDays is the overall median span (paper: 17 days).
+	MedianSpanDays float64
+	// BenignMeanDays and BenignMedianDays are the AV-Rank-0 bucket's
+	// statistics (paper: mean 20.34, median 14).
+	BenignMeanDays   float64
+	BenignMedianDays float64
+}
+
+// Figure4StableTimeSpan groups stable samples' spans by their rank.
+func (r *Runner) Figure4StableTimeSpan() (*Figure4Result, error) {
+	corpus, err := r.MultiRankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	byRank := map[int][]float64{}
+	var all []float64
+	for _, ss := range corpus {
+		rank, ok := ss.Series.ConstantRank()
+		if !ok {
+			continue
+		}
+		days := ss.Series.Span().Hours() / 24
+		byRank[rank] = append(byRank[rank], days)
+		all = append(all, days)
+	}
+	res := &Figure4Result{MedianSpanDays: stats.Median(all)}
+	ranks := make([]int, 0, len(byRank))
+	for rank := range byRank {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		// Skip sparse buckets: boxplots over a handful of points are
+		// noise (the paper also truncates its x-axis).
+		if len(byRank[rank]) < 10 && rank > 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, SpanRow{AVRank: rank, Box: stats.Boxplot(byRank[rank])})
+	}
+	if b, ok := byRank[0]; ok {
+		box := stats.Boxplot(b)
+		res.BenignMeanDays = box.Mean
+		res.BenignMedianDays = box.Median
+	}
+	return res, nil
+}
+
+// Render prints the Figure 4 buckets.
+func (f *Figure4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: stable time span (days) by AV-Rank")
+	tb := newTable(w, 8, 8, 10, 10, 10, 10)
+	tb.row("AVRank", "N", "mean", "median", "Q1", "Q3")
+	for _, row := range f.Rows {
+		tb.row(row.AVRank, row.Box.N,
+			fmt.Sprintf("%.2f", row.Box.Mean), fmt.Sprintf("%.2f", row.Box.Median),
+			fmt.Sprintf("%.2f", row.Box.Q1), fmt.Sprintf("%.2f", row.Box.Q3))
+	}
+	fmt.Fprintf(w, "overall median span %.1f d (paper 17 d); benign bucket mean %.2f d (paper 20.34), median %.1f d (paper 14)\n",
+		f.MedianSpanDays, f.BenignMeanDays, f.BenignMedianDays)
+}
+
+// daysOf converts a duration to fractional days.
+func daysOf(d time.Duration) float64 { return d.Hours() / 24 }

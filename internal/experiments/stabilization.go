@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// --- Observation 8: AV-Rank stabilization under fluctuation ranges ---
+
+// StabilizationRow is one fluctuation range's outcome.
+type StabilizationRow struct {
+	Range int
+	// StableShare is the fraction of dataset-S samples that reach
+	// stability within this range (paper: 10.9% r=0, 55.1% r=1,
+	// 69.58% r=2, 77.84% r=3, 83.52% r=4, 88.11% r=5).
+	StableShare float64
+	// Within30Days is, of those, the share stabilizing within 30 days
+	// (paper: >90% for every r).
+	Within30Days float64
+	Within20Days float64
+	Within10Days float64
+}
+
+// Observation8Result reproduces §6.1.
+type Observation8Result struct {
+	Rows    []StabilizationRow
+	Samples int
+}
+
+// Observation8Stability measures AV-Rank stabilization for
+// r ∈ {0..5} over dataset S.
+func (r *Runner) Observation8Stability() (*Observation8Result, error) {
+	corpus, err := r.RankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	res := &Observation8Result{Samples: len(corpus)}
+	for rng := 0; rng <= 5; rng++ {
+		var row StabilizationRow
+		row.Range = rng
+		stable := 0
+		w10, w20, w30 := 0, 0, 0
+		for _, ss := range corpus {
+			sres := ss.Series.StabilizeWithin(rng)
+			if !sres.Stable {
+				continue
+			}
+			stable++
+			days := daysOf(sres.TimeToStability)
+			if days <= 10 {
+				w10++
+			}
+			if days <= 20 {
+				w20++
+			}
+			if days <= 30 {
+				w30++
+			}
+		}
+		row.StableShare = float64(stable) / float64(len(corpus))
+		if stable > 0 {
+			row.Within10Days = float64(w10) / float64(stable)
+			row.Within20Days = float64(w20) / float64(stable)
+			row.Within30Days = float64(w30) / float64(stable)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the Observation 8 table.
+func (o *Observation8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Observation 8: AV-Rank stabilization over %d samples\n", o.Samples)
+	tb := newTable(w, 4, 10, 12, 12, 12)
+	tb.row("r", "stable", "<=10d", "<=20d", "<=30d")
+	for _, row := range o.Rows {
+		tb.row(row.Range, pct(row.StableShare),
+			pct(row.Within10Days), pct(row.Within20Days), pct(row.Within30Days))
+	}
+	fmt.Fprintln(w, "(paper: 10.9% r=0 .. 88.11% r=5; >90% of stabilizing samples within 30 days)")
+}
+
+// --- Figure 9: label stabilization under thresholds -------------------
+
+// LabelStabilityRow is one threshold's outcome.
+type LabelStabilityRow struct {
+	Threshold int
+	// StableShare is the fraction of samples whose labels stabilize
+	// (paper: 93.14%-98.04%).
+	StableShare float64
+	// MeanScanIndex is the average 1-based scan number at which
+	// stability begins.
+	MeanScanIndex float64
+	// MeanDays is the average days from first scan to stability.
+	MeanDays float64
+	// Within15Days / Within30Days are shares of ALL samples whose
+	// label is stable within that horizon (paper: ~87-88% and
+	// ~91-92%).
+	Within15Days float64
+	Within30Days float64
+}
+
+// Figure9Result reproduces one panel of Figure 9.
+type Figure9Result struct {
+	// Scope labels the panel ("all" or "excluding 2-scan samples").
+	Scope   string
+	Rows    []LabelStabilityRow
+	Samples int
+}
+
+// figure9Thresholds is the paper's sweep.
+var figure9Thresholds = []int{2, 5, 10, 15, 20, 25, 30, 35, 40}
+
+// Figure9LabelStability measures B/M label stabilization per
+// threshold. excludeTwoScan reproduces panel (b), which drops the
+// samples whose two scans make stability trivial.
+func (r *Runner) Figure9LabelStability(excludeTwoScan bool) (*Figure9Result, error) {
+	corpus, err := r.RankCorpus()
+	if err != nil {
+		return nil, err
+	}
+	scope := "all dataset-S samples"
+	if excludeTwoScan {
+		scope = "excluding 2-scan samples"
+	}
+	res := &Figure9Result{Scope: scope}
+	for _, t := range figure9Thresholds {
+		var row LabelStabilityRow
+		row.Threshold = t
+		stable := 0
+		total := 0
+		var idxSum, daySum float64
+		w15, w30 := 0, 0
+		for _, ss := range corpus {
+			if excludeTwoScan && ss.Series.Len() == 2 {
+				continue
+			}
+			total++
+			sres := ss.Series.LabelStabilization(t)
+			if !sres.Stable {
+				continue
+			}
+			stable++
+			idxSum += float64(sres.Index + 1) // 1-based scan number
+			days := daysOf(sres.TimeToStability)
+			daySum += days
+			if days <= 15 {
+				w15++
+			}
+			if days <= 30 {
+				w30++
+			}
+		}
+		res.Samples = total
+		if total > 0 {
+			row.StableShare = float64(stable) / float64(total)
+			row.Within15Days = float64(w15) / float64(total)
+			row.Within30Days = float64(w30) / float64(total)
+		}
+		if stable > 0 {
+			row.MeanScanIndex = idxSum / float64(stable)
+			row.MeanDays = daySum / float64(stable)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the Figure 9 panel.
+func (f *Figure9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 9 (%s): label stabilization under thresholds (%d samples)\n",
+		f.Scope, f.Samples)
+	tb := newTable(w, 4, 10, 12, 10, 12, 12)
+	tb.row("t", "stable", "mean scan#", "mean d", "<=15d", "<=30d")
+	for _, row := range f.Rows {
+		tb.row(row.Threshold, pct(row.StableShare),
+			fmt.Sprintf("%.2f", row.MeanScanIndex), fmt.Sprintf("%.1f", row.MeanDays),
+			pct(row.Within15Days), pct(row.Within30Days))
+	}
+}

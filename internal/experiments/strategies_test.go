@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStrategyStability(t *testing.T) {
+	res, err := testRunner(t).StrategyStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 strategies", len(res.Rows))
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	rowFor := func(name string) StrategyRow {
+		for _, r := range res.Rows {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing strategy %q", name)
+		return StrategyRow{}
+	}
+	t1 := rowFor("threshold(1)")
+	t5 := rowFor("threshold(5)")
+	pc := rowFor("percentage(50%)")
+
+	// t=1 flags everything any engine ever touched: most malicious
+	// final labels, and maximal exposure to single-engine churn.
+	if t1.MaliciousShare <= t5.MaliciousShare {
+		t.Errorf("threshold(1) malicious share %.3f should exceed threshold(5) %.3f",
+			t1.MaliciousShare, t5.MaliciousShare)
+	}
+	// The 50% rule labels almost everything benign on a 70+ engine
+	// roster (few samples convince half the engines) and so flips
+	// much less than t=1 — the conservatism/stability trade-off.
+	if pc.MaliciousShare >= t5.MaliciousShare {
+		t.Errorf("percentage(50%%) should be the most conservative: %.3f vs %.3f",
+			pc.MaliciousShare, t5.MaliciousShare)
+	}
+	// Every strategy sees *some* flips on dynamic samples.
+	total := 0.0
+	for _, r := range res.Rows {
+		if r.FlipRate < 0 {
+			t.Fatalf("negative flip rate: %+v", r)
+		}
+		total += r.FlipRate
+	}
+	if total == 0 {
+		t.Fatal("no strategy observed any label flips on dynamic samples")
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "trusted(") {
+		t.Fatal("render missing trusted-subset row")
+	}
+}

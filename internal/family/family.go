@@ -1,0 +1,163 @@
+// Package family implements AVClass-style malware family labeling,
+// the practice the paper cites in §3.1 (Sebastián et al.'s AVClass):
+// given the raw detection strings of many engines, tokenize them,
+// drop generic and engine-specific noise tokens, normalize aliases,
+// and plurality-vote a family name for the sample.
+//
+// Like the rest of the library it is data-format faithful rather than
+// signature faithful: it operates on the detection-label strings in
+// scan reports and is exercised against the simulator's synthetic
+// labels, whose shared per-sample tokens play the role real family
+// names play for AVClass.
+package family
+
+import (
+	"sort"
+	"strings"
+)
+
+// generic tokens carry no family information and are dropped, closely
+// following AVClass's default generic-token list.
+var generic = map[string]bool{
+	"trojan": true, "virus": true, "worm": true, "malware": true,
+	"generic": true, "generickd": true, "gen": true, "agent": true,
+	"win32": true, "win64": true, "w32": true, "w64": true, "msil": true,
+	"android": true, "androidos": true, "linux": true, "elf": true,
+	"html": true, "js": true, "php": true, "pdf": true, "script": true,
+	"downloader": true, "dropper": true, "adware": true, "riskware": true,
+	"heur": true, "heuristic": true, "suspicious": true, "malicious": true,
+	"variant": true, "behaveslike": true, "ml": true, "ai": true,
+	"unsafe": true, "confidence": true, "score": true, "high": true,
+	"attribute": true, "highconfidence": true, "static": true,
+	"application": true, "program": true, "file": true, "multi": true,
+	"a": true, "b": true, "c": true, "d": true, "e": true,
+	// The simulator's type tokens are generic too.
+	"win32exe": true, "win32dll": true, "win64exe": true, "win64dll": true,
+	"txt": true, "zip": true, "xml": true, "json": true, "dex": true,
+	"elfexecutable": true, "elfsharedlibrary": true, "epub": true,
+	"lnk": true, "fpx": true, "docx": true, "gzip": true, "jpeg": true,
+	"null": true, "others": true,
+}
+
+// aliases maps known synonyms onto canonical family names (AVClass
+// ships a large alias file; we include a representative seed that
+// callers can extend).
+var aliases = map[string]string{
+	"zbot":         "zeus",
+	"zeusbot":      "zeus",
+	"kryptik":      "cryptik",
+	"wannacrypt":   "wannacry",
+	"wannacryptor": "wannacry",
+	"locky":        "locky",
+}
+
+// Tokenize splits a raw detection label into candidate family tokens:
+// lower-cased alphanumeric runs with generic tokens and short/numeric
+// fragments removed, aliases normalized.
+func Tokenize(label string) []string {
+	if label == "" {
+		return nil
+	}
+	lower := strings.ToLower(label)
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		if len(tok) < 3 {
+			return
+		}
+		if isNumeric(tok) {
+			return
+		}
+		if generic[tok] {
+			return
+		}
+		if canon, ok := aliases[tok]; ok {
+			tok = canon
+		}
+		tokens = append(tokens, tok)
+	}
+	for _, r := range lower {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Vote is one candidate family with its support.
+type Vote struct {
+	Family string
+	// Engines is the number of engines whose label contained the
+	// token (each engine votes once per token).
+	Engines int
+}
+
+// Label selects a family by plurality over the engines' detection
+// strings. It returns ok == false when no engine contributed a
+// non-generic token, or when the winner has fewer than minEngines
+// votes (AVClass's "SINGLETON" outcome).
+func Label(labels []string, minEngines int) (Vote, bool) {
+	if minEngines < 1 {
+		minEngines = 1
+	}
+	counts := map[string]int{}
+	for _, l := range labels {
+		seen := map[string]bool{}
+		for _, tok := range Tokenize(l) {
+			if !seen[tok] {
+				seen[tok] = true
+				counts[tok]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return Vote{}, false
+	}
+	// Deterministic winner: highest count, ties broken
+	// lexicographically.
+	families := make([]string, 0, len(counts))
+	for f := range counts {
+		families = append(families, f)
+	}
+	sort.Slice(families, func(i, j int) bool {
+		if counts[families[i]] != counts[families[j]] {
+			return counts[families[i]] > counts[families[j]]
+		}
+		return families[i] < families[j]
+	})
+	best := Vote{Family: families[0], Engines: counts[families[0]]}
+	if best.Engines < minEngines {
+		return best, false
+	}
+	return best, true
+}
+
+// AddAlias extends the alias table (e.g. from a site-specific list).
+// Later Tokenize calls see the addition; not safe to call concurrently
+// with Tokenize.
+func AddAlias(from, to string) {
+	aliases[strings.ToLower(from)] = strings.ToLower(to)
+}
+
+// AddGeneric extends the generic-token list.
+func AddGeneric(token string) {
+	generic[strings.ToLower(token)] = true
+}

@@ -1,0 +1,114 @@
+package family
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeDropsGenerics(t *testing.T) {
+	got := Tokenize("Trojan.GenericKD.31632154")
+	if len(got) != 0 {
+		t.Fatalf("tokens = %v, want none (all generic/numeric)", got)
+	}
+}
+
+func TestTokenizeExtractsFamily(t *testing.T) {
+	got := Tokenize("Win32.Trojan.Emotet.A")
+	want := []string{"emotet"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNormalizesAliases(t *testing.T) {
+	got := Tokenize("Trojan-Spy.Win32.Zbot.abcd")
+	found := false
+	for _, tok := range got {
+		if tok == "zeus" {
+			found = true
+		}
+		if tok == "zbot" {
+			t.Fatal("alias not normalized")
+		}
+	}
+	if !found {
+		t.Fatalf("tokens = %v, want zeus", got)
+	}
+}
+
+func TestTokenizeShortAndNumeric(t *testing.T) {
+	if got := Tokenize("W32/A.12345.xy"); len(got) != 0 {
+		t.Fatalf("tokens = %v", got)
+	}
+	if got := Tokenize(""); got != nil {
+		t.Fatalf("empty label tokens = %v", got)
+	}
+}
+
+func TestLabelPluralityVote(t *testing.T) {
+	labels := []string{
+		"Trojan.Emotet.A",
+		"Win32/Emotet.gen!B",
+		"Emotet.Malware",
+		"Trojan.Dridex.C",
+	}
+	v, ok := Label(labels, 2)
+	if !ok {
+		t.Fatal("expected a family")
+	}
+	if v.Family != "emotet" || v.Engines != 3 {
+		t.Fatalf("vote = %+v", v)
+	}
+}
+
+func TestLabelSingletonBelowThreshold(t *testing.T) {
+	labels := []string{"Trojan.Emotet.A", "Generic.Malware"}
+	v, ok := Label(labels, 2)
+	if ok {
+		t.Fatalf("one-engine family should be a singleton, got %+v", v)
+	}
+	if v.Family != "emotet" || v.Engines != 1 {
+		t.Fatalf("best candidate = %+v", v)
+	}
+}
+
+func TestLabelNoTokens(t *testing.T) {
+	if _, ok := Label([]string{"Trojan.Generic", ""}, 1); ok {
+		t.Fatal("generic-only labels should produce no family")
+	}
+}
+
+func TestLabelOneVotePerEngine(t *testing.T) {
+	// An engine repeating the family token twice still counts once.
+	labels := []string{"Emotet.Emotet", "Dridex.x", "Dridex.y"}
+	v, ok := Label(labels, 1)
+	if !ok || v.Family != "dridex" || v.Engines != 2 {
+		t.Fatalf("vote = %+v ok=%v", v, ok)
+	}
+}
+
+func TestLabelDeterministicTieBreak(t *testing.T) {
+	labels := []string{"Alpha.x", "Beta.y"}
+	v, _ := Label(labels, 1)
+	if v.Family != "alpha" {
+		t.Fatalf("tie should break lexicographically, got %s", v.Family)
+	}
+}
+
+func TestAddAliasAndGeneric(t *testing.T) {
+	AddAlias("emotetcrypt", "emotet")
+	got := Tokenize("Win32.EmotetCrypt.A")
+	found := false
+	for _, tok := range got {
+		if tok == "emotet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tokens = %v", got)
+	}
+	AddGeneric("floof")
+	if got := Tokenize("Floof.Emotet"); len(got) != 1 || got[0] != "emotet" {
+		t.Fatalf("tokens = %v", got)
+	}
+}

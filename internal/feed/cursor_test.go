@@ -1,0 +1,159 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+func TestFileCursorRoundTrip(t *testing.T) {
+	c := &FileCursor{Path: filepath.Join(t.TempDir(), "cursor")}
+	if _, ok, err := c.Load(); err != nil || ok {
+		t.Fatalf("fresh cursor: ok=%v err=%v", ok, err)
+	}
+	want := time.Unix(1622505600, 0).UTC()
+	if err := c.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Load()
+	if err != nil || !ok || !got.Equal(want) {
+		t.Fatalf("Load = %v, %v, %v", got, ok, err)
+	}
+}
+
+func TestFileCursorMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursor")
+	if err := (&FileCursor{Path: path}).Save(t0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file.
+	if err := os.WriteFile(path, []byte("not-a-number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (&FileCursor{Path: path}).Load(); err == nil {
+		t.Fatal("expected error on malformed cursor")
+	}
+}
+
+func TestRunResumableCompletesAfterCrash(t *testing.T) {
+	src := &fakeSource{envs: []report.Envelope{
+		env("a", t0.Add(30*time.Second)),
+		env("b", t0.Add(90*time.Second)),
+		env("c", t0.Add(150*time.Second)),
+		env("d", t0.Add(210*time.Second)),
+	}}
+	cursor := &MemCursor{}
+	var stored []string
+	failAfter := 2 // sink fails on the third envelope
+	sink := SinkFunc(func(e report.Envelope) error {
+		if len(stored) == failAfter {
+			return errors.New("disk full")
+		}
+		stored = append(stored, e.Meta.SHA256)
+		return nil
+	})
+	c := NewCollector(src, sink)
+	end := t0.Add(4 * time.Minute)
+
+	// First run crashes mid-campaign.
+	_, err := c.RunResumable(context.Background(), t0, end, cursor)
+	if err == nil {
+		t.Fatal("expected crash")
+	}
+	if len(stored) != 2 {
+		t.Fatalf("stored before crash = %v", stored)
+	}
+
+	// The sink recovers; the resumed run must fetch only the
+	// unfinished slices: envelope "c" again (its slice never
+	// checkpointed) and "d" — but never "a" or "b".
+	failAfter = 1 << 30
+	stats, err := c.RunResumable(context.Background(), t0, end, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 4 {
+		t.Fatalf("stored after resume = %v", stored)
+	}
+	for _, sha := range stored[:2] {
+		if sha == "c" || sha == "d" {
+			t.Fatalf("early envelopes reordered: %v", stored)
+		}
+	}
+	// a and b must not be double-stored.
+	count := map[string]int{}
+	for _, sha := range stored {
+		count[sha]++
+	}
+	for sha, n := range count {
+		if n != 1 {
+			t.Fatalf("envelope %s stored %d times", sha, n)
+		}
+	}
+	if stats.Polls >= 4 {
+		t.Fatalf("resume repeated completed slices: %d polls", stats.Polls)
+	}
+}
+
+func TestRunResumableFreshEqualsRun(t *testing.T) {
+	mk := func() (*fakeSource, *int, Sink) {
+		src := &fakeSource{envs: []report.Envelope{
+			env("x", t0.Add(10*time.Second)),
+			env("y", t0.Add(70*time.Second)),
+		}}
+		n := 0
+		return src, &n, SinkFunc(func(report.Envelope) error { n++; return nil })
+	}
+	srcA, nA, sinkA := mk()
+	a := NewCollector(srcA, sinkA)
+	statsA, err := a.Run(context.Background(), t0, t0.Add(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, nB, sinkB := mk()
+	b := NewCollector(srcB, sinkB)
+	statsB, err := b.RunResumable(context.Background(), t0, t0.Add(2*time.Minute), &MemCursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *nA != *nB || statsA.Envelopes != statsB.Envelopes || statsA.Polls != statsB.Polls {
+		t.Fatalf("Run(%+v,%d) != RunResumable(%+v,%d)", statsA, *nA, statsB, *nB)
+	}
+}
+
+func TestRunResumableCursorAhead(t *testing.T) {
+	cursor := &MemCursor{}
+	if err := cursor.Save(t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(&fakeSource{}, SinkFunc(func(report.Envelope) error { return nil }))
+	_, err := c.RunResumable(context.Background(), t0, t0.Add(time.Minute), cursor)
+	if !errors.Is(err, ErrCursorAhead) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunResumableAlreadyComplete(t *testing.T) {
+	cursor := &MemCursor{}
+	end := t0.Add(2 * time.Minute)
+	if err := cursor.Save(end); err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeSource{envs: []report.Envelope{env("x", t0)}}
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error {
+		t.Fatal("completed campaign must not store anything")
+		return nil
+	}))
+	stats, err := c.RunResumable(context.Background(), t0, end, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Polls != 0 {
+		t.Fatalf("polls = %d", stats.Polls)
+	}
+}

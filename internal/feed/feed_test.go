@@ -1,0 +1,144 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+var t0 = time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeSource serves envelopes with fixed timestamps.
+type fakeSource struct {
+	envs  []report.Envelope
+	calls int
+}
+
+func (f *fakeSource) FeedBetween(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+	f.calls++
+	var out []report.Envelope
+	for _, e := range f.envs {
+		at := e.Scan.AnalysisDate
+		if !at.Before(from) && at.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+func env(sha string, at time.Time) report.Envelope {
+	return report.Envelope{
+		Meta: report.SampleMeta{SHA256: sha, LastAnalysisDate: at},
+		Scan: report.ScanReport{SHA256: sha, AnalysisDate: at},
+	}
+}
+
+func TestCollectorCoversWindowExactly(t *testing.T) {
+	src := &fakeSource{envs: []report.Envelope{
+		env("a", t0),
+		env("b", t0.Add(30*time.Second)),
+		env("c", t0.Add(90*time.Second)),
+		env("a", t0.Add(3*time.Minute)),
+		env("late", t0.Add(10*time.Minute)), // outside the window
+	}}
+	var stored []report.Envelope
+	sink := SinkFunc(func(e report.Envelope) error {
+		stored = append(stored, e)
+		return nil
+	})
+	c := NewCollector(src, sink)
+	stats, err := c.Run(context.Background(), t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Polls != 5 {
+		t.Fatalf("polls = %d, want 5 (one per minute)", stats.Polls)
+	}
+	if stats.Envelopes != 4 || len(stored) != 4 {
+		t.Fatalf("envelopes = %d", stats.Envelopes)
+	}
+	if stats.Samples != 3 {
+		t.Fatalf("distinct samples = %d, want 3", stats.Samples)
+	}
+}
+
+func TestCollectorNoDoubleFetch(t *testing.T) {
+	// An envelope exactly on a poll boundary belongs to exactly one
+	// slice: [from, to).
+	src := &fakeSource{envs: []report.Envelope{env("edge", t0.Add(time.Minute))}}
+	var n int
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { n++; return nil }))
+	if _, err := c.Run(context.Background(), t0, t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("boundary envelope collected %d times", n)
+	}
+}
+
+func TestCollectorPartialLastSlice(t *testing.T) {
+	src := &fakeSource{envs: []report.Envelope{env("x", t0.Add(80*time.Second))}}
+	var n int
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { n++; return nil }))
+	// Window of 90 seconds: slices [0m,1m), [1m,1m30s).
+	stats, err := c.Run(context.Background(), t0, t0.Add(90*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Polls != 2 || n != 1 {
+		t.Fatalf("polls = %d, stored = %d", stats.Polls, n)
+	}
+}
+
+func TestCollectorSinkErrorStops(t *testing.T) {
+	src := &fakeSource{envs: []report.Envelope{env("x", t0)}}
+	sinkErr := errors.New("disk full")
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { return sinkErr }))
+	_, err := c.Run(context.Background(), t0, t0.Add(time.Minute))
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectorSourceErrorStops(t *testing.T) {
+	srcErr := errors.New("http 500")
+	src := SourceFunc(func(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+		return nil, srcErr
+	})
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { return nil }))
+	_, err := c.Run(context.Background(), t0, t0.Add(time.Minute))
+	if !errors.Is(err, srcErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectorContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &fakeSource{}
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { return nil }))
+	_, err := c.Run(ctx, t0, t0.Add(time.Hour))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if src.calls != 0 {
+		t.Fatalf("source called %d times after cancel", src.calls)
+	}
+}
+
+func TestRunHourlyRestoresInterval(t *testing.T) {
+	src := &fakeSource{}
+	c := NewCollector(src, SinkFunc(func(report.Envelope) error { return nil }))
+	if _, err := c.RunHourly(context.Background(), t0, t0.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != 3 {
+		t.Fatalf("hourly polls = %d", src.calls)
+	}
+	if c.Interval != time.Minute {
+		t.Fatalf("interval not restored: %v", c.Interval)
+	}
+}

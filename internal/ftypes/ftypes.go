@@ -1,0 +1,128 @@
+// Package ftypes centralizes the VirusTotal file-type vocabulary used
+// across the simulator and the analyses: the paper's top-20 types
+// (Table 3) with their observed sample/report shares, the PE subset
+// used by §5.4.3, and the long tail ("Others"/NULL) the workload
+// generator draws for the remaining ~12% of samples.
+package ftypes
+
+// The top-20 file types by sample count, exactly as VT labels them
+// (Table 3 of the paper).
+const (
+	Win32EXE  = "Win32 EXE"
+	TXT       = "TXT"
+	HTML      = "HTML"
+	ZIP       = "ZIP"
+	PDF       = "PDF"
+	XML       = "XML"
+	Win32DLL  = "Win32 DLL"
+	JSON      = "JSON"
+	DEX       = "DEX"
+	ELFExe    = "ELF executable"
+	Win64EXE  = "Win64 EXE"
+	Win64DLL  = "Win64 DLL"
+	ELFShared = "ELF shared library"
+	EPUB      = "EPUB"
+	LNK       = "LNK"
+	FPX       = "FPX"
+	PHP       = "PHP"
+	DOCX      = "DOCX"
+	GZIP      = "GZIP"
+	JPEG      = "JPEG"
+	// NULL is VT's label for samples with no identified type (9.6% of
+	// the paper's dataset).
+	NULL = "NULL"
+)
+
+// TypeShare is one row of the file-type mix: a type label with its
+// share of samples and (distinct) share of reports from Table 3.
+type TypeShare struct {
+	Type          string
+	SampleShare   float64 // fraction of all samples
+	ReportShare   float64 // fraction of all reports
+	MalwareRatio  float64 // calibrated latent ground-truth malware fraction
+	MeanSizeBytes int64   // typical file size for the type
+}
+
+// Top20 lists the paper's top-20 file types with their Table 3 sample
+// and report shares, plus the calibrated malware ratio and typical
+// size used by the workload generator. Executable formats carry much
+// higher malware ratios than data formats — this is what drives the
+// per-type dynamics differences of Figure 6 and the flip-ratio
+// contrasts of Figure 10.
+var Top20 = []TypeShare{
+	{Win32EXE, 0.252139, 0.290929, 0.82, 1 << 20},
+	{TXT, 0.128777, 0.112702, 0.36, 64 << 10},
+	{HTML, 0.097600, 0.077549, 0.42, 96 << 10},
+	{ZIP, 0.055398, 0.098682, 0.52, 2 << 20},
+	{PDF, 0.039489, 0.046412, 0.42, 512 << 10},
+	{XML, 0.038589, 0.028074, 0.20, 48 << 10},
+	{Win32DLL, 0.027766, 0.074583, 0.78, 768 << 10},
+	{JSON, 0.025284, 0.020940, 0.13, 16 << 10},
+	{DEX, 0.022345, 0.020762, 0.62, 4 << 20},
+	{ELFExe, 0.019266, 0.014847, 0.68, 256 << 10},
+	{Win64EXE, 0.014529, 0.033962, 0.78, 2 << 20},
+	{Win64DLL, 0.011879, 0.020683, 0.72, 1 << 20},
+	{ELFShared, 0.010139, 0.007675, 0.30, 128 << 10},
+	{EPUB, 0.009268, 0.010647, 0.15, 1 << 20},
+	{LNK, 0.008612, 0.006650, 0.58, 4 << 10},
+	{FPX, 0.007643, 0.006681, 0.10, 256 << 10},
+	{PHP, 0.006959, 0.005057, 0.48, 24 << 10},
+	{DOCX, 0.003792, 0.004099, 0.52, 256 << 10},
+	{GZIP, 0.003790, 0.004077, 0.42, 1 << 20},
+	{JPEG, 0.003547, 0.003318, 0.08, 512 << 10},
+}
+
+// NullShare and OthersShare complete the mix: NULL-typed samples
+// (9.6048%) and the aggregated long tail (11.714%).
+const (
+	NullShare   = 0.096048
+	OthersShare = 0.117140
+)
+
+// Others is the synthetic label the generator uses for the aggregated
+// long tail of the remaining 331 types.
+const Others = "Others"
+
+// PETypes is the PE subset of §5.4.3: Win32 EXE, Win32 DLL,
+// Win64 EXE, Win64 DLL.
+var PETypes = []string{Win32EXE, Win32DLL, Win64EXE, Win64DLL}
+
+// IsPE reports whether the type belongs to the PE family.
+func IsPE(fileType string) bool {
+	for _, t := range PETypes {
+		if t == fileType {
+			return true
+		}
+	}
+	return false
+}
+
+// Top20Names returns just the type labels of Top20, in Table 3 order.
+func Top20Names() []string {
+	names := make([]string, len(Top20))
+	for i, ts := range Top20 {
+		names[i] = ts.Type
+	}
+	return names
+}
+
+// IsTop20 reports whether the type is one of the paper's top 20.
+func IsTop20(fileType string) bool {
+	for _, ts := range Top20 {
+		if ts.Type == fileType {
+			return true
+		}
+	}
+	return false
+}
+
+// Share returns the TypeShare row for the type, if it is a top-20
+// type.
+func Share(fileType string) (TypeShare, bool) {
+	for _, ts := range Top20 {
+		if ts.Type == fileType {
+			return ts, true
+		}
+	}
+	return TypeShare{}, false
+}

@@ -1,0 +1,99 @@
+package ftypes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTop20HasTwentyRows(t *testing.T) {
+	if len(Top20) != 20 {
+		t.Fatalf("Top20 has %d rows", len(Top20))
+	}
+	if len(Top20Names()) != 20 {
+		t.Fatalf("Top20Names has %d entries", len(Top20Names()))
+	}
+}
+
+func TestSharesMatchPaperTable3(t *testing.T) {
+	// Spot-check the Table 3 sample shares embedded in the mix.
+	checks := map[string]float64{
+		Win32EXE: 0.252139,
+		TXT:      0.128777,
+		JPEG:     0.003547,
+	}
+	for ft, want := range checks {
+		ts, ok := Share(ft)
+		if !ok {
+			t.Fatalf("missing %s", ft)
+		}
+		if math.Abs(ts.SampleShare-want) > 1e-9 {
+			t.Fatalf("%s share = %v, want %v", ft, ts.SampleShare, want)
+		}
+	}
+}
+
+func TestSharesSumWithTailToOne(t *testing.T) {
+	sum := NullShare + OthersShare
+	for _, ts := range Top20 {
+		sum += ts.SampleShare
+	}
+	if math.Abs(sum-1) > 0.001 {
+		t.Fatalf("mix sums to %v, want ~1", sum)
+	}
+}
+
+func TestSharesDescending(t *testing.T) {
+	for i := 1; i < len(Top20); i++ {
+		if Top20[i].SampleShare > Top20[i-1].SampleShare {
+			t.Fatalf("Top20 not in descending sample-share order at %d", i)
+		}
+	}
+}
+
+func TestIsPE(t *testing.T) {
+	for _, ft := range PETypes {
+		if !IsPE(ft) {
+			t.Fatalf("IsPE(%s) = false", ft)
+		}
+	}
+	for _, ft := range []string{TXT, HTML, ELFExe, DEX, NULL, Others} {
+		if IsPE(ft) {
+			t.Fatalf("IsPE(%s) = true", ft)
+		}
+	}
+}
+
+func TestIsTop20(t *testing.T) {
+	if !IsTop20(Win32EXE) || !IsTop20(JPEG) {
+		t.Fatal("top-20 member not recognized")
+	}
+	if IsTop20(NULL) || IsTop20(Others) || IsTop20("Mach-O") {
+		t.Fatal("non-top-20 type recognized")
+	}
+}
+
+func TestShareMissing(t *testing.T) {
+	if _, ok := Share("Mach-O"); ok {
+		t.Fatal("Share returned ok for unknown type")
+	}
+}
+
+func TestMalwareRatiosOrdering(t *testing.T) {
+	// Executables must carry higher latent malware ratios than media
+	// formats — this drives the per-type dynamics spread (Figure 6).
+	exe, _ := Share(Win32EXE)
+	jpeg, _ := Share(JPEG)
+	jsonTS, _ := Share(JSON)
+	if exe.MalwareRatio <= jpeg.MalwareRatio || exe.MalwareRatio <= jsonTS.MalwareRatio {
+		t.Fatalf("EXE ratio %v should exceed JPEG %v and JSON %v",
+			exe.MalwareRatio, jpeg.MalwareRatio, jsonTS.MalwareRatio)
+	}
+	for _, ts := range Top20 {
+		if ts.MalwareRatio <= 0 || ts.MalwareRatio >= 1 {
+			t.Fatalf("%s malware ratio out of range: %v", ts.Type, ts.MalwareRatio)
+		}
+		if ts.MeanSizeBytes <= 0 {
+			t.Fatalf("%s mean size not positive", ts.Type)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package labeling implements the label-aggregation strategies the
+// paper surveys in §3.1: researchers must collapse 70+ engine
+// verdicts into one malicious/benign decision, and do so with
+// absolute voting thresholds (1, 2, 10, ...), percentage thresholds
+// (e.g. 50% of engines), or trusted-engine subsets.
+//
+// Aggregators operate on a single scan report; the dynamics of the
+// aggregated label over a sample's history are analyzed by
+// internal/core.
+package labeling
+
+import (
+	"errors"
+	"fmt"
+
+	"vtdynamics/internal/report"
+)
+
+// Aggregator collapses one scan report into a binary decision.
+type Aggregator interface {
+	// Malicious reports the aggregated decision for the scan.
+	Malicious(r *report.ScanReport) bool
+	// Name identifies the strategy for experiment output.
+	Name() string
+}
+
+// Threshold labels a scan malicious iff AV-Rank >= T — the dominant
+// strategy in the literature (T=1, 2, 10 all appear in published
+// work).
+type Threshold struct {
+	T int
+}
+
+// NewThreshold validates T >= 1.
+func NewThreshold(t int) (Threshold, error) {
+	if t < 1 {
+		return Threshold{}, fmt.Errorf("labeling: threshold must be >= 1, got %d", t)
+	}
+	return Threshold{T: t}, nil
+}
+
+// Malicious implements Aggregator.
+func (t Threshold) Malicious(r *report.ScanReport) bool {
+	return r.AVRank >= t.T
+}
+
+// Name implements Aggregator.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold(%d)", t.T) }
+
+// Percentage labels a scan malicious iff AV-Rank >= Fraction of the
+// engines that produced a verdict (e.g. 0.5 for the "half of the
+// engines" rule).
+type Percentage struct {
+	Fraction float64
+}
+
+// NewPercentage validates the fraction is in (0, 1].
+func NewPercentage(f float64) (Percentage, error) {
+	if f <= 0 || f > 1 {
+		return Percentage{}, fmt.Errorf("labeling: fraction must be in (0,1], got %v", f)
+	}
+	return Percentage{Fraction: f}, nil
+}
+
+// Malicious implements Aggregator. A report with no active engines is
+// labeled benign.
+func (p Percentage) Malicious(r *report.ScanReport) bool {
+	if r.EnginesTotal == 0 {
+		return false
+	}
+	return float64(r.AVRank) >= p.Fraction*float64(r.EnginesTotal)
+}
+
+// Name implements Aggregator.
+func (p Percentage) Name() string { return fmt.Sprintf("percentage(%.0f%%)", p.Fraction*100) }
+
+// TrustedSubset counts votes only from a chosen set of reputable
+// engines and applies a threshold over that subset — the
+// "high-reputation engines" strategy.
+type TrustedSubset struct {
+	Engines map[string]bool
+	T       int
+	name    string
+}
+
+// ErrEmptySubset is returned when no trusted engines are given.
+var ErrEmptySubset = errors.New("labeling: trusted subset is empty")
+
+// NewTrustedSubset builds the strategy from the engine list.
+func NewTrustedSubset(engines []string, t int) (*TrustedSubset, error) {
+	if len(engines) == 0 {
+		return nil, ErrEmptySubset
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("labeling: threshold must be >= 1, got %d", t)
+	}
+	set := make(map[string]bool, len(engines))
+	for _, e := range engines {
+		set[e] = true
+	}
+	return &TrustedSubset{
+		Engines: set,
+		T:       t,
+		name:    fmt.Sprintf("trusted(%d engines, t=%d)", len(set), t),
+	}, nil
+}
+
+// Malicious implements Aggregator.
+func (s *TrustedSubset) Malicious(r *report.ScanReport) bool {
+	votes := 0
+	for _, er := range r.Results {
+		if er.Verdict == report.Malicious && s.Engines[er.Engine] {
+			votes++
+		}
+	}
+	return votes >= s.T
+}
+
+// Name implements Aggregator.
+func (s *TrustedSubset) Name() string { return s.name }
+
+// LabelHistory applies an aggregator across a sample's history,
+// yielding the label sequence whose stabilization §6.2 studies.
+func LabelHistory(agg Aggregator, h *report.History) []bool {
+	out := make([]bool, len(h.Reports))
+	for i, r := range h.Reports {
+		out[i] = agg.Malicious(r)
+	}
+	return out
+}
+
+// Flips counts label changes in an aggregated sequence — the
+// instability a strategy exposes its user to.
+func Flips(labels []bool) int {
+	n := 0
+	for i := 1; i < len(labels); i++ {
+		if labels[i] != labels[i-1] {
+			n++
+		}
+	}
+	return n
+}

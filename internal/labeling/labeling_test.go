@@ -1,0 +1,128 @@
+package labeling
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+var t0 = time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// scan builds a report with the given malicious engines and a set of
+// benign engines to pad EnginesTotal.
+func scan(malicious []string, benign []string) *report.ScanReport {
+	var results []report.EngineResult
+	for _, e := range malicious {
+		results = append(results, report.EngineResult{Engine: e, Verdict: report.Malicious, Label: "x"})
+	}
+	for _, e := range benign {
+		results = append(results, report.EngineResult{Engine: e, Verdict: report.Benign})
+	}
+	return &report.ScanReport{
+		SHA256:       "h",
+		AnalysisDate: t0,
+		Results:      results,
+		AVRank:       len(malicious),
+		EnginesTotal: len(malicious) + len(benign),
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th, err := NewThreshold(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Malicious(scan([]string{"A"}, []string{"B", "C"})) {
+		t.Fatal("1 < 2 should be benign")
+	}
+	if !th.Malicious(scan([]string{"A", "B"}, nil)) {
+		t.Fatal("2 >= 2 should be malicious")
+	}
+	if th.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := NewThreshold(0); err == nil {
+		t.Fatal("expected error for t=0")
+	}
+}
+
+func TestPercentage(t *testing.T) {
+	p, err := NewPercentage(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 of 4 = 50% -> malicious (>=).
+	if !p.Malicious(scan([]string{"A", "B"}, []string{"C", "D"})) {
+		t.Fatal("50% should be malicious at fraction 0.5")
+	}
+	// 1 of 4 = 25% -> benign.
+	if p.Malicious(scan([]string{"A"}, []string{"B", "C", "D"})) {
+		t.Fatal("25% should be benign")
+	}
+	// No active engines -> benign.
+	empty := &report.ScanReport{SHA256: "h", AnalysisDate: t0}
+	if p.Malicious(empty) {
+		t.Fatal("empty report should be benign")
+	}
+}
+
+func TestPercentageValidation(t *testing.T) {
+	for _, f := range []float64{0, -0.1, 1.5} {
+		if _, err := NewPercentage(f); err == nil {
+			t.Fatalf("expected error for fraction %v", f)
+		}
+	}
+	if _, err := NewPercentage(1); err != nil {
+		t.Fatal("fraction 1 should be allowed")
+	}
+}
+
+func TestTrustedSubset(t *testing.T) {
+	ts, err := NewTrustedSubset([]string{"Kaspersky", "Microsoft"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malicious vote from untrusted engine does not count.
+	if ts.Malicious(scan([]string{"RandomAV"}, []string{"Kaspersky"})) {
+		t.Fatal("untrusted vote counted")
+	}
+	if !ts.Malicious(scan([]string{"Kaspersky", "RandomAV"}, nil)) {
+		t.Fatal("trusted vote not counted")
+	}
+}
+
+func TestTrustedSubsetValidation(t *testing.T) {
+	if _, err := NewTrustedSubset(nil, 1); err != ErrEmptySubset {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewTrustedSubset([]string{"A"}, 0); err == nil {
+		t.Fatal("expected error for t=0")
+	}
+}
+
+func TestLabelHistoryAndFlips(t *testing.T) {
+	th, _ := NewThreshold(2)
+	h := &report.History{Reports: []*report.ScanReport{
+		scan([]string{"A"}, nil),           // benign
+		scan([]string{"A", "B"}, nil),      // malicious
+		scan([]string{"A", "B", "C"}, nil), // malicious
+		scan(nil, []string{"A"}),           // benign
+	}}
+	labels := LabelHistory(th, h)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+	if got := Flips(labels); got != 2 {
+		t.Fatalf("flips = %d", got)
+	}
+	if got := Flips(nil); got != 0 {
+		t.Fatalf("flips(nil) = %d", got)
+	}
+}

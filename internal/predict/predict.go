@@ -1,0 +1,263 @@
+// Package predict implements the machine-learned label aggregation
+// line the paper surveys in §3.1: "a subset of the research community
+// has utilized machine learning techniques to predict the final label
+// using the VirusTotal labeling results as input" (Kantchelian et
+// al.'s weighted vendor labels; SIRAJ). A logistic-regression model
+// learns per-engine weights from first-scan verdict vectors, to be
+// compared against the unweighted threshold rule.
+//
+// Beyond accuracy, the learned weights are diagnostic: §7.2 argues
+// correlated engines should not be counted independently, and a
+// trained model shows exactly that — members of a copy group share
+// the weight one independent engine would get.
+//
+// The implementation is from scratch on the standard library:
+// mini-batch SGD on the logistic loss with L2 regularization and a
+// deterministic, seeded shuffle.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/xrand"
+)
+
+// Featurizer turns a scan report into a fixed-length feature vector:
+// one feature per engine with malicious = +1, benign = 0,
+// undetected = 0 (absence carries no signal), plus a trailing bias
+// term handled by the model.
+type Featurizer struct {
+	engines []string
+	index   map[string]int
+}
+
+// NewFeaturizer fixes the engine order.
+func NewFeaturizer(engines []string) *Featurizer {
+	f := &Featurizer{
+		engines: append([]string(nil), engines...),
+		index:   make(map[string]int, len(engines)),
+	}
+	for i, e := range f.engines {
+		f.index[e] = i
+	}
+	return f
+}
+
+// Dim returns the feature dimensionality (engines, excluding bias).
+func (f *Featurizer) Dim() int { return len(f.engines) }
+
+// Engines returns the feature order.
+func (f *Featurizer) Engines() []string { return f.engines }
+
+// Features extracts the verdict vector of one scan.
+func (f *Featurizer) Features(r *report.ScanReport) []float64 {
+	x := make([]float64, len(f.engines))
+	for _, er := range r.Results {
+		if er.Verdict != report.Malicious {
+			continue
+		}
+		if j, ok := f.index[er.Engine]; ok {
+			x[j] = 1
+		}
+	}
+	return x
+}
+
+// Example is one training observation.
+type Example struct {
+	X []float64
+	// Y is the target: true for malicious.
+	Y bool
+}
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	// Weights has one entry per feature; Bias is the intercept.
+	Weights []float64
+	Bias    float64
+}
+
+// Config parameterizes training.
+type Config struct {
+	// Epochs over the training set (default 20).
+	Epochs int
+	// LearningRate for SGD (default 0.1).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// Seed drives the shuffle (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrNoData is returned when training has no examples.
+var ErrNoData = errors.New("predict: no training examples")
+
+// Train fits a model with SGD on the logistic loss.
+func Train(examples []Example, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(examples) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(examples[0].X)
+	for i, ex := range examples {
+		if len(ex.X) != dim {
+			return nil, fmt.Errorf("predict: example %d has %d features, want %d", i, len(ex.X), dim)
+		}
+	}
+	m := &Model{Weights: make([]float64, dim)}
+	rng := xrand.New(cfg.Seed)
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fisher-Yates shuffle with the seeded stream.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		for _, idx := range order {
+			ex := examples[idx]
+			p := m.Prob(ex.X)
+			y := 0.0
+			if ex.Y {
+				y = 1
+			}
+			g := p - y // dL/dz for logistic loss
+			for j, xj := range ex.X {
+				if xj != 0 {
+					m.Weights[j] -= lr * (g*xj + cfg.L2*m.Weights[j])
+				}
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return m, nil
+}
+
+// Prob returns P(malicious | x).
+func (m *Model) Prob(x []float64) float64 {
+	z := m.Bias
+	for j, xj := range x {
+		if xj != 0 {
+			z += m.Weights[j] * xj
+		}
+	}
+	return sigmoid(z)
+}
+
+// Predict applies the 0.5 decision threshold.
+func (m *Model) Predict(x []float64) bool { return m.Prob(x) >= 0.5 }
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Metrics summarizes binary-classification quality.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Evaluate scores the model on a labeled set.
+func (m *Model) Evaluate(examples []Example) Metrics {
+	var mt Metrics
+	for _, ex := range examples {
+		pred := m.Predict(ex.X)
+		switch {
+		case pred && ex.Y:
+			mt.TP++
+		case pred && !ex.Y:
+			mt.FP++
+		case !pred && !ex.Y:
+			mt.TN++
+		default:
+			mt.FN++
+		}
+	}
+	return mt
+}
+
+// Accuracy returns (TP+TN)/total.
+func (m Metrics) Accuracy() float64 {
+	n := m.TP + m.FP + m.TN + m.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(n)
+}
+
+// Precision returns TP/(TP+FP) (1 when nothing was flagged).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN) (1 when nothing was positive).
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ThresholdBaseline evaluates the unweighted rule "malicious iff at
+// least t engines flagged it" on the same feature vectors, the
+// comparison point for the learned model.
+func ThresholdBaseline(examples []Example, t int) Metrics {
+	var mt Metrics
+	for _, ex := range examples {
+		votes := 0
+		for _, xj := range ex.X {
+			if xj > 0 {
+				votes++
+			}
+		}
+		pred := votes >= t
+		switch {
+		case pred && ex.Y:
+			mt.TP++
+		case pred && !ex.Y:
+			mt.FP++
+		case !pred && !ex.Y:
+			mt.TN++
+		default:
+			mt.FN++
+		}
+	}
+	return mt
+}

@@ -1,0 +1,157 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/xrand"
+)
+
+func TestFeaturizer(t *testing.T) {
+	f := NewFeaturizer([]string{"A", "B", "C"})
+	if f.Dim() != 3 {
+		t.Fatalf("dim = %d", f.Dim())
+	}
+	r := &report.ScanReport{Results: []report.EngineResult{
+		{Engine: "A", Verdict: report.Malicious},
+		{Engine: "B", Verdict: report.Benign},
+		{Engine: "C", Verdict: report.Undetected},
+		{Engine: "Rogue", Verdict: report.Malicious}, // not in roster
+	}}
+	x := f.Features(r)
+	if x[0] != 1 || x[1] != 0 || x[2] != 0 {
+		t.Fatalf("features = %v", x)
+	}
+}
+
+// synthetic builds a linearly separable-ish problem: feature 0 is a
+// strong malicious signal, feature 1 pure noise, feature 2 a weak
+// signal.
+func synthetic(n int, seed int64) []Example {
+	rng := xrand.New(seed)
+	out := make([]Example, n)
+	for i := range out {
+		y := rng.Bool(0.5)
+		x := make([]float64, 3)
+		if y {
+			if rng.Bool(0.9) {
+				x[0] = 1
+			}
+			if rng.Bool(0.6) {
+				x[2] = 1
+			}
+		} else {
+			if rng.Bool(0.05) {
+				x[0] = 1
+			}
+			if rng.Bool(0.2) {
+				x[2] = 1
+			}
+		}
+		if rng.Bool(0.5) {
+			x[1] = 1
+		}
+		out[i] = Example{X: x, Y: y}
+	}
+	return out
+}
+
+func TestTrainLearnsSignal(t *testing.T) {
+	train := synthetic(4000, 1)
+	test := synthetic(1000, 2)
+	m, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Evaluate(test)
+	if acc := mt.Accuracy(); acc < 0.85 {
+		t.Fatalf("accuracy = %.3f, want > 0.85", acc)
+	}
+	// The informative feature must out-weigh the noise feature.
+	if m.Weights[0] <= m.Weights[1] {
+		t.Fatalf("weights = %v: signal not separated from noise", m.Weights)
+	}
+	if m.Weights[0] <= m.Weights[2] {
+		t.Fatalf("weights = %v: strong signal should beat weak one", m.Weights)
+	}
+	if math.Abs(m.Weights[1]) > 0.5 {
+		t.Fatalf("noise weight too large: %v", m.Weights[1])
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	data := synthetic(500, 3)
+	m1, err := Train(data, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(data, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}); err != ErrNoData {
+		t.Fatalf("err = %v", err)
+	}
+	bad := []Example{{X: []float64{1}}, {X: []float64{1, 2}}}
+	if _, err := Train(bad, Config{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if got := sigmoid(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", got)
+	}
+	if got := sigmoid(1000); got != 1 && math.Abs(got-1) > 1e-12 {
+		t.Fatalf("sigmoid(1000) = %v", got)
+	}
+	if got := sigmoid(-1000); got < 0 || got > 1e-12 {
+		t.Fatalf("sigmoid(-1000) = %v", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := Metrics{TP: 8, FP: 2, TN: 85, FN: 5}
+	if acc := m.Accuracy(); math.Abs(acc-0.93) > 1e-12 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if p := m.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("precision = %v", p)
+	}
+	if r := m.Recall(); math.Abs(r-8.0/13) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if f1 := m.F1(); f1 <= 0 || f1 >= 1 {
+		t.Fatalf("f1 = %v", f1)
+	}
+	var zero Metrics
+	if zero.Accuracy() != 0 || zero.Precision() != 1 || zero.Recall() != 1 {
+		t.Fatal("zero-metrics conventions broken")
+	}
+}
+
+func TestThresholdBaseline(t *testing.T) {
+	examples := []Example{
+		{X: []float64{1, 1, 0}, Y: true},  // 2 votes
+		{X: []float64{1, 0, 0}, Y: true},  // 1 vote
+		{X: []float64{0, 0, 0}, Y: false}, // 0 votes
+		{X: []float64{1, 0, 0}, Y: false}, // 1 vote (noise)
+	}
+	mt := ThresholdBaseline(examples, 2)
+	if mt.TP != 1 || mt.FN != 1 || mt.TN != 2 || mt.FP != 0 {
+		t.Fatalf("t=2 metrics = %+v", mt)
+	}
+	mt = ThresholdBaseline(examples, 1)
+	if mt.TP != 2 || mt.FP != 1 {
+		t.Fatalf("t=1 metrics = %+v", mt)
+	}
+}

@@ -1,0 +1,176 @@
+// Package ratelimit implements the quota machinery of the simulated
+// VT API: a token-bucket per-minute limiter and a fixed-window daily
+// counter, both driven by an injected clock so tests and simulations
+// control time.
+//
+// VirusTotal's public API tier is limited to 4 requests/minute and
+// 500 requests/day; premium licenses lift both and unlock the feed.
+// The paper's collection (§4.1) was only possible on a premium
+// license — these limiters make the simulated service enforce the
+// same reality.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+
+	"vtdynamics/internal/simclock"
+)
+
+// Bucket is a token-bucket rate limiter: capacity tokens, refilled at
+// rate tokens per interval. Safe for concurrent use.
+type Bucket struct {
+	mu       sync.Mutex
+	clock    simclock.Clock
+	capacity float64
+	// refillPerSec is the token refill rate.
+	refillPerSec float64
+	tokens       float64
+	last         time.Time
+}
+
+// NewBucket builds a bucket allowing `rate` requests per `per`
+// interval with burst capacity equal to rate. rate must be > 0.
+func NewBucket(clock simclock.Clock, rate int, per time.Duration) *Bucket {
+	if rate <= 0 {
+		panic("ratelimit: rate must be > 0")
+	}
+	if per <= 0 {
+		panic("ratelimit: interval must be > 0")
+	}
+	return &Bucket{
+		clock:        clock,
+		capacity:     float64(rate),
+		refillPerSec: float64(rate) / per.Seconds(),
+		tokens:       float64(rate),
+		last:         clock.Now(),
+	}
+}
+
+// Allow consumes one token if available and reports whether the
+// request may proceed.
+func (b *Bucket) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.refillPerSec
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// RetryAfter estimates how long until a token will be available.
+// Zero means a request would be allowed now.
+func (b *Bucket) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	elapsed := now.Sub(b.last).Seconds()
+	tokens := b.tokens + elapsed*b.refillPerSec
+	if tokens > b.capacity {
+		tokens = b.capacity
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	need := 1 - tokens
+	return time.Duration(need / b.refillPerSec * float64(time.Second))
+}
+
+// DailyWindow is a fixed-window daily counter (UTC days). Safe for
+// concurrent use.
+type DailyWindow struct {
+	mu    sync.Mutex
+	clock simclock.Clock
+	limit int
+	day   time.Time
+	count int
+}
+
+// NewDailyWindow builds a counter allowing limit requests per UTC
+// day. limit must be > 0.
+func NewDailyWindow(clock simclock.Clock, limit int) *DailyWindow {
+	if limit <= 0 {
+		panic("ratelimit: daily limit must be > 0")
+	}
+	return &DailyWindow{clock: clock, limit: limit}
+}
+
+// Allow counts one request and reports whether it fits in today's
+// quota.
+func (d *DailyWindow) Allow() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	today := d.clock.Now().UTC().Truncate(24 * time.Hour)
+	if !today.Equal(d.day) {
+		d.day = today
+		d.count = 0
+	}
+	if d.count >= d.limit {
+		return false
+	}
+	d.count++
+	return true
+}
+
+// Remaining returns today's unused quota.
+func (d *DailyWindow) Remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	today := d.clock.Now().UTC().Truncate(24 * time.Hour)
+	if !today.Equal(d.day) {
+		return d.limit
+	}
+	return d.limit - d.count
+}
+
+// Limiter combines per-minute and per-day quotas for one API key.
+type Limiter struct {
+	bucket *Bucket
+	daily  *DailyWindow
+}
+
+// NewLimiter builds a combined limiter; perMinute or perDay of 0
+// disables that dimension.
+func NewLimiter(clock simclock.Clock, perMinute, perDay int) *Limiter {
+	l := &Limiter{}
+	if perMinute > 0 {
+		l.bucket = NewBucket(clock, perMinute, time.Minute)
+	}
+	if perDay > 0 {
+		l.daily = NewDailyWindow(clock, perDay)
+	}
+	return l
+}
+
+// Verdict is a limiter decision.
+type Verdict struct {
+	// Allowed reports whether the request may proceed.
+	Allowed bool
+	// RetryAfter is a hint for 429 responses (zero when allowed or
+	// when the daily quota — not the minute bucket — is exhausted).
+	RetryAfter time.Duration
+}
+
+// Check consumes quota for one request.
+func (l *Limiter) Check() Verdict {
+	if l.daily != nil && l.daily.Remaining() <= 0 {
+		return Verdict{Allowed: false}
+	}
+	if l.bucket != nil && !l.bucket.Allow() {
+		return Verdict{Allowed: false, RetryAfter: l.bucket.RetryAfter()}
+	}
+	if l.daily != nil && !l.daily.Allow() {
+		return Verdict{Allowed: false}
+	}
+	return Verdict{Allowed: true}
+}

@@ -1,0 +1,193 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/simclock"
+)
+
+func TestBucketAllowsBurstThenBlocks(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	b := NewBucket(clock, 4, time.Minute)
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("request %d blocked within burst", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("5th immediate request should be blocked")
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	b := NewBucket(clock, 4, time.Minute)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+	}
+	// After 15 seconds one token (4/min) refills.
+	clock.Advance(15 * time.Second)
+	if !b.Allow() {
+		t.Fatal("token did not refill after 15s")
+	}
+	if b.Allow() {
+		t.Fatal("only one token should have refilled")
+	}
+}
+
+func TestBucketCapacityCaps(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	b := NewBucket(clock, 2, time.Minute)
+	clock.Advance(time.Hour) // long idle must not exceed capacity
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("capacity tokens missing")
+	}
+	if b.Allow() {
+		t.Fatal("burst exceeded capacity after idle")
+	}
+}
+
+func TestBucketRetryAfter(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	b := NewBucket(clock, 4, time.Minute)
+	if ra := b.RetryAfter(); ra != 0 {
+		t.Fatalf("RetryAfter with tokens = %v", ra)
+	}
+	for i := 0; i < 4; i++ {
+		b.Allow()
+	}
+	ra := b.RetryAfter()
+	if ra <= 0 || ra > 16*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~15s", ra)
+	}
+	clock.Advance(ra + time.Second)
+	if !b.Allow() {
+		t.Fatal("request still blocked after RetryAfter elapsed")
+	}
+}
+
+func TestBucketPanicsOnBadParams(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	for _, f := range []func(){
+		func() { NewBucket(clock, 0, time.Minute) },
+		func() { NewBucket(clock, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDailyWindow(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	d := NewDailyWindow(clock, 3)
+	for i := 0; i < 3; i++ {
+		if !d.Allow() {
+			t.Fatalf("request %d blocked within daily quota", i)
+		}
+	}
+	if d.Allow() {
+		t.Fatal("4th request should exceed daily quota")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+	// Next UTC day resets.
+	clock.Advance(24 * time.Hour)
+	if d.Remaining() != 3 {
+		t.Fatalf("remaining after day roll = %d", d.Remaining())
+	}
+	if !d.Allow() {
+		t.Fatal("new day should allow")
+	}
+}
+
+func TestLimiterCombined(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	l := NewLimiter(clock, 4, 6)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if l.Check().Allowed {
+			allowed++
+		}
+	}
+	if allowed != 4 {
+		t.Fatalf("burst allowed %d, want 4 (minute bucket)", allowed)
+	}
+	// Refill the bucket; the daily quota (6) now binds: 2 more.
+	clock.Advance(time.Minute)
+	allowed = 0
+	for i := 0; i < 10; i++ {
+		if l.Check().Allowed {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("after refill allowed %d, want 2 (daily quota)", allowed)
+	}
+	v := l.Check()
+	if v.Allowed {
+		t.Fatal("daily-exhausted limiter allowed a request")
+	}
+	if v.RetryAfter != 0 {
+		t.Fatalf("daily exhaustion should not hint RetryAfter, got %v", v.RetryAfter)
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	l := NewLimiter(clock, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if !l.Check().Allowed {
+			t.Fatal("unlimited limiter blocked")
+		}
+	}
+}
+
+func TestLimiterRetryAfterHint(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	l := NewLimiter(clock, 2, 0)
+	l.Check()
+	l.Check()
+	v := l.Check()
+	if v.Allowed {
+		t.Fatal("should be limited")
+	}
+	if v.RetryAfter <= 0 {
+		t.Fatal("minute-bucket rejection should hint RetryAfter")
+	}
+}
+
+func TestBucketConcurrentTotal(t *testing.T) {
+	clock := simclock.NewSim(simclock.CollectionStart)
+	b := NewBucket(clock, 100, time.Minute)
+	var allowed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 100; i++ {
+				if b.Allow() {
+					local++
+				}
+			}
+			mu.Lock()
+			allowed += int64(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if allowed != 100 {
+		t.Fatalf("concurrent allowed = %d, want exactly 100", allowed)
+	}
+}

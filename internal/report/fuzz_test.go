@@ -1,0 +1,85 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEnvelopeUnmarshal hardens the wire decoder against arbitrary
+// input: the collector parses feed bytes from the network, so a
+// malformed envelope must produce an error, never a panic, and any
+// successfully decoded envelope must satisfy the AVRank invariants.
+func FuzzEnvelopeUnmarshal(f *testing.F) {
+	// Seed with a valid envelope and assorted near-misses.
+	valid := Envelope{
+		Meta: SampleMeta{SHA256: "abc", FileType: "TXT", TimesSubmitted: 2},
+		Scan: ScanReport{SHA256: "abc", FileType: "TXT"},
+	}
+	if b, err := valid.MarshalJSON(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"data":{"type":"file","id":"x","attributes":{}}}`))
+	f.Add([]byte(`{"data":{"type":"file","id":"x","attributes":{"last_analysis_results":{"E":{"category":"malicious"}}}}}`))
+	f.Add([]byte(`{"data":{"type":"url"}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"data":{"type":"file","attributes":{"times_submitted":-1}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env Envelope
+		if err := env.UnmarshalJSON(data); err != nil {
+			return // malformed input must only error
+		}
+		// Decoded envelopes must uphold the counting invariants.
+		if got := ComputeAVRank(env.Scan.Results); got != env.Scan.AVRank {
+			t.Fatalf("AVRank invariant broken: %d vs %d", env.Scan.AVRank, got)
+		}
+		if got := CountActive(env.Scan.Results); got != env.Scan.EnginesTotal {
+			t.Fatalf("EnginesTotal invariant broken: %d vs %d", env.Scan.EnginesTotal, got)
+		}
+		// Re-encoding must succeed and re-decode to the same counts.
+		b, err := env.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Envelope
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Scan.AVRank != env.Scan.AVRank {
+			t.Fatalf("round trip changed AVRank: %d vs %d", back.Scan.AVRank, env.Scan.AVRank)
+		}
+	})
+}
+
+// FuzzVerdictParse checks the category parser total over arbitrary
+// strings.
+func FuzzVerdictParse(f *testing.F) {
+	for _, s := range []string{"malicious", "harmless", "benign", "clean", "timeout", "", "MALICIOUS"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v := ParseVerdict(s)
+		if v != Malicious && v != Benign && v != Undetected {
+			t.Fatalf("ParseVerdict(%q) = %d", s, v)
+		}
+		// String of a parsed verdict must re-parse to itself.
+		if got := ParseVerdict(v.String()); got != v {
+			t.Fatalf("verdict %v not stable under String/Parse", v)
+		}
+	})
+}
+
+// FuzzScanReportValidate ensures Validate never panics on arbitrary
+// JSON-shaped reports.
+func FuzzScanReportValidate(f *testing.F) {
+	f.Add([]byte(`{"SHA256":"x","AVRank":1}`))
+	f.Add([]byte(`{"Results":[{"Engine":"a","Verdict":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ScanReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return
+		}
+		_ = r.Validate() // must not panic
+	})
+}

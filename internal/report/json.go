@@ -1,0 +1,168 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// VirusTotal-v3-style wire format. The API serves and the collector
+// parses this shape:
+//
+//	{
+//	  "data": {
+//	    "id": "<sha256>",
+//	    "type": "file",
+//	    "attributes": {
+//	      "type_description": "Win32 EXE",
+//	      "size": 1234,
+//	      "first_submission_date": 1620000000,
+//	      "last_analysis_date": 1620000600,
+//	      "last_submission_date": 1620000000,
+//	      "times_submitted": 2,
+//	      "last_analysis_stats": {"malicious": 3, "harmless": 60, "undetected": 7},
+//	      "last_analysis_results": {
+//	        "BitDefender": {"category": "malicious", "result": "Trojan.X", "engine_version": "41"}
+//	      }
+//	    }
+//	  }
+//	}
+//
+// Dates are Unix seconds, matching VT.
+
+type wireEnvelope struct {
+	Data wireData `json:"data"`
+}
+
+type wireData struct {
+	ID         string         `json:"id"`
+	Type       string         `json:"type"`
+	Attributes wireAttributes `json:"attributes"`
+}
+
+type wireAttributes struct {
+	TypeDescription     string                      `json:"type_description"`
+	Size                int64                       `json:"size"`
+	FirstSubmissionDate int64                       `json:"first_submission_date"`
+	LastAnalysisDate    int64                       `json:"last_analysis_date"`
+	LastSubmissionDate  int64                       `json:"last_submission_date"`
+	TimesSubmitted      int                         `json:"times_submitted"`
+	LastAnalysisStats   wireStats                   `json:"last_analysis_stats"`
+	LastAnalysisResults map[string]wireEngineResult `json:"last_analysis_results"`
+}
+
+type wireStats struct {
+	Malicious  int `json:"malicious"`
+	Harmless   int `json:"harmless"`
+	Undetected int `json:"undetected"`
+}
+
+type wireEngineResult struct {
+	Category      string `json:"category"`
+	Result        string `json:"result,omitempty"`
+	EngineVersion string `json:"engine_version"`
+}
+
+// Envelope pairs a sample's metadata with one of its scan reports for
+// wire transport; it is what the report API returns and the premium
+// feed streams.
+type Envelope struct {
+	Meta SampleMeta
+	Scan ScanReport
+}
+
+// MarshalJSON encodes the envelope in the VT v3 shape above.
+func (e Envelope) MarshalJSON() ([]byte, error) {
+	attrs := wireAttributes{
+		TypeDescription:     e.Meta.FileType,
+		Size:                e.Meta.Size,
+		FirstSubmissionDate: unix(e.Meta.FirstSubmissionDate),
+		LastAnalysisDate:    unix(e.Meta.LastAnalysisDate),
+		LastSubmissionDate:  unix(e.Meta.LastSubmissionDate),
+		TimesSubmitted:      e.Meta.TimesSubmitted,
+		LastAnalysisResults: make(map[string]wireEngineResult, len(e.Scan.Results)),
+	}
+	for _, er := range e.Scan.Results {
+		attrs.LastAnalysisResults[er.Engine] = wireEngineResult{
+			Category:      er.Verdict.String(),
+			Result:        er.Label,
+			EngineVersion: fmt.Sprintf("%d", er.SignatureVersion),
+		}
+		switch er.Verdict {
+		case Malicious:
+			attrs.LastAnalysisStats.Malicious++
+		case Benign:
+			attrs.LastAnalysisStats.Harmless++
+		default:
+			attrs.LastAnalysisStats.Undetected++
+		}
+	}
+	return json.Marshal(wireEnvelope{Data: wireData{
+		ID:         e.Meta.SHA256,
+		Type:       "file",
+		Attributes: attrs,
+	}})
+}
+
+// UnmarshalJSON decodes the VT v3 shape. Engine results are sorted by
+// engine name so decoding is deterministic.
+func (e *Envelope) UnmarshalJSON(b []byte) error {
+	var w wireEnvelope
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Data.Type != "file" {
+		return fmt.Errorf("report: unexpected data type %q", w.Data.Type)
+	}
+	a := w.Data.Attributes
+	e.Meta = SampleMeta{
+		SHA256:              w.Data.ID,
+		FileType:            a.TypeDescription,
+		Size:                a.Size,
+		FirstSubmissionDate: fromUnix(a.FirstSubmissionDate),
+		LastAnalysisDate:    fromUnix(a.LastAnalysisDate),
+		LastSubmissionDate:  fromUnix(a.LastSubmissionDate),
+		TimesSubmitted:      a.TimesSubmitted,
+	}
+	names := make([]string, 0, len(a.LastAnalysisResults))
+	for name := range a.LastAnalysisResults {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]EngineResult, 0, len(names))
+	for _, name := range names {
+		wr := a.LastAnalysisResults[name]
+		var ver int
+		fmt.Sscanf(wr.EngineVersion, "%d", &ver)
+		results = append(results, EngineResult{
+			Engine:           name,
+			Verdict:          ParseVerdict(wr.Category),
+			Label:            wr.Result,
+			SignatureVersion: ver,
+		})
+	}
+	e.Scan = ScanReport{
+		SHA256:       w.Data.ID,
+		FileType:     a.TypeDescription,
+		AnalysisDate: fromUnix(a.LastAnalysisDate),
+		Results:      results,
+		AVRank:       ComputeAVRank(results),
+		EnginesTotal: CountActive(results),
+	}
+	return nil
+}
+
+func unix(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.Unix()
+}
+
+func fromUnix(s int64) time.Time {
+	if s == 0 {
+		return time.Time{}
+	}
+	return time.Unix(s, 0).UTC()
+}

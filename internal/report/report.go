@@ -1,0 +1,219 @@
+// Package report defines the scan-report data model shared by the
+// simulator, the HTTP API, the collector, the store, and every
+// analysis: per-engine verdicts, the AV-Rank aggregate ("positives" in
+// VT reports), sample metadata with the three API-sensitive fields of
+// Table 1, and a VirusTotal-v3-style JSON wire encoding.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Verdict is a single engine's decision for a single scan, following
+// the paper's R matrix encoding (Equation 1): 1 malicious, 0 benign,
+// -1 undetected (the engine was inactive, timed out, or abstained).
+type Verdict int8
+
+const (
+	// Undetected means the engine produced no verdict for this scan.
+	Undetected Verdict = -1
+	// Benign means the engine examined the file and found it clean.
+	Benign Verdict = 0
+	// Malicious means the engine flagged the file.
+	Malicious Verdict = 1
+)
+
+// String implements fmt.Stringer using VT's category vocabulary.
+func (v Verdict) String() string {
+	switch v {
+	case Malicious:
+		return "malicious"
+	case Benign:
+		return "harmless"
+	case Undetected:
+		return "undetected"
+	default:
+		return fmt.Sprintf("verdict(%d)", int8(v))
+	}
+}
+
+// ParseVerdict is the inverse of String. Unknown categories map to
+// Undetected, mirroring how analyses treat exotic VT categories
+// (timeout, type-unsupported, failure).
+func ParseVerdict(s string) Verdict {
+	switch s {
+	case "malicious":
+		return Malicious
+	case "harmless", "benign", "clean":
+		return Benign
+	default:
+		return Undetected
+	}
+}
+
+// EngineResult is one engine's entry in a scan report.
+type EngineResult struct {
+	// Engine is the engine's display name (e.g. "BitDefender").
+	Engine string
+	// Verdict is the engine's decision.
+	Verdict Verdict
+	// Label is the malware-family label string for malicious verdicts
+	// (e.g. "Trojan.GenericKD"); empty otherwise.
+	Label string
+	// SignatureVersion identifies the engine's signature database at
+	// scan time. A change between two scans marks an engine update —
+	// the paper's §5.5 attributes ~60% of flips to these.
+	SignatureVersion int
+}
+
+// ScanReport is one analysis of one sample: the unit the premium feed
+// delivers 847 million of in the paper's dataset.
+type ScanReport struct {
+	// SHA256 identifies the scanned sample.
+	SHA256 string
+	// FileType is VT's type label for the sample (e.g. "Win32 EXE").
+	FileType string
+	// AnalysisDate is when this scan ran.
+	AnalysisDate time.Time
+	// Results holds the participating engines' verdicts.
+	Results []EngineResult
+	// AVRank is the number of engines with a Malicious verdict — the
+	// "positives" field. Invariant: AVRank == CountMalicious(Results).
+	AVRank int
+	// EnginesTotal is the number of engines that produced any verdict
+	// (malicious, benign), i.e. excluding Undetected.
+	EnginesTotal int
+}
+
+// SampleMeta is the per-sample metadata VT maintains across scans.
+// Its three trailing fields follow the update rules of Table 1.
+type SampleMeta struct {
+	SHA256   string
+	FileType string
+	Size     int64
+	// FirstSubmissionDate is when the sample first reached the
+	// service. Samples first submitted inside the collection window
+	// are the paper's "fresh" samples (91.76% of the dataset).
+	FirstSubmissionDate time.Time
+	// LastAnalysisDate updates on upload and rescan; never on report.
+	LastAnalysisDate time.Time
+	// LastSubmissionDate updates on upload only.
+	LastSubmissionDate time.Time
+	// TimesSubmitted increments on upload only.
+	TimesSubmitted int
+}
+
+// ComputeAVRank counts Malicious verdicts; it defines the invariant
+// checked by Validate and by property tests across the pipeline.
+func ComputeAVRank(results []EngineResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Verdict == Malicious {
+			n++
+		}
+	}
+	return n
+}
+
+// CountActive counts engines with a non-Undetected verdict.
+func CountActive(results []EngineResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Verdict != Undetected {
+			n++
+		}
+	}
+	return n
+}
+
+// Validation errors.
+var (
+	ErrNoSHA256       = errors.New("report: missing sha256")
+	ErrAVRankMismatch = errors.New("report: AVRank does not equal count of malicious verdicts")
+	ErrTotalMismatch  = errors.New("report: EnginesTotal does not equal count of active verdicts")
+	ErrZeroTime       = errors.New("report: zero analysis date")
+	ErrDuplicateEng   = errors.New("report: duplicate engine entry")
+)
+
+// Validate checks the report's internal invariants. Every report the
+// simulator emits and the store persists must validate.
+func (r *ScanReport) Validate() error {
+	if r.SHA256 == "" {
+		return ErrNoSHA256
+	}
+	if r.AnalysisDate.IsZero() {
+		return ErrZeroTime
+	}
+	if got := ComputeAVRank(r.Results); got != r.AVRank {
+		return fmt.Errorf("%w: have %d, computed %d", ErrAVRankMismatch, r.AVRank, got)
+	}
+	if got := CountActive(r.Results); got != r.EnginesTotal {
+		return fmt.Errorf("%w: have %d, computed %d", ErrTotalMismatch, r.EnginesTotal, got)
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for _, er := range r.Results {
+		if seen[er.Engine] {
+			return fmt.Errorf("%w: %s", ErrDuplicateEng, er.Engine)
+		}
+		seen[er.Engine] = true
+	}
+	return nil
+}
+
+// VerdictOf returns the verdict of the named engine in this report,
+// or Undetected if the engine did not participate.
+func (r *ScanReport) VerdictOf(engine string) Verdict {
+	for _, er := range r.Results {
+		if er.Engine == engine {
+			return er.Verdict
+		}
+	}
+	return Undetected
+}
+
+// Clone returns a deep copy of the report. The simulator hands
+// callers clones so stored history cannot be mutated.
+func (r *ScanReport) Clone() *ScanReport {
+	c := *r
+	c.Results = make([]EngineResult, len(r.Results))
+	copy(c.Results, r.Results)
+	return &c
+}
+
+// History is a sample's scan reports in ascending time order; the
+// unit of every dynamics analysis.
+type History struct {
+	Meta    SampleMeta
+	Reports []*ScanReport
+}
+
+// AVRanks extracts the AV-Rank sequence p_1..p_n.
+func (h *History) AVRanks() []int {
+	ps := make([]int, len(h.Reports))
+	for i, r := range h.Reports {
+		ps[i] = r.AVRank
+	}
+	return ps
+}
+
+// Times extracts the analysis timestamps.
+func (h *History) Times() []time.Time {
+	ts := make([]time.Time, len(h.Reports))
+	for i, r := range h.Reports {
+		ts[i] = r.AnalysisDate
+	}
+	return ts
+}
+
+// SortedByTime reports whether the history is in ascending time order
+// (ties allowed).
+func (h *History) SortedByTime() bool {
+	for i := 1; i < len(h.Reports); i++ {
+		if h.Reports[i].AnalysisDate.Before(h.Reports[i-1].AnalysisDate) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,269 @@
+package report
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testTime = time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+
+func sampleResults() []EngineResult {
+	return []EngineResult{
+		{Engine: "Avast", Verdict: Malicious, Label: "Win32.Trojan", SignatureVersion: 3},
+		{Engine: "AVG", Verdict: Malicious, Label: "Win32.Trojan", SignatureVersion: 3},
+		{Engine: "BitDefender", Verdict: Benign, SignatureVersion: 7},
+		{Engine: "ClamAV", Verdict: Undetected, SignatureVersion: 1},
+	}
+}
+
+func validReport() *ScanReport {
+	res := sampleResults()
+	return &ScanReport{
+		SHA256:       "abc123",
+		FileType:     "Win32 EXE",
+		AnalysisDate: testTime,
+		Results:      res,
+		AVRank:       ComputeAVRank(res),
+		EnginesTotal: CountActive(res),
+	}
+}
+
+func TestVerdictStringRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{Malicious, Benign, Undetected} {
+		if got := ParseVerdict(v.String()); got != v {
+			t.Fatalf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+}
+
+func TestParseVerdictAliases(t *testing.T) {
+	if ParseVerdict("clean") != Benign || ParseVerdict("benign") != Benign {
+		t.Fatal("benign aliases not recognized")
+	}
+	if ParseVerdict("timeout") != Undetected || ParseVerdict("") != Undetected {
+		t.Fatal("unknown categories should map to Undetected")
+	}
+}
+
+func TestComputeAVRank(t *testing.T) {
+	if got := ComputeAVRank(sampleResults()); got != 2 {
+		t.Fatalf("AVRank = %d, want 2", got)
+	}
+	if got := ComputeAVRank(nil); got != 0 {
+		t.Fatalf("AVRank(nil) = %d", got)
+	}
+}
+
+func TestCountActive(t *testing.T) {
+	if got := CountActive(sampleResults()); got != 3 {
+		t.Fatalf("CountActive = %d, want 3", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesAVRankMismatch(t *testing.T) {
+	r := validReport()
+	r.AVRank++
+	if err := r.Validate(); err == nil {
+		t.Fatal("expected AVRank mismatch error")
+	}
+}
+
+func TestValidateCatchesTotalMismatch(t *testing.T) {
+	r := validReport()
+	r.EnginesTotal = 0
+	if err := r.Validate(); err == nil {
+		t.Fatal("expected total mismatch error")
+	}
+}
+
+func TestValidateCatchesMissingHashAndTime(t *testing.T) {
+	r := validReport()
+	r.SHA256 = ""
+	if err := r.Validate(); err != ErrNoSHA256 {
+		t.Fatalf("err = %v", err)
+	}
+	r = validReport()
+	r.AnalysisDate = time.Time{}
+	if err := r.Validate(); err != ErrZeroTime {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateEngine(t *testing.T) {
+	r := validReport()
+	r.Results = append(r.Results, r.Results[0])
+	r.AVRank = ComputeAVRank(r.Results)
+	r.EnginesTotal = CountActive(r.Results)
+	if err := r.Validate(); err == nil {
+		t.Fatal("expected duplicate engine error")
+	}
+}
+
+func TestVerdictOf(t *testing.T) {
+	r := validReport()
+	if got := r.VerdictOf("Avast"); got != Malicious {
+		t.Fatalf("VerdictOf(Avast) = %v", got)
+	}
+	if got := r.VerdictOf("NoSuchEngine"); got != Undetected {
+		t.Fatalf("VerdictOf(missing) = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := validReport()
+	c := r.Clone()
+	c.Results[0].Verdict = Benign
+	if r.Results[0].Verdict != Malicious {
+		t.Fatal("Clone shares Results backing array")
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	r1 := validReport()
+	r2 := validReport()
+	r2.AnalysisDate = testTime.Add(24 * time.Hour)
+	r2.Results = r2.Results[:2]
+	r2.AVRank = 2
+	r2.EnginesTotal = 2
+	h := &History{Reports: []*ScanReport{r1, r2}}
+	ranks := h.AVRanks()
+	if len(ranks) != 2 || ranks[0] != 2 || ranks[1] != 2 {
+		t.Fatalf("AVRanks = %v", ranks)
+	}
+	times := h.Times()
+	if !times[1].After(times[0]) {
+		t.Fatalf("Times = %v", times)
+	}
+	if !h.SortedByTime() {
+		t.Fatal("SortedByTime = false for sorted history")
+	}
+	h.Reports[0], h.Reports[1] = h.Reports[1], h.Reports[0]
+	if h.SortedByTime() {
+		t.Fatal("SortedByTime = true for unsorted history")
+	}
+}
+
+func TestEnvelopeJSONRoundTrip(t *testing.T) {
+	scan := validReport()
+	env := Envelope{
+		Meta: SampleMeta{
+			SHA256:              scan.SHA256,
+			FileType:            scan.FileType,
+			Size:                4096,
+			FirstSubmissionDate: testTime.Add(-time.Hour),
+			LastAnalysisDate:    scan.AnalysisDate,
+			LastSubmissionDate:  testTime.Add(-time.Hour),
+			TimesSubmitted:      2,
+		},
+		Scan: *scan,
+	}
+	b, err := env.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Envelope
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.SHA256 != env.Meta.SHA256 ||
+		back.Meta.FileType != env.Meta.FileType ||
+		back.Meta.Size != env.Meta.Size ||
+		back.Meta.TimesSubmitted != env.Meta.TimesSubmitted {
+		t.Fatalf("meta round trip: %+v", back.Meta)
+	}
+	if !back.Meta.LastAnalysisDate.Equal(env.Meta.LastAnalysisDate) {
+		t.Fatalf("last_analysis_date: %v vs %v", back.Meta.LastAnalysisDate, env.Meta.LastAnalysisDate)
+	}
+	if back.Scan.AVRank != scan.AVRank {
+		t.Fatalf("AVRank round trip: %d vs %d", back.Scan.AVRank, scan.AVRank)
+	}
+	if back.Scan.EnginesTotal != scan.EnginesTotal {
+		t.Fatalf("EnginesTotal round trip: %d", back.Scan.EnginesTotal)
+	}
+	if err := back.Scan.Validate(); err != nil {
+		t.Fatalf("decoded scan invalid: %v", err)
+	}
+	if got := back.Scan.VerdictOf("Avast"); got != Malicious {
+		t.Fatalf("decoded verdict = %v", got)
+	}
+	if got := back.Scan.VerdictOf("ClamAV"); got != Undetected {
+		t.Fatalf("decoded undetected verdict = %v", got)
+	}
+}
+
+func TestEnvelopeRejectsWrongType(t *testing.T) {
+	var e Envelope
+	err := e.UnmarshalJSON([]byte(`{"data":{"id":"x","type":"url","attributes":{}}}`))
+	if err == nil {
+		t.Fatal("expected error for non-file data type")
+	}
+}
+
+func TestEnvelopeZeroTimesEncodeAsZero(t *testing.T) {
+	env := Envelope{Meta: SampleMeta{SHA256: "h"}, Scan: ScanReport{SHA256: "h"}}
+	b, err := env.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Envelope
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Meta.LastAnalysisDate.IsZero() {
+		t.Fatalf("zero time did not round trip: %v", back.Meta.LastAnalysisDate)
+	}
+}
+
+// Property: for any random verdict multiset, AVRank invariant holds
+// after an encode/decode cycle.
+func TestQuickEnvelopeAVRankInvariant(t *testing.T) {
+	f := func(verdicts []int8) bool {
+		results := make([]EngineResult, len(verdicts))
+		for i, v := range verdicts {
+			var vd Verdict
+			switch v % 3 {
+			case 0:
+				vd = Benign
+			case 1:
+				vd = Malicious
+			default:
+				vd = Undetected
+			}
+			results[i] = EngineResult{Engine: engineName(i), Verdict: vd, SignatureVersion: 1}
+		}
+		scan := ScanReport{
+			SHA256:       "hash",
+			FileType:     "TXT",
+			AnalysisDate: testTime,
+			Results:      results,
+			AVRank:       ComputeAVRank(results),
+			EnginesTotal: CountActive(results),
+		}
+		env := Envelope{Meta: SampleMeta{SHA256: "hash", FileType: "TXT", LastAnalysisDate: testTime}, Scan: scan}
+		b, err := env.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back Envelope
+		if err := back.UnmarshalJSON(b); err != nil {
+			return false
+		}
+		return back.Scan.AVRank == scan.AVRank &&
+			back.Scan.EnginesTotal == scan.EnginesTotal &&
+			back.Scan.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func engineName(i int) string {
+	return "eng" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,319 @@
+// Package sampleset generates the submission workload: a synthetic
+// population of samples with the distributional shape of the paper's
+// 571-million-sample dataset, scaled down to laptop size.
+//
+// Calibration targets (paper §4):
+//   - file-type mix: Table 3's top-20 shares plus NULL and the
+//     aggregated long tail;
+//   - reports per sample: 88.81% singletons, 99.10% < 6, 99.90% < 20,
+//     with a bounded-Pareto tail reaching tens of thousands (Fig. 1);
+//   - fresh samples: 91.76% first submitted inside the window;
+//   - inter-scan gaps: lognormal with a median of days and a tail of
+//     hundreds of days (the paper saw up to 418), plus a same-day
+//     rescan mode;
+//   - per-type ground-truth malware ratios chosen so the stable /
+//     dynamic split of multi-report samples lands near the paper's
+//     50/50 (Observation 1).
+package sampleset
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/xrand"
+)
+
+// Sample is one generated file with its full submission schedule.
+type Sample struct {
+	// SHA256 is a synthetic, unique, deterministic hash.
+	SHA256 string
+	// FileType is the VT type label.
+	FileType string
+	// Size is the synthetic file size in bytes.
+	Size int64
+	// Malicious is the latent ground truth.
+	Malicious bool
+	// Detectability in [0,1] scales how many engines ever detect it.
+	Detectability float64
+	// FirstSeen is the first submission instant. For fresh samples it
+	// lies inside the collection window; for old samples before it.
+	FirstSeen time.Time
+	// Fresh marks samples first submitted inside the window (91.76%
+	// of the paper's dataset).
+	Fresh bool
+	// ScanTimes holds every analysis instant inside the collection
+	// window, ascending. Its length is the sample's report count.
+	ScanTimes []time.Time
+}
+
+// Target converts the sample to the engine-facing view.
+func (s *Sample) Target() engine.Target {
+	return engine.Target{
+		SHA256:        s.SHA256,
+		FileType:      s.FileType,
+		Malicious:     s.Malicious,
+		Detectability: s.Detectability,
+		FirstSeen:     s.FirstSeen,
+	}
+}
+
+// Config parameterizes the generator. Zero values select the paper's
+// calibrated defaults.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal populations.
+	Seed int64
+	// NumSamples is the population size (required, > 0).
+	NumSamples int
+	// Start and End bound the collection window; defaults are the
+	// paper's 14 months.
+	Start, End time.Time
+	// FreshFraction defaults to 0.9176.
+	FreshFraction float64
+	// SingleReportFraction defaults to 0.8881 (Fig. 1).
+	SingleReportFraction float64
+	// MaxReports caps the heavy tail; defaults to 64168, the paper's
+	// observed maximum.
+	MaxReports int
+	// GapMedianDays is the median inter-scan gap; defaults to 12.
+	GapMedianDays float64
+	// GapSigma is the lognormal shape; defaults to 1.1.
+	GapSigma float64
+	// SameDayRescanProb is the probability an inter-scan gap is hours
+	// rather than days; defaults to 0.15.
+	SameDayRescanProb float64
+	// MultiOnly, when true, makes every sample have >= 2 reports —
+	// the generator equivalent of the paper's restriction to the
+	// 63,999,984 multi-report samples.
+	MultiOnly bool
+	// TopTypesOnly, when true, restricts the mix to the top-20 types
+	// (the dataset-S restriction of §5.3.1).
+	TopTypesOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2021, time.May, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.End.IsZero() {
+		c.End = time.Date(2022, time.July, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.FreshFraction == 0 {
+		c.FreshFraction = 0.9176
+	}
+	if c.SingleReportFraction == 0 {
+		c.SingleReportFraction = 0.8881
+	}
+	if c.MaxReports == 0 {
+		c.MaxReports = 64168
+	}
+	if c.GapMedianDays == 0 {
+		c.GapMedianDays = 12
+	}
+	if c.GapSigma == 0 {
+		c.GapSigma = 1.1
+	}
+	if c.SameDayRescanProb == 0 {
+		c.SameDayRescanProb = 0.15
+	}
+	return c
+}
+
+// Generator produces Samples one at a time; it is not safe for
+// concurrent use.
+type Generator struct {
+	cfg     Config
+	rng     *xrand.Rand
+	mix     *xrand.Cumulative
+	mixRows []ftypes.TypeShare
+	serial  int
+}
+
+// malware ratios for the two aggregate categories.
+const (
+	nullMalwareRatio   = 0.45
+	othersMalwareRatio = 0.50
+)
+
+// NewGenerator validates the config and prepares the type mix.
+func NewGenerator(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumSamples <= 0 {
+		return nil, fmt.Errorf("sampleset: NumSamples must be > 0, got %d", cfg.NumSamples)
+	}
+	if !cfg.End.After(cfg.Start) {
+		return nil, fmt.Errorf("sampleset: End %v not after Start %v", cfg.End, cfg.Start)
+	}
+	rows := make([]ftypes.TypeShare, 0, len(ftypes.Top20)+2)
+	rows = append(rows, ftypes.Top20...)
+	if !cfg.TopTypesOnly {
+		rows = append(rows,
+			ftypes.TypeShare{Type: ftypes.NULL, SampleShare: ftypes.NullShare,
+				MalwareRatio: nullMalwareRatio, MeanSizeBytes: 64 << 10},
+			ftypes.TypeShare{Type: ftypes.Others, SampleShare: ftypes.OthersShare,
+				MalwareRatio: othersMalwareRatio, MeanSizeBytes: 128 << 10},
+		)
+	}
+	weights := make([]float64, len(rows))
+	for i, r := range rows {
+		weights[i] = r.SampleShare
+	}
+	return &Generator{
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed),
+		mix:     xrand.NewCumulative(weights),
+		mixRows: rows,
+	}, nil
+}
+
+// Next generates the next sample. It never fails once the generator
+// is constructed.
+func (g *Generator) Next() *Sample {
+	g.serial++
+	row := g.mixRows[g.mix.Choose(g.rng)]
+	s := &Sample{
+		SHA256:   syntheticHash(g.cfg.Seed, g.serial),
+		FileType: row.Type,
+	}
+	// Size: lognormal around the type's mean, floor 128 bytes.
+	size := g.rng.Lognormal(math.Log(float64(row.MeanSizeBytes)), 0.9)
+	if size < 128 {
+		size = 128
+	}
+	s.Size = int64(size)
+	s.Malicious = g.rng.Bool(row.MalwareRatio)
+	// Detectability: skewed toward well-detected malware — pow(U, 0.5)
+	// has mean 2/3 — with a floor so some engines always engage.
+	s.Detectability = 0.15 + 0.85*math.Sqrt(g.rng.Float64())
+
+	windowDur := g.cfg.End.Sub(g.cfg.Start)
+	s.Fresh = g.rng.Bool(g.cfg.FreshFraction)
+	if s.Fresh {
+		// First submission inside the window, biased away from the
+		// very end so multi-report samples fit some rescans.
+		s.FirstSeen = g.cfg.Start.Add(time.Duration(g.rng.Float64() * float64(windowDur)))
+	} else {
+		// Up to 3 years of pre-window history.
+		back := time.Duration(g.rng.Float64() * float64(3*365*24) * float64(time.Hour))
+		s.FirstSeen = g.cfg.Start.Add(-back - time.Hour)
+	}
+	// Real scan timestamps are Unix seconds; keep every generated
+	// instant at second granularity so wire round-trips are exact.
+	s.FirstSeen = s.FirstSeen.Truncate(time.Second)
+
+	s.ScanTimes = g.scanSchedule(s)
+	return s
+}
+
+// GenerateAll materializes the full population.
+func (g *Generator) GenerateAll() []*Sample {
+	out := make([]*Sample, g.cfg.NumSamples)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Generate is the one-shot convenience: build a generator and
+// materialize the population.
+func Generate(cfg Config) ([]*Sample, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.GenerateAll(), nil
+}
+
+// reportCount draws the number of reports for one sample following
+// the Figure 1 calibration.
+func (g *Generator) reportCount() int {
+	if !g.cfg.MultiOnly && g.rng.Bool(g.cfg.SingleReportFraction) {
+		return 1
+	}
+	// Multi-report branch, calibrated to Figure 2: ~69% two-report,
+	// ~94% <= 4, ~99.9% <= 20, Pareto beyond.
+	u := g.rng.Float64()
+	switch {
+	case u < 0.69:
+		return 2
+	case u < 0.86:
+		return 3
+	case u < 0.94:
+		return 4
+	case u < 0.965:
+		return 5
+	case u < 0.999:
+		return 6 + g.rng.Intn(15) // 6..20
+	default:
+		return g.rng.BoundedPareto(21, g.cfg.MaxReports, 1.35)
+	}
+}
+
+// scanSchedule draws the sample's analysis instants. The first scan
+// happens at first submission (for old samples, at a re-submission
+// inside the window); subsequent scans follow lognormal gaps with a
+// same-day rescan mode. Scans beyond the window end are dropped —
+// exactly what happens when a real collection campaign stops.
+func (g *Generator) scanSchedule(s *Sample) []time.Time {
+	n := g.reportCount()
+	first := s.FirstSeen
+	if !s.Fresh {
+		// Old sample re-entering the window: first in-window scan is
+		// uniform over the window.
+		first = g.cfg.Start.Add(time.Duration(g.rng.Float64() * float64(g.cfg.End.Sub(g.cfg.Start))))
+	}
+	times := make([]time.Time, 0, min(n, 4096))
+	t := first.Truncate(time.Second)
+	for i := 0; i < n; i++ {
+		if !t.Before(g.cfg.End) {
+			break
+		}
+		times = append(times, t)
+		t = t.Add(g.gap(n)).Truncate(time.Second)
+	}
+	return times
+}
+
+// gap draws one inter-scan gap for a sample scheduled for n scans.
+// Heavily resubmitted samples are rescanned in quicker succession —
+// the gap median shrinks with the scan count — which is what lets
+// most multi-scan samples demonstrate stabilization within ~30 days
+// (Observation 8) while two-scan samples keep the long spans of
+// Figure 4.
+func (g *Generator) gap(n int) time.Duration {
+	if g.rng.Bool(g.cfg.SameDayRescanProb) {
+		// Hours-scale rescan.
+		return time.Duration((0.5 + 11.5*g.rng.Float64()) * float64(time.Hour))
+	}
+	median := g.cfg.GapMedianDays
+	if n > 2 {
+		median *= math.Pow(2/float64(n), 0.4)
+	}
+	days := g.rng.Lognormal(math.Log(median), g.cfg.GapSigma)
+	const maxGapDays = 418
+	if days > maxGapDays {
+		days = maxGapDays
+	}
+	return time.Duration(days * float64(24*time.Hour))
+}
+
+// syntheticHash derives a unique 64-hex-char pseudo-SHA256 from the
+// seed and serial number.
+func syntheticHash(seed int64, serial int) string {
+	const hex = "0123456789abcdef"
+	var b [64]byte
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(serial)
+	for i := 0; i < 64; i++ {
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 33
+		b[i] = hex[x&0xf]
+	}
+	// Embed the serial to guarantee uniqueness even under mixer
+	// collisions.
+	tail := fmt.Sprintf("%012x", uint64(serial))
+	copy(b[64-len(tail):], tail)
+	return string(b[:])
+}

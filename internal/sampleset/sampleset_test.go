@@ -1,0 +1,287 @@
+package sampleset
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/ftypes"
+)
+
+func genN(t *testing.T, cfg Config) []*Sample {
+	t.Helper()
+	ss, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1}); err == nil {
+		t.Fatal("expected error for NumSamples = 0")
+	}
+	bad := Config{Seed: 1, NumSamples: 10,
+		Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("expected error for End before Start")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := genN(t, Config{Seed: 5, NumSamples: 500})
+	b := genN(t, Config{Seed: 5, NumSamples: 500})
+	for i := range a {
+		if a[i].SHA256 != b[i].SHA256 || a[i].FileType != b[i].FileType ||
+			len(a[i].ScanTimes) != len(b[i].ScanTimes) {
+			t.Fatalf("sample %d differs between runs", i)
+		}
+	}
+}
+
+func TestHashesUnique(t *testing.T) {
+	ss := genN(t, Config{Seed: 7, NumSamples: 20000})
+	seen := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		if len(s.SHA256) != 64 {
+			t.Fatalf("hash length = %d", len(s.SHA256))
+		}
+		if seen[s.SHA256] {
+			t.Fatalf("duplicate hash %s", s.SHA256)
+		}
+		seen[s.SHA256] = true
+	}
+}
+
+func TestSingleReportFractionCalibrated(t *testing.T) {
+	ss := genN(t, Config{Seed: 9, NumSamples: 100000})
+	single := 0
+	for _, s := range ss {
+		if len(s.ScanTimes) == 1 {
+			single++
+		}
+	}
+	frac := float64(single) / float64(len(ss))
+	// Window truncation converts a few multi-report samples into
+	// singletons, so allow a band around the 0.8881 target.
+	if frac < 0.85 || frac < 0.8881-0.03 || frac > 0.93 {
+		t.Fatalf("single-report fraction = %.4f, want ~0.89", frac)
+	}
+}
+
+func TestMultiReportTailShape(t *testing.T) {
+	ss := genN(t, Config{Seed: 11, NumSamples: 60000, MultiOnly: true})
+	two, le4, le20, total := 0, 0, 0, 0
+	for _, s := range ss {
+		n := len(s.ScanTimes)
+		if n < 1 {
+			t.Fatal("sample with no scans")
+		}
+		total++
+		if n == 2 {
+			two++
+		}
+		if n <= 4 {
+			le4++
+		}
+		if n <= 20 {
+			le20++
+		}
+	}
+	fTwo := float64(two) / float64(total)
+	fLe4 := float64(le4) / float64(total)
+	fLe20 := float64(le20) / float64(total)
+	// Figure 2: ~67-71% two-report, ~94% <= 4, 99.9% <= 20. Window
+	// truncation shifts some mass downward, so use loose bands.
+	if fTwo < 0.60 || fTwo > 0.82 {
+		t.Fatalf("two-report fraction = %.4f", fTwo)
+	}
+	if fLe4 < 0.90 {
+		t.Fatalf("<=4 reports fraction = %.4f", fLe4)
+	}
+	if fLe20 < 0.995 {
+		t.Fatalf("<=20 reports fraction = %.4f", fLe20)
+	}
+}
+
+func TestFreshFraction(t *testing.T) {
+	ss := genN(t, Config{Seed: 13, NumSamples: 50000})
+	fresh := 0
+	for _, s := range ss {
+		if s.Fresh {
+			fresh++
+		}
+	}
+	frac := float64(fresh) / float64(len(ss))
+	if math.Abs(frac-0.9176) > 0.01 {
+		t.Fatalf("fresh fraction = %.4f, want ~0.9176", frac)
+	}
+}
+
+func TestFileTypeMixMatchesTable3(t *testing.T) {
+	ss := genN(t, Config{Seed: 15, NumSamples: 200000})
+	counts := map[string]int{}
+	for _, s := range ss {
+		counts[s.FileType]++
+	}
+	n := float64(len(ss))
+	checks := map[string]float64{
+		ftypes.Win32EXE: 0.252139,
+		ftypes.TXT:      0.128777,
+		ftypes.HTML:     0.097600,
+		ftypes.JPEG:     0.003547,
+	}
+	for ft, want := range checks {
+		got := float64(counts[ft]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("%s share = %.4f, want %.4f", ft, got, want)
+		}
+	}
+	if counts[ftypes.NULL] == 0 || counts[ftypes.Others] == 0 {
+		t.Fatal("NULL / Others missing from mix")
+	}
+}
+
+func TestTopTypesOnly(t *testing.T) {
+	ss := genN(t, Config{Seed: 17, NumSamples: 20000, TopTypesOnly: true})
+	for _, s := range ss {
+		if !ftypes.IsTop20(s.FileType) {
+			t.Fatalf("TopTypesOnly produced %q", s.FileType)
+		}
+	}
+}
+
+func TestScanTimesSortedAndInWindow(t *testing.T) {
+	cfg := Config{Seed: 19, NumSamples: 30000}
+	ss := genN(t, cfg)
+	start := time.Date(2021, time.May, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2022, time.July, 1, 0, 0, 0, 0, time.UTC)
+	for _, s := range ss {
+		if len(s.ScanTimes) == 0 {
+			t.Fatal("sample with no in-window scans")
+		}
+		for i, st := range s.ScanTimes {
+			if st.Before(start) || !st.Before(end) {
+				t.Fatalf("scan %v outside window", st)
+			}
+			if i > 0 && st.Before(s.ScanTimes[i-1]) {
+				t.Fatal("scan times not ascending")
+			}
+		}
+	}
+}
+
+func TestFreshSamplesFirstSeenInWindow(t *testing.T) {
+	ss := genN(t, Config{Seed: 21, NumSamples: 20000})
+	start := time.Date(2021, time.May, 1, 0, 0, 0, 0, time.UTC)
+	for _, s := range ss {
+		if s.Fresh {
+			if s.FirstSeen.Before(start) {
+				t.Fatal("fresh sample first seen before window")
+			}
+			if !s.ScanTimes[0].Equal(s.FirstSeen) {
+				t.Fatal("fresh sample's first scan should be its first submission")
+			}
+		} else if !s.FirstSeen.Before(start) {
+			t.Fatal("old sample first seen inside window")
+		}
+	}
+}
+
+func TestMalwareRatioVariesByType(t *testing.T) {
+	ss := genN(t, Config{Seed: 23, NumSamples: 300000})
+	mal := map[string]int{}
+	tot := map[string]int{}
+	for _, s := range ss {
+		tot[s.FileType]++
+		if s.Malicious {
+			mal[s.FileType]++
+		}
+	}
+	exeRatio := float64(mal[ftypes.Win32EXE]) / float64(tot[ftypes.Win32EXE])
+	jpegRatio := float64(mal[ftypes.JPEG]) / float64(tot[ftypes.JPEG])
+	if exeRatio < 0.5 {
+		t.Fatalf("Win32 EXE malware ratio = %.3f, want high", exeRatio)
+	}
+	if jpegRatio > 0.1 {
+		t.Fatalf("JPEG malware ratio = %.3f, want low", jpegRatio)
+	}
+}
+
+func TestDetectabilityRange(t *testing.T) {
+	ss := genN(t, Config{Seed: 25, NumSamples: 10000})
+	for _, s := range ss {
+		if s.Detectability < 0.15 || s.Detectability > 1.0 {
+			t.Fatalf("detectability out of range: %v", s.Detectability)
+		}
+	}
+}
+
+func TestSizesPositiveAndTyped(t *testing.T) {
+	ss := genN(t, Config{Seed: 27, NumSamples: 50000})
+	var sumEXE, sumJSON float64
+	var nEXE, nJSON int
+	for _, s := range ss {
+		if s.Size < 128 {
+			t.Fatalf("size too small: %d", s.Size)
+		}
+		switch s.FileType {
+		case ftypes.Win32EXE:
+			sumEXE += float64(s.Size)
+			nEXE++
+		case ftypes.JSON:
+			sumJSON += float64(s.Size)
+			nJSON++
+		}
+	}
+	if nEXE == 0 || nJSON == 0 {
+		t.Skip("mix did not produce both types")
+	}
+	if sumEXE/float64(nEXE) <= sumJSON/float64(nJSON) {
+		t.Fatal("EXE samples should be larger than JSON samples on average")
+	}
+}
+
+func TestMultiOnly(t *testing.T) {
+	ss := genN(t, Config{Seed: 29, NumSamples: 20000, MultiOnly: true})
+	multi := 0
+	for _, s := range ss {
+		if len(s.ScanTimes) >= 2 {
+			multi++
+		}
+	}
+	// Truncation at window end can still strand a few singletons.
+	if frac := float64(multi) / float64(len(ss)); frac < 0.90 {
+		t.Fatalf("MultiOnly multi fraction = %.4f", frac)
+	}
+}
+
+func TestGapTailBounded(t *testing.T) {
+	ss := genN(t, Config{Seed: 31, NumSamples: 30000, MultiOnly: true})
+	maxGap := time.Duration(0)
+	for _, s := range ss {
+		for i := 1; i < len(s.ScanTimes); i++ {
+			g := s.ScanTimes[i].Sub(s.ScanTimes[i-1])
+			if g <= 0 {
+				t.Fatal("non-positive gap")
+			}
+			if g > maxGap {
+				maxGap = g
+			}
+		}
+	}
+	if maxGap > 419*24*time.Hour {
+		t.Fatalf("gap exceeded the 418-day cap: %v", maxGap)
+	}
+}
+
+func TestTargetConversion(t *testing.T) {
+	ss := genN(t, Config{Seed: 33, NumSamples: 10})
+	s := ss[0]
+	tgt := s.Target()
+	if tgt.SHA256 != s.SHA256 || tgt.FileType != s.FileType ||
+		tgt.Malicious != s.Malicious || !tgt.FirstSeen.Equal(s.FirstSeen) {
+		t.Fatal("Target conversion mismatch")
+	}
+}

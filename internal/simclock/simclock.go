@@ -1,0 +1,83 @@
+// Package simclock provides a virtual clock so that a 14-month data
+// collection campaign can run in milliseconds of wall time.
+//
+// All simulator and collector code takes a Clock rather than calling
+// time.Now directly; analyses consume only the timestamps recorded in
+// scan reports, never wall time. A SimClock is safe for concurrent use.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time. Production code would use Real;
+// the simulator and every test use a SimClock.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks the caller for d in clock time. For a SimClock this
+	// advances virtual time immediately without blocking wall time.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SimClock is a deterministic virtual clock. Time only moves when
+// Advance or Sleep is called, and never moves backwards.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSim returns a SimClock starting at the given instant.
+func NewSim(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// CollectionStart is the first instant of the paper's collection
+// window (May 2021). Simulations default to starting here so report
+// timestamps line up with the monthly partitions of Table 2.
+var CollectionStart = time.Date(2021, time.May, 1, 0, 0, 0, 0, time.UTC)
+
+// CollectionEnd is the last instant of the paper's 14-month window
+// (end of June 2022).
+var CollectionEnd = time.Date(2022, time.July, 1, 0, 0, 0, 0, time.UTC)
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing virtual time; it never blocks.
+func (c *SimClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the clock forward by d. Negative d is ignored so the
+// clock remains monotonic.
+func (c *SimClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t if t is later than the current instant.
+// Earlier instants are ignored to preserve monotonicity.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClockStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestSimClockAdvance(t *testing.T) {
+	c := NewSim(CollectionStart)
+	c.Advance(time.Hour)
+	want := CollectionStart.Add(time.Hour)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockSleepAdvancesWithoutBlocking(t *testing.T) {
+	c := NewSim(CollectionStart)
+	wallStart := time.Now()
+	c.Sleep(24 * time.Hour)
+	if elapsed := time.Since(wallStart); elapsed > time.Second {
+		t.Fatalf("Sleep blocked for %v of wall time", elapsed)
+	}
+	want := CollectionStart.Add(24 * time.Hour)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Sleep = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockNegativeAdvanceIgnored(t *testing.T) {
+	c := NewSim(CollectionStart)
+	c.Advance(-time.Hour)
+	if got := c.Now(); !got.Equal(CollectionStart) {
+		t.Fatalf("negative Advance moved clock to %v", got)
+	}
+}
+
+func TestSimClockSetMonotonic(t *testing.T) {
+	c := NewSim(CollectionStart)
+	later := CollectionStart.Add(48 * time.Hour)
+	c.Set(later)
+	if got := c.Now(); !got.Equal(later) {
+		t.Fatalf("Set forward: Now() = %v, want %v", got, later)
+	}
+	c.Set(CollectionStart) // earlier: must be ignored
+	if got := c.Now(); !got.Equal(later) {
+		t.Fatalf("Set backward moved clock to %v", got)
+	}
+}
+
+func TestSimClockConcurrentAdvance(t *testing.T) {
+	c := NewSim(CollectionStart)
+	const goroutines = 16
+	const perGoroutine = 100
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perGoroutine; j++ {
+				c.Advance(time.Minute)
+			}
+		}()
+	}
+	wg.Wait()
+	want := CollectionStart.Add(goroutines * perGoroutine * time.Minute)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("concurrent advance: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestCollectionWindowSpans14Months(t *testing.T) {
+	months := 0
+	for cur := CollectionStart; cur.Before(CollectionEnd); cur = cur.AddDate(0, 1, 0) {
+		months++
+	}
+	if months != 14 {
+		t.Fatalf("collection window covers %d months, want 14", months)
+	}
+}
+
+func TestRealClockNow(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+// Cohen's kappa: chance-corrected agreement between two binary
+// raters. Used as a robustness check on the Spearman-based engine
+// correlation of §7.2 — if the strongly correlated groups persist
+// under a different agreement statistic, they are properties of the
+// engines, not of the metric.
+
+// Confusion is the 2×2 agreement table of two binary raters:
+// Confusion[i][j] counts observations rated i by A and j by B
+// (0 = negative, 1 = positive).
+type Confusion [2][2]int
+
+// Add counts one paired observation.
+func (c *Confusion) Add(a, b bool) {
+	i, j := 0, 0
+	if a {
+		i = 1
+	}
+	if b {
+		j = 1
+	}
+	c[i][j]++
+}
+
+// Total returns the number of paired observations.
+func (c Confusion) Total() int {
+	return c[0][0] + c[0][1] + c[1][0] + c[1][1]
+}
+
+// ObservedAgreement returns the raw agreement fraction.
+func (c Confusion) ObservedAgreement() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c[0][0]+c[1][1]) / float64(n)
+}
+
+// Kappa returns Cohen's κ. A table where either rater is constant has
+// undefined chance correction; by convention we return 0 then
+// (matching how the correlation analyses treat constant engine
+// columns).
+func (c Confusion) Kappa() float64 {
+	n := float64(c.Total())
+	if n == 0 {
+		return 0
+	}
+	po := c.ObservedAgreement()
+	aPos := float64(c[1][0]+c[1][1]) / n
+	bPos := float64(c[0][1]+c[1][1]) / n
+	pe := aPos*bPos + (1-aPos)*(1-bPos)
+	if pe >= 1 {
+		// Both raters constant (same class): agreement is trivial.
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAddTotal(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, true)
+	c.Add(false, false)
+	c.Add(true, true)
+	if c.Total() != 5 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c[1][1] != 2 || c[1][0] != 1 || c[0][1] != 1 || c[0][0] != 1 {
+		t.Fatalf("table = %v", c)
+	}
+}
+
+func TestKappaPerfectAgreement(t *testing.T) {
+	var c Confusion
+	for i := 0; i < 10; i++ {
+		c.Add(true, true)
+		c.Add(false, false)
+	}
+	if got := c.Kappa(); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("kappa = %v, want 1", got)
+	}
+}
+
+func TestKappaPerfectDisagreement(t *testing.T) {
+	var c Confusion
+	for i := 0; i < 10; i++ {
+		c.Add(true, false)
+		c.Add(false, true)
+	}
+	if got := c.Kappa(); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("kappa = %v, want -1", got)
+	}
+}
+
+func TestKappaKnownValue(t *testing.T) {
+	// Classic textbook example: po = 0.7, pe = 0.5 -> kappa = 0.4.
+	c := Confusion{{20, 10}, {5, 15}}
+	// po = 35/50 = 0.7; aPos = 20/50=0.4, bPos = 25/50=0.5
+	// pe = 0.4*0.5 + 0.6*0.5 = 0.5; kappa = 0.2/0.5 = 0.4.
+	if got := c.Kappa(); !almostEqual(got, 0.4, 1e-12) {
+		t.Fatalf("kappa = %v, want 0.4", got)
+	}
+}
+
+func TestKappaConstantRater(t *testing.T) {
+	var c Confusion
+	for i := 0; i < 10; i++ {
+		c.Add(true, true)
+	}
+	if got := c.Kappa(); got != 0 {
+		t.Fatalf("constant raters kappa = %v, want 0 by convention", got)
+	}
+	if c.ObservedAgreement() != 1 {
+		t.Fatal("observed agreement should be 1")
+	}
+}
+
+func TestKappaEmpty(t *testing.T) {
+	var c Confusion
+	if c.Kappa() != 0 || c.ObservedAgreement() != 0 {
+		t.Fatal("empty table should yield zeros")
+	}
+}
+
+// Property: kappa is bounded in [-1, 1] and symmetric under swapping
+// the raters.
+func TestQuickKappaBoundedSymmetric(t *testing.T) {
+	f := func(a, b, c2, d uint8) bool {
+		c := Confusion{{int(a), int(b)}, {int(c2), int(d)}}
+		swapped := Confusion{{int(a), int(c2)}, {int(b), int(d)}}
+		k := c.Kappa()
+		if math.IsNaN(k) || k < -1-1e-9 || k > 1+1e-9 {
+			return false
+		}
+		return almostEqual(k, swapped.Kappa(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

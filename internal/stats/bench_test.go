@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSeries(n int, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Ternary values mimic the verdict columns of §7.2.
+		xs[i] = float64(rng.Intn(3) - 1)
+		ys[i] = float64(rng.Intn(3) - 1)
+	}
+	return xs, ys
+}
+
+func BenchmarkRanks(b *testing.B) {
+	xs, _ := randomSeries(40_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Ranks(xs)
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	xs, ys := randomSeries(40_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Spearman(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPearsonOnRanks(b *testing.B) {
+	xs, ys := randomSeries(40_000, 3)
+	rx, ry := Ranks(xs), Ranks(ys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pearson(rx, ry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoxplot(b *testing.B) {
+	xs, _ := randomSeries(100_000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Boxplot(xs)
+	}
+}
+
+func BenchmarkECDF(b *testing.B) {
+	xs, _ := randomSeries(100_000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewECDF(xs)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShortSeries is returned when a correlation is requested over
+// fewer than two paired observations.
+var ErrShortSeries = errors.New("stats: need at least 2 paired observations")
+
+// Pearson returns the Pearson product-moment correlation of the paired
+// series xs, ys. It returns 0 with nil error when either series is
+// constant (correlation undefined; the analyses treat constant engine
+// columns as uncorrelated).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrShortSeries
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp tiny floating-point overshoot.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// SpearmanResult carries a Spearman rank correlation with its
+// two-sided significance via the t-approximation, the test the paper
+// uses for both Figure 7 (difference vs. interval, ρ = 0.9181,
+// p = 2.6e-167) and the engine-correlation study of §7.2.
+type SpearmanResult struct {
+	Rho    float64 // rank correlation in [-1, 1]
+	PValue float64 // two-sided p under t-approximation
+	N      int     // number of paired observations
+}
+
+// Spearman computes the tie-corrected Spearman rank correlation of the
+// paired series xs, ys: the Pearson correlation of their fractional
+// ranks.
+func Spearman(xs, ys []float64) (SpearmanResult, error) {
+	if len(xs) != len(ys) {
+		return SpearmanResult{}, errors.New("stats: series length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return SpearmanResult{}, ErrShortSeries
+	}
+	rho, err := Pearson(Ranks(xs), Ranks(ys))
+	if err != nil {
+		return SpearmanResult{}, err
+	}
+	return SpearmanResult{Rho: rho, PValue: spearmanP(rho, n), N: n}, nil
+}
+
+// spearmanP returns the two-sided p-value for rho with n observations
+// using the Student's t approximation t = rho*sqrt((n-2)/(1-rho^2)).
+func spearmanP(rho float64, n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	if math.Abs(rho) >= 1 {
+		return 0
+	}
+	t := rho * math.Sqrt(float64(n-2)/(1-rho*rho))
+	return StudentTTwoSidedP(t, float64(n-2))
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectPositive(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+}
+
+func TestPearsonPerfectNegative(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{8, 6, 4, 2}
+	r, _ := Pearson(xs, ys)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("Pearson with constant series = %v, want 0", r)
+	}
+}
+
+func TestPearsonLengthMismatch(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+}
+
+func TestPearsonShortSeries(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err != ErrShortSeries {
+		t.Fatalf("expected ErrShortSeries, got %v", err)
+	}
+}
+
+func TestSpearmanMonotonicNonlinear(t *testing.T) {
+	// y = x^3 is monotonic: Spearman must be exactly 1 even though
+	// Pearson would not be.
+	xs := []float64{-3, -2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x * x
+	}
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Rho, 1, 1e-12) {
+		t.Fatalf("Spearman rho = %v, want 1", res.Rho)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("p-value for perfect correlation = %v", res.PValue)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic textbook example with ties.
+	xs := []float64{106, 100, 86, 101, 99, 103, 97, 113, 112, 110}
+	ys := []float64{7, 27, 2, 50, 28, 29, 20, 12, 6, 17}
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Rho, -0.17575757, 1e-6) {
+		t.Fatalf("Spearman rho = %v, want -0.1758", res.Rho)
+	}
+	if res.N != 10 {
+		t.Fatalf("N = %d", res.N)
+	}
+}
+
+func TestSpearmanSymmetric(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	ys := []float64{2, 7, 1, 8, 2, 8, 1, 8}
+	a, _ := Spearman(xs, ys)
+	b, _ := Spearman(ys, xs)
+	if !almostEqual(a.Rho, b.Rho, 1e-12) {
+		t.Fatalf("Spearman not symmetric: %v vs %v", a.Rho, b.Rho)
+	}
+}
+
+func TestSpearmanIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	res, _ := Spearman(xs, ys)
+	if math.Abs(res.Rho) > 0.05 {
+		t.Fatalf("independent series rho = %v", res.Rho)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("independent series p-value = %v, should not be significant", res.PValue)
+	}
+}
+
+func TestSpearmanStrongCorrelationSignificant(t *testing.T) {
+	// Noisy monotone relation over many points: rho high, p tiny —
+	// the regime of the paper's Figure 7 (rho=0.9181, p=2.6e-167).
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + 50*rng.NormFloat64()
+	}
+	res, _ := Spearman(xs, ys)
+	if res.Rho < 0.9 {
+		t.Fatalf("rho = %v, want > 0.9", res.Rho)
+	}
+	if res.PValue > 1e-100 {
+		t.Fatalf("p-value = %v, want astronomically small", res.PValue)
+	}
+}
+
+// Property: Spearman rho is always within [-1, 1] and symmetric.
+func TestQuickSpearmanBounded(t *testing.T) {
+	f := func(pairs []struct{ X, Y int8 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			xs[i] = float64(p.X)
+			ys[i] = float64(p.Y)
+		}
+		res, err := Spearman(xs, ys)
+		if err != nil {
+			return false
+		}
+		rev, err := Spearman(ys, xs)
+		if err != nil {
+			return false
+		}
+		return res.Rho >= -1 && res.Rho <= 1 &&
+			almostEqual(res.Rho, rev.Rho, 1e-9) &&
+			res.PValue >= 0 && res.PValue <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTTwoSidedP(t *testing.T) {
+	// t=0 -> p=1; large |t| -> p->0; df<=0 -> 1.
+	if p := StudentTTwoSidedP(0, 10); !almostEqual(p, 1, 1e-9) {
+		t.Fatalf("p(t=0) = %v", p)
+	}
+	if p := StudentTTwoSidedP(100, 50); p > 1e-20 {
+		t.Fatalf("p(t=100) = %v", p)
+	}
+	if p := StudentTTwoSidedP(1, 0); p != 1 {
+		t.Fatalf("p(df=0) = %v", p)
+	}
+	// Known value: t=2.228, df=10 gives p ~= 0.05.
+	if p := StudentTTwoSidedP(2.228, 10); !almostEqual(p, 0.05, 0.001) {
+		t.Fatalf("p(2.228, 10) = %v, want ~0.05", p)
+	}
+}
+
+func TestRegularizedIncompleteBetaEdges(t *testing.T) {
+	if got := RegularizedIncompleteBeta(2, 3, 0); got != 0 {
+		t.Fatalf("I_0 = %v", got)
+	}
+	if got := RegularizedIncompleteBeta(2, 3, 1); got != 1 {
+		t.Fatalf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	if got := RegularizedIncompleteBeta(1, 1, 0.42); !almostEqual(got, 0.42, 1e-9) {
+		t.Fatalf("I_0.42(1,1) = %v", got)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	a, b, x := 2.5, 4.0, 0.3
+	lhs := RegularizedIncompleteBeta(a, b, x)
+	rhs := 1 - RegularizedIncompleteBeta(b, a, 1-x)
+	if !almostEqual(lhs, rhs, 1e-9) {
+		t.Fatalf("symmetry violated: %v vs %v", lhs, rhs)
+	}
+}

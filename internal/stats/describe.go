@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// It backs every "CDF of ..." figure in the paper (Figures 1, 2, 3, 5).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0, 1]) using linear
+// interpolation between order statistics (the "R-7" method).
+func (e *ECDF) Quantile(q float64) float64 {
+	return quantileSorted(e.sorted, q)
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Points returns the step points (x, P(X<=x)) at each distinct value,
+// suitable for plotting or serializing the CDF series.
+func (e *ECDF) Points() (xs, ps []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && e.sorted[j+1] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ps = append(ps, float64(j+1)/float64(n))
+		i = j + 1
+	}
+	return xs, ps
+}
+
+// Quantile returns the q-th quantile of xs without building an ECDF.
+func Quantile(xs []float64, q float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxplotStats is the five-number summary plus mean used by the
+// paper's boxplot figures (Figures 4, 6, 7): orange line = median,
+// green triangle = mean, whiskers at 1.5 IQR, outliers excluded.
+type BoxplotStats struct {
+	N           int
+	Mean        float64
+	Median      float64
+	Q1, Q3      float64
+	IQR         float64
+	LoWhisker   float64 // smallest value >= Q1 - 1.5 IQR
+	HiWhisker   float64 // largest value <= Q3 + 1.5 IQR
+	NumOutliers int
+}
+
+// Boxplot computes the summary for xs. An empty input yields a
+// zero-valued summary with N == 0.
+func Boxplot(xs []float64) BoxplotStats {
+	if len(xs) == 0 {
+		return BoxplotStats{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	b := BoxplotStats{
+		N:      len(s),
+		Mean:   Mean(s),
+		Median: quantileSorted(s, 0.5),
+		Q1:     quantileSorted(s, 0.25),
+		Q3:     quantileSorted(s, 0.75),
+	}
+	b.IQR = b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*b.IQR
+	hiFence := b.Q3 + 1.5*b.IQR
+	b.LoWhisker, b.HiWhisker = s[0], s[len(s)-1]
+	for _, v := range s {
+		if v >= loFence {
+			b.LoWhisker = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiFence {
+			b.HiWhisker = s[i]
+			break
+		}
+	}
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			b.NumOutliers++
+		}
+	}
+	return b
+}
+
+// Histogram counts xs into nbins equal-width bins over [min, max].
+// Values outside the range clamp into the first/last bin. Returns the
+// bin edges (nbins+1 values) and counts (nbins values).
+func Histogram(xs []float64, min, max float64, nbins int) (edges []float64, counts []int) {
+	if nbins <= 0 || max <= min {
+		return nil, nil
+	}
+	edges = make([]float64, nbins+1)
+	width := (max - min) / float64(nbins)
+	for i := range edges {
+		edges[i] = min + float64(i)*width
+	}
+	counts = make([]int, nbins)
+	for _, v := range xs {
+		b := int((v - min) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

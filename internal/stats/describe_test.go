@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasic(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if got := e.At(5); got != 0 {
+		t.Fatalf("empty ECDF At = %v", got)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 3, 3, 3})
+	xs, ps := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{2.0 / 6, 3.0 / 6, 1}
+	if len(xs) != 3 {
+		t.Fatalf("Points xs = %v", xs)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || !almostEqual(ps[i], wantP[i], 1e-12) {
+			t.Fatalf("Points = %v %v, want %v %v", xs, ps, wantX, wantP)
+		}
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and ends at 1.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		e := NewECDF(xs)
+		prev := 0.0
+		for x := -130.0; x <= 130; x += 1 {
+			p := e.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return almostEqual(e.At(127), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty should be NaN")
+	}
+}
+
+func TestBoxplotKnown(t *testing.T) {
+	// 1..11 plus an outlier at 100.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	b := Boxplot(xs)
+	if b.N != 12 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if !almostEqual(b.Median, 6.5, 1e-12) {
+		t.Fatalf("median = %v", b.Median)
+	}
+	if b.NumOutliers != 1 {
+		t.Fatalf("outliers = %d, want 1 (the 100)", b.NumOutliers)
+	}
+	if b.HiWhisker == 100 {
+		t.Fatal("outlier included in whisker")
+	}
+	if b.LoWhisker != 1 {
+		t.Fatalf("low whisker = %v", b.LoWhisker)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	b := Boxplot(nil)
+	if b.N != 0 {
+		t.Fatalf("empty boxplot N = %d", b.N)
+	}
+}
+
+// Property: boxplot invariants — Q1 <= median <= Q3, whiskers inside
+// data range, whiskers within fences.
+func TestQuickBoxplotInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		b := Boxplot(xs)
+		if b.Q1 > b.Median || b.Median > b.Q3 {
+			return false
+		}
+		if b.LoWhisker > b.HiWhisker {
+			return false
+		}
+		return b.LoWhisker >= b.Q1-1.5*b.IQR-1e-9 && b.HiWhisker <= b.Q3+1.5*b.IQR+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0.5, 1.5, 1.6, 2.5, 9.9, -3, 42}, 0, 10, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("shape: %d edges, %d counts", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("histogram lost values: total = %d", total)
+	}
+	if counts[0] != 3 { // 0.5, 1.5, 1.6 and the clamped -3 => actually 4
+		// -3 clamps into bin 0, so bin 0 holds 0.5, 1.5, 1.6, -3.
+		if counts[0] != 4 {
+			t.Fatalf("bin 0 = %d", counts[0])
+		}
+	}
+	if counts[4] != 2 { // 9.9 and the clamped 42
+		t.Fatalf("bin 4 = %d", counts[4])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if e, c := Histogram([]float64{1}, 5, 5, 3); e != nil || c != nil {
+		t.Fatal("degenerate range should return nil")
+	}
+	if e, c := Histogram([]float64{1}, 0, 1, 0); e != nil || c != nil {
+		t.Fatal("zero bins should return nil")
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import "sort"
+
+// Graph is a simple undirected graph over string-named vertices, used
+// to turn pairwise "strongly correlated" engine relations (ρ > 0.8)
+// into the engine groups of Figures 11–12 and Tables 4–8.
+type Graph struct {
+	adj map[string]map[string]float64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[string]map[string]float64)}
+}
+
+// AddVertex ensures v exists in the graph.
+func (g *Graph) AddVertex(v string) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[string]float64)
+	}
+}
+
+// AddEdge adds an undirected weighted edge (the correlation
+// coefficient) between a and b, creating vertices as needed.
+// Self-loops are ignored.
+func (g *Graph) AddEdge(a, b string, weight float64) {
+	if a == b {
+		return
+	}
+	g.AddVertex(a)
+	g.AddVertex(b)
+	g.adj[a][b] = weight
+	g.adj[b][a] = weight
+}
+
+// HasEdge reports whether an edge exists between a and b.
+func (g *Graph) HasEdge(a, b string) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Weight returns the edge weight and whether the edge exists.
+func (g *Graph) Weight(a, b string) (float64, bool) {
+	w, ok := g.adj[a][b]
+	return w, ok
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Vertices returns all vertices in sorted order.
+func (g *Graph) Vertices() []string {
+	vs := make([]string, 0, len(g.adj))
+	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Neighbors returns the sorted neighbors of v.
+func (g *Graph) Neighbors(v string) []string {
+	ns := make([]string, 0, len(g.adj[v]))
+	for n := range g.adj[v] {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Edge is an undirected weighted edge with a canonical A < B ordering.
+type Edge struct {
+	A, B   string
+	Weight float64
+}
+
+// Edges returns all edges sorted by descending weight, then by name.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for a, nbrs := range g.adj {
+		for b, w := range nbrs {
+			if a < b {
+				es = append(es, Edge{A: a, B: b, Weight: w})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Weight != es[j].Weight {
+			return es[i].Weight > es[j].Weight
+		}
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		return es[i].B < es[j].B
+	})
+	return es
+}
+
+// ConnectedComponents returns the vertex sets of each connected
+// component, each sorted, with components ordered by decreasing size
+// then lexicographically by first member. These are exactly the
+// "groups of highly correlated engines" in Tables 4–8.
+func (g *Graph) ConnectedComponents() [][]string {
+	seen := make(map[string]bool, len(g.adj))
+	var comps [][]string
+	for _, start := range g.Vertices() {
+		if seen[start] {
+			continue
+		}
+		// Iterative DFS.
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, n := range g.Neighbors(v) {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGraphAddEdgeAndWeight(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("Avast", "AVG", 0.9814)
+	if !g.HasEdge("Avast", "AVG") || !g.HasEdge("AVG", "Avast") {
+		t.Fatal("edge missing or not undirected")
+	}
+	w, ok := g.Weight("AVG", "Avast")
+	if !ok || w != 0.9814 {
+		t.Fatalf("Weight = %v, %v", w, ok)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestGraphSelfLoopIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("X", "X", 1)
+	if g.NumEdges() != 0 {
+		t.Fatal("self loop added")
+	}
+}
+
+func TestGraphIsolatedVertex(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex("Lonely")
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 1 || comps[0][0] != "Lonely" {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestConnectedComponentsGroups(t *testing.T) {
+	// Mirror of Table 4's structure: one big group, two pairs.
+	g := NewGraph()
+	g.AddEdge("MicroWorld-eScan", "BitDefender", 0.95)
+	g.AddEdge("BitDefender", "GData", 0.93)
+	g.AddEdge("GData", "FireEye", 0.91)
+	g.AddEdge("Avast", "AVG", 0.98)
+	g.AddEdge("F-Prot", "Babable", 0.97)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	want := []string{"BitDefender", "FireEye", "GData", "MicroWorld-eScan"}
+	if !reflect.DeepEqual(comps[0], want) {
+		t.Fatalf("largest component = %v, want %v", comps[0], want)
+	}
+	// Remaining two are size-2 pairs, ordered lexicographically.
+	if len(comps[1]) != 2 || len(comps[2]) != 2 {
+		t.Fatalf("pair components = %v", comps[1:])
+	}
+	if comps[1][0] != "AVG" {
+		t.Fatalf("component order: %v", comps[1])
+	}
+}
+
+func TestEdgesSortedByWeight(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("A", "B", 0.85)
+	g.AddEdge("C", "D", 0.99)
+	g.AddEdge("A", "C", 0.90)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("edges = %v", es)
+	}
+	if es[0].Weight != 0.99 || es[1].Weight != 0.90 || es[2].Weight != 0.85 {
+		t.Fatalf("not sorted by weight: %v", es)
+	}
+	if es[0].A != "C" || es[0].B != "D" {
+		t.Fatalf("canonical ordering broken: %v", es[0])
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("M", "Z", 1)
+	g.AddEdge("M", "A", 1)
+	got := g.Neighbors("M")
+	if !reflect.DeepEqual(got, []string{"A", "Z"}) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+}
+
+func TestComponentsDeterministic(t *testing.T) {
+	build := func() [][]string {
+		g := NewGraph()
+		g.AddEdge("e3", "e1", 0.9)
+		g.AddEdge("e2", "e4", 0.9)
+		g.AddEdge("e5", "e1", 0.9)
+		return g.ConnectedComponents()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic components: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,65 @@
+// Package stats implements the statistical machinery the paper's
+// analyses rely on: tie-corrected ranking, Spearman and Pearson
+// correlation with significance tests, empirical CDFs, quantiles,
+// five-number boxplot summaries, histograms, and the undirected graph
+// with connected components used to extract strongly correlated
+// engine groups (Figures 11–12, Tables 4–8).
+//
+// Everything is implemented from the standard library only.
+package stats
+
+import "sort"
+
+// Ranks returns the fractional ranks of xs (1-based, average rank for
+// ties), the convention required for a tie-corrected Spearman
+// coefficient. The input is not modified.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j] (1-based ranks).
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestRanksNoTies(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	// Values: 1, 2, 2, 3 -> ranks 1, 2.5, 2.5, 4.
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{7, 7, 7, 7})
+	for _, r := range got {
+		if r != 2.5 {
+			t.Fatalf("Ranks of constant = %v, want all 2.5", got)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	if got := Ranks(nil); len(got) != 0 {
+		t.Fatalf("Ranks(nil) = %v", got)
+	}
+}
+
+func TestRanksDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Ranks(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+// Property: rank sum is always n(n+1)/2 regardless of ties.
+func TestQuickRankSumPreserved(t *testing.T) {
+	f := func(raw []int8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		ranks := Ranks(xs)
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r
+		}
+		n := float64(len(xs))
+		return almostEqual(sum, n*(n+1)/2, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Fatalf("Variance(single) = %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := envelope(fmt.Sprintf("bench%08d", i), t0.Add(time.Duration(i)*time.Second), 10)
+		if err := s.Put(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 500
+	for i := 0; i < samples; i++ {
+		env := envelope(fmt.Sprintf("g%04d", i), t0.Add(time.Duration(i)*time.Minute), 5)
+		if err := s.Put(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("g%04d", i%samples)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,674 @@
+// Package store is the embedded report store standing in for the
+// paper's MongoDB deployment. It follows the paper's data-engineering
+// choices (§4.1):
+//
+//   - sample basic information and scan results are stored separately
+//     to remove redundancy (metadata is kept once per sample, scan
+//     rows carry only per-scan fields);
+//   - only relevant fields are stored, in a compact row encoding;
+//   - rows are gzip-compressed;
+//   - data is partitioned by month (Table 2 reports per-month counts
+//     and sizes).
+//
+// The store tracks raw-vs-stored byte accounting so the compression
+// ratio the paper reports (10.06×) can be measured on our data.
+//
+// Layout under the store directory:
+//
+//	scans-2021-05.jsonl.gz   one multi-member gzip file per month
+//	samples.jsonl.gz         latest metadata snapshot, written on Close
+package store
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// ErrUnknownSample is returned by Get for hashes never stored.
+var ErrUnknownSample = errors.New("store: unknown sample")
+
+// Store is an embedded, compressed, monthly-partitioned report store.
+// It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	samples map[string]report.SampleMeta
+	// months maps sample hash -> partition keys that contain its rows.
+	months  map[string]map[string]bool
+	writers map[string]*partWriter
+	stats   map[string]*PartitionStats
+}
+
+// PartitionStats is the per-month accounting of Table 2.
+type PartitionStats struct {
+	// Reports is the number of scan rows in the partition.
+	Reports int
+	// RawBytes is the size the rows would occupy as uncompressed
+	// full VT-wire envelopes (the naive storage baseline).
+	RawBytes int64
+	// StoredBytes is the compressed on-disk size of the rows.
+	StoredBytes int64
+}
+
+// CompressionRatio returns RawBytes / StoredBytes (0 if nothing
+// stored).
+func (p PartitionStats) CompressionRatio() float64 {
+	if p.StoredBytes == 0 {
+		return 0
+	}
+	return float64(p.RawBytes) / float64(p.StoredBytes)
+}
+
+// scanRow is the compact on-disk encoding of one scan.
+type scanRow struct {
+	SHA  string   `json:"s"`
+	FT   string   `json:"f"`
+	At   int64    `json:"t"`
+	Rank int      `json:"p"`
+	Tot  int      `json:"n"`
+	Res  []rowRes `json:"r"`
+}
+
+type rowRes struct {
+	E string `json:"e"`
+	V int8   `json:"v"`
+	S int    `json:"s"`
+	L string `json:"l,omitempty"`
+}
+
+type partWriter struct {
+	f       *os.File
+	counter *countingWriter
+	gz      *gzip.Writer
+	buf     *bufio.Writer
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Open opens (or creates) a store in dir, loading any existing
+// partitions into the index.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		samples: make(map[string]report.SampleMeta),
+		months:  make(map[string]map[string]bool),
+		writers: make(map[string]*partWriter),
+		stats:   make(map[string]*PartitionStats),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load rebuilds the in-memory index from existing partition files.
+func (s *Store) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "scans-") || !strings.HasSuffix(name, ".jsonl.gz") {
+			continue
+		}
+		month := strings.TrimSuffix(strings.TrimPrefix(name, "scans-"), ".jsonl.gz")
+		st := &PartitionStats{}
+		path := filepath.Join(s.dir, name)
+		if err := s.scanPartition(path, func(row scanRow, rawLen int) {
+			st.Reports++
+			st.RawBytes += int64(rawLen)
+			set, ok := s.months[row.SHA]
+			if !ok {
+				set = make(map[string]bool)
+				s.months[row.SHA] = set
+			}
+			set[month] = true
+		}); err != nil {
+			return err
+		}
+		if fi, err := os.Stat(path); err == nil {
+			st.StoredBytes = fi.Size()
+		}
+		s.stats[month] = st
+	}
+	// Load the metadata snapshot if present.
+	metaPath := filepath.Join(s.dir, "samples.jsonl.gz")
+	f, err := os.Open(metaPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("store: samples snapshot: %w", err)
+	}
+	defer gz.Close()
+	dec := json.NewDecoder(gz)
+	for {
+		var m struct {
+			Meta metaRow `json:"m"`
+		}
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("store: samples snapshot: %w", err)
+		}
+		s.samples[m.Meta.SHA] = m.Meta.toMeta()
+	}
+	return s.loadStatsSidecar()
+}
+
+// loadStatsSidecar restores the exact raw-byte accounting persisted
+// by Close. Without it, load() has already filled RawBytes with the
+// compact-line lengths as a conservative approximation.
+func (s *Store) loadStatsSidecar() error {
+	b, err := os.ReadFile(filepath.Join(s.dir, "stats.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	var saved map[string]PartitionStats
+	if err := json.Unmarshal(b, &saved); err != nil {
+		return fmt.Errorf("store: stats sidecar: %w", err)
+	}
+	for month, st := range saved {
+		cp := st
+		s.stats[month] = &cp
+	}
+	return nil
+}
+
+// metaRow is the compact metadata encoding.
+type metaRow struct {
+	SHA   string `json:"s"`
+	FT    string `json:"f"`
+	Size  int64  `json:"z"`
+	First int64  `json:"a"`
+	LastA int64  `json:"b"`
+	LastS int64  `json:"c"`
+	TS    int    `json:"n"`
+}
+
+func (m metaRow) toMeta() report.SampleMeta {
+	return report.SampleMeta{
+		SHA256:              m.SHA,
+		FileType:            m.FT,
+		Size:                m.Size,
+		FirstSubmissionDate: fromUnix(m.First),
+		LastAnalysisDate:    fromUnix(m.LastA),
+		LastSubmissionDate:  fromUnix(m.LastS),
+		TimesSubmitted:      m.TS,
+	}
+}
+
+func metaFrom(meta report.SampleMeta) metaRow {
+	return metaRow{
+		SHA:   meta.SHA256,
+		FT:    meta.FileType,
+		Size:  meta.Size,
+		First: unix(meta.FirstSubmissionDate),
+		LastA: unix(meta.LastAnalysisDate),
+		LastS: unix(meta.LastSubmissionDate),
+		TS:    meta.TimesSubmitted,
+	}
+}
+
+func unix(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.Unix()
+}
+
+func fromUnix(s int64) time.Time {
+	if s == 0 {
+		return time.Time{}
+	}
+	return time.Unix(s, 0).UTC()
+}
+
+// MonthKey formats the partition key for an instant.
+func MonthKey(t time.Time) string { return t.UTC().Format("2006-01") }
+
+// Put stores one envelope: the scan row goes to its month partition
+// and the sample metadata snapshot is updated.
+func (s *Store) Put(env report.Envelope) error {
+	if env.Meta.SHA256 == "" {
+		return errors.New("store: envelope without sha256")
+	}
+	month := MonthKey(env.Scan.AnalysisDate)
+
+	row := scanRow{
+		SHA:  env.Scan.SHA256,
+		FT:   env.Scan.FileType,
+		At:   env.Scan.AnalysisDate.Unix(),
+		Rank: env.Scan.AVRank,
+		Tot:  env.Scan.EnginesTotal,
+		Res:  make([]rowRes, len(env.Scan.Results)),
+	}
+	for i, er := range env.Scan.Results {
+		row.Res[i] = rowRes{E: er.Engine, V: int8(er.Verdict), S: er.SignatureVersion, L: er.Label}
+	}
+	line, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Raw baseline: the full VT wire envelope.
+	rawWire, err := env.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.writerLocked(month)
+	if err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.samples[env.Meta.SHA256] = env.Meta
+	set, ok := s.months[env.Meta.SHA256]
+	if !ok {
+		set = make(map[string]bool)
+		s.months[env.Meta.SHA256] = set
+	}
+	set[month] = true
+
+	st, ok := s.stats[month]
+	if !ok {
+		st = &PartitionStats{}
+		s.stats[month] = st
+	}
+	st.Reports++
+	st.RawBytes += int64(len(rawWire))
+	return nil
+}
+
+func (s *Store) writerLocked(month string) (*partWriter, error) {
+	if w, ok := s.writers[month]; ok {
+		return w, nil
+	}
+	path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Appending a new gzip member to an existing file is valid:
+	// readers process multi-member streams transparently.
+	counter := &countingWriter{w: f}
+	gz := gzip.NewWriter(counter)
+	w := &partWriter{f: f, counter: counter, gz: gz, buf: bufio.NewWriterSize(gz, 64<<10)}
+	s.writers[month] = w
+	return w, nil
+}
+
+// Flush finalizes all open partition writers so data is durable and
+// readable; subsequent Puts open fresh gzip members.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	for month, w := range s.writers {
+		if err := w.buf.Flush(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := w.gz.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if st := s.stats[month]; st != nil {
+			st.StoredBytes += w.counter.n
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		delete(s.writers, month)
+	}
+	return nil
+}
+
+// Close flushes partitions and writes the metadata snapshot.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(s.dir, "samples.jsonl.gz"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	enc := json.NewEncoder(gz)
+	hashes := make([]string, 0, len(s.samples))
+	for h := range s.samples {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		row := struct {
+			Meta metaRow `json:"m"`
+		}{Meta: metaFrom(s.samples[h])}
+		if err := enc.Encode(row); err != nil {
+			gz.Close()
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Persist the exact accounting for reloads.
+	snapshot := make(map[string]PartitionStats, len(s.stats))
+	for month, st := range s.stats {
+		snapshot[month] = *st
+	}
+	b, err := json.Marshal(snapshot)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, "stats.json"), b, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Get returns the sample's full history, reading every partition that
+// contains its rows. Call Flush first if writes may be buffered.
+func (s *Store) Get(sha string) (*report.History, error) {
+	s.mu.Lock()
+	meta, ok := s.samples[sha]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSample, sha)
+	}
+	monthSet := s.months[sha]
+	months := make([]string, 0, len(monthSet))
+	for m := range monthSet {
+		months = append(months, m)
+	}
+	s.mu.Unlock()
+
+	h := &report.History{Meta: meta}
+	for _, month := range months {
+		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+		err := s.scanPartition(path, func(row scanRow, _ int) {
+			if row.SHA != sha {
+				return
+			}
+			h.Reports = append(h.Reports, rowToReport(row))
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(h.Reports, func(i, j int) bool {
+		return h.Reports[i].AnalysisDate.Before(h.Reports[j].AnalysisDate)
+	})
+	return h, nil
+}
+
+func rowToReport(row scanRow) *report.ScanReport {
+	r := &report.ScanReport{
+		SHA256:       row.SHA,
+		FileType:     row.FT,
+		AnalysisDate: fromUnix(row.At),
+		AVRank:       row.Rank,
+		EnginesTotal: row.Tot,
+		Results:      make([]report.EngineResult, len(row.Res)),
+	}
+	for i, rr := range row.Res {
+		r.Results[i] = report.EngineResult{
+			Engine:           rr.E,
+			Verdict:          report.Verdict(rr.V),
+			SignatureVersion: rr.S,
+			Label:            rr.L,
+		}
+	}
+	return r
+}
+
+// scanPartition streams rows of a partition file; rawLen passes the
+// stored (uncompressed) line length for accounting during load.
+func (s *Store) scanPartition(path string, fn func(row scanRow, rawLen int)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer gz.Close()
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		var row scanRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		fn(row, len(sc.Bytes()))
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	return nil
+}
+
+// IterReports streams every report in a month partition in storage
+// order.
+func (s *Store) IterReports(month string, fn func(*report.ScanReport) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+	var inner error
+	err := s.scanPartition(path, func(row scanRow, _ int) {
+		if inner != nil {
+			return
+		}
+		inner = fn(rowToReport(row))
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// Months returns the partition keys present, sorted.
+func (s *Store) Months() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.stats))
+	for m := range s.stats {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the accounting for one month. StoredBytes is only
+// final after Flush.
+func (s *Store) Stats(month string) PartitionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.stats[month]; ok {
+		return *st
+	}
+	return PartitionStats{}
+}
+
+// TotalStats sums all partitions.
+func (s *Store) TotalStats() PartitionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total PartitionStats
+	for _, st := range s.stats {
+		total.Reports += st.Reports
+		total.RawBytes += st.RawBytes
+		total.StoredBytes += st.StoredBytes
+	}
+	return total
+}
+
+// NumSamples returns the number of distinct samples stored.
+func (s *Store) NumSamples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// SampleHashes returns every stored sample hash, sorted.
+func (s *Store) SampleHashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.samples))
+	for h := range s.samples {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Meta returns the latest metadata snapshot for a sample.
+func (s *Store) Meta(sha string) (report.SampleMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.samples[sha]
+	return m, ok
+}
+
+// TypeStats is the per-file-type breakdown of stored data — the Table
+// 3 view over a collected store rather than a generated population.
+type TypeStats struct {
+	Samples int
+	Reports int
+}
+
+// StatsByType tallies stored samples and scan rows per file type. It
+// flushes first so buffered rows are counted.
+func (s *Store) StatsByType() (map[string]TypeStats, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]TypeStats{}
+	s.mu.Lock()
+	for _, meta := range s.samples {
+		ts := out[meta.FileType]
+		ts.Samples++
+		out[meta.FileType] = ts
+	}
+	months := make([]string, 0, len(s.stats))
+	for m := range s.stats {
+		months = append(months, m)
+	}
+	s.mu.Unlock()
+	for _, month := range months {
+		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+		if err := s.scanPartition(path, func(row scanRow, _ int) {
+			ts := out[row.FT]
+			ts.Reports++
+			out[row.FT] = ts
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Verify re-reads every partition, checking that each row parses,
+// validates, and belongs to an indexed sample. It returns the number
+// of rows checked.
+func (s *Store) Verify() (int, error) {
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	months := make([]string, 0, len(s.stats))
+	for m := range s.stats {
+		months = append(months, m)
+	}
+	known := make(map[string]bool, len(s.samples))
+	for h := range s.samples {
+		known[h] = true
+	}
+	s.mu.Unlock()
+	sort.Strings(months)
+	checked := 0
+	for _, month := range months {
+		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+		var inner error
+		err := s.scanPartition(path, func(row scanRow, _ int) {
+			if inner != nil {
+				return
+			}
+			checked++
+			if !known[row.SHA] {
+				inner = fmt.Errorf("store: %s row %s not in sample index", month, row.SHA)
+				return
+			}
+			if MonthKey(fromUnix(row.At)) != month {
+				inner = fmt.Errorf("store: row %s at %d filed under %s", row.SHA, row.At, month)
+				return
+			}
+			if err := rowToReport(row).Validate(); err != nil {
+				inner = fmt.Errorf("store: row %s invalid: %w", row.SHA, err)
+			}
+		})
+		if err != nil {
+			return checked, err
+		}
+		if inner != nil {
+			return checked, inner
+		}
+	}
+	return checked, nil
+}

@@ -1,0 +1,397 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+var t0 = time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+
+func envelope(sha string, at time.Time, rank int) report.Envelope {
+	results := []report.EngineResult{
+		{Engine: "Avast", Verdict: report.Benign, SignatureVersion: 3},
+		{Engine: "BitDefender", Verdict: report.Undetected, SignatureVersion: 9},
+	}
+	for i := 0; i < rank; i++ {
+		results = append(results, report.EngineResult{
+			Engine:           fmt.Sprintf("Det%02d", i),
+			Verdict:          report.Malicious,
+			Label:            "Trojan.Gen",
+			SignatureVersion: 1,
+		})
+	}
+	scan := report.ScanReport{
+		SHA256:       sha,
+		FileType:     "Win32 EXE",
+		AnalysisDate: at,
+		Results:      results,
+		AVRank:       rank,
+		EnginesTotal: rank + 1,
+	}
+	return report.Envelope{
+		Meta: report.SampleMeta{
+			SHA256:              sha,
+			FileType:            "Win32 EXE",
+			Size:                4096,
+			FirstSubmissionDate: t0,
+			LastAnalysisDate:    at,
+			LastSubmissionDate:  at,
+			TimesSubmitted:      1,
+		},
+		Scan: scan,
+	}
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	env1 := envelope("aaa", t0, 3)
+	env2 := envelope("aaa", t0.Add(48*time.Hour), 5)
+	if err := s.Put(env1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(env2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get("aaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 {
+		t.Fatalf("reports = %d", len(h.Reports))
+	}
+	if !h.SortedByTime() {
+		t.Fatal("history not sorted")
+	}
+	if h.Reports[0].AVRank != 3 || h.Reports[1].AVRank != 5 {
+		t.Fatalf("ranks = %d, %d", h.Reports[0].AVRank, h.Reports[1].AVRank)
+	}
+	// Full fidelity: verdicts, versions, labels.
+	r := h.Reports[0]
+	if r.VerdictOf("Avast") != report.Benign {
+		t.Fatal("benign verdict lost")
+	}
+	if r.VerdictOf("BitDefender") != report.Undetected {
+		t.Fatal("undetected verdict lost")
+	}
+	if r.VerdictOf("Det00") != report.Malicious {
+		t.Fatal("malicious verdict lost")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Meta.TimesSubmitted != 1 || h.Meta.FileType != "Win32 EXE" {
+		t.Fatalf("meta = %+v", h.Meta)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPutRejectsEmptyHash(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(report.Envelope{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMonthlyPartitioning(t *testing.T) {
+	s := openStore(t)
+	may := envelope("m1", time.Date(2021, 5, 10, 0, 0, 0, 0, time.UTC), 1)
+	june := envelope("m1", time.Date(2021, 6, 10, 0, 0, 0, 0, time.UTC), 2)
+	july := envelope("m2", time.Date(2021, 7, 1, 0, 0, 0, 0, time.UTC), 0)
+	for _, e := range []report.Envelope{may, june, july} {
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	months := s.Months()
+	want := []string{"2021-05", "2021-06", "2021-07"}
+	if len(months) != 3 {
+		t.Fatalf("months = %v", months)
+	}
+	for i := range want {
+		if months[i] != want[i] {
+			t.Fatalf("months = %v", months)
+		}
+	}
+	// Cross-partition Get.
+	h, err := s.Get("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 {
+		t.Fatalf("cross-partition reports = %d", len(h.Reports))
+	}
+	if got := s.Stats("2021-05").Reports; got != 1 {
+		t.Fatalf("may reports = %d", got)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 500; i++ {
+		env := envelope(fmt.Sprintf("h%04d", i), t0.Add(time.Duration(i)*time.Hour), 10)
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := s.TotalStats()
+	if total.Reports != 500 {
+		t.Fatalf("reports = %d", total.Reports)
+	}
+	if total.StoredBytes <= 0 || total.RawBytes <= 0 {
+		t.Fatalf("accounting: %+v", total)
+	}
+	if ratio := total.CompressionRatio(); ratio < 2 {
+		t.Fatalf("compression ratio = %.2f, want > 2", ratio)
+	}
+}
+
+func TestMultiMemberAppend(t *testing.T) {
+	// Flush mid-stream, then keep writing: the partition becomes a
+	// multi-member gzip file that must still read back completely.
+	s := openStore(t)
+	if err := s.Put(envelope("x", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(envelope("x", t0.Add(time.Hour), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 {
+		t.Fatalf("reports after multi-member append = %d", len(h.Reports))
+	}
+}
+
+func TestReopenRestoresIndexAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(envelope(fmt.Sprintf("r%d", i), t0.Add(time.Duration(i)*time.Hour), i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTotal := s.TotalStats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.NumSamples(); got != 20 {
+		t.Fatalf("reopened samples = %d", got)
+	}
+	h, err := s2.Get("r7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 1 || h.Reports[0].AVRank != 2 {
+		t.Fatalf("reopened history = %+v", h.Reports)
+	}
+	got := s2.TotalStats()
+	if got.Reports != wantTotal.Reports {
+		t.Fatalf("reopened reports = %d, want %d", got.Reports, wantTotal.Reports)
+	}
+	if got.RawBytes != wantTotal.RawBytes {
+		t.Fatalf("reopened raw bytes = %d, want %d", got.RawBytes, wantTotal.RawBytes)
+	}
+}
+
+func TestIterReports(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(envelope(fmt.Sprintf("i%d", i), t0.Add(time.Duration(i)*time.Minute), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen int
+	err := s.IterReports("2021-05", func(r *report.ScanReport) error {
+		seen++
+		return r.Validate()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("iterated %d reports", seen)
+	}
+}
+
+func TestIterReportsErrorPropagates(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(envelope("e", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop")
+	err := s.IterReports("2021-05", func(r *report.ScanReport) error { return wantErr })
+	if err == nil {
+		t.Fatal("callback error not propagated")
+	}
+}
+
+func TestMonthKey(t *testing.T) {
+	if got := MonthKey(time.Date(2022, 6, 30, 23, 59, 0, 0, time.UTC)); got != "2022-06" {
+		t.Fatalf("MonthKey = %s", got)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := openStore(t)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				env := envelope(fmt.Sprintf("c%d-%d", w, i), t0.Add(time.Duration(i)*time.Minute), 1)
+				if err := s.Put(env); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalStats().Reports; got != 400 {
+		t.Fatalf("reports = %d", got)
+	}
+}
+
+func TestSampleHashesAndMeta(t *testing.T) {
+	s := openStore(t)
+	for _, sha := range []string{"zz", "aa", "mm"} {
+		if err := s.Put(envelope(sha, t0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hashes := s.SampleHashes()
+	if len(hashes) != 3 || hashes[0] != "aa" || hashes[2] != "zz" {
+		t.Fatalf("hashes = %v", hashes)
+	}
+	meta, ok := s.Meta("mm")
+	if !ok || meta.FileType != "Win32 EXE" {
+		t.Fatalf("meta = %+v, %v", meta, ok)
+	}
+	if _, ok := s.Meta("nope"); ok {
+		t.Fatal("missing sample returned meta")
+	}
+}
+
+func TestStatsByType(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(envelope("a", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(envelope("a", t0.Add(time.Hour), 2)); err != nil {
+		t.Fatal(err)
+	}
+	env := envelope("b", t0, 0)
+	env.Meta.FileType = "TXT"
+	env.Scan.FileType = "TXT"
+	if err := s.Put(env); err != nil {
+		t.Fatal(err)
+	}
+	byType, err := s.StatsByType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := byType["Win32 EXE"]; got.Samples != 1 || got.Reports != 2 {
+		t.Fatalf("EXE stats = %+v", got)
+	}
+	if got := byType["TXT"]; got.Samples != 1 || got.Reports != 1 {
+		t.Fatalf("TXT stats = %+v", got)
+	}
+}
+
+func TestVerifyCleanStore(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 10; i++ {
+		at := t0.Add(time.Duration(i) * 31 * 24 * time.Hour) // span months
+		if err := s.Put(envelope(fmt.Sprintf("v%d", i), at, i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("verified %d rows", n)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(envelope("ok", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a row whose AVRank contradicts its results, via a raw
+	// writer (simulating on-disk corruption or a buggy writer).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := envelope("bad", t0.Add(time.Hour), 1)
+	bad.Scan.AVRank = 40 // results only contain 1 malicious verdict
+	bad.Scan.EnginesTotal = 2
+	// Put validates nothing about rank consistency (it stores what it
+	// is given), so this lands on disk; Verify must flag it.
+	if err := s2.Put(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Verify(); err == nil {
+		t.Fatal("Verify accepted a corrupt row")
+	}
+}

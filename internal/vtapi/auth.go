@@ -1,0 +1,97 @@
+package vtapi
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"vtdynamics/internal/ratelimit"
+	"vtdynamics/internal/simclock"
+)
+
+// Tier describes what an API key may do — the real service's
+// public/premium split that makes the paper's dataset special: only a
+// premium license can read the feed, and the public tier is limited
+// to 4 requests/minute and 500/day.
+type Tier struct {
+	Name string
+	// RequestsPerMinute and RequestsPerDay of 0 mean unlimited.
+	RequestsPerMinute int
+	RequestsPerDay    int
+	// FeedAccess gates GET /api/v3/feed/reports.
+	FeedAccess bool
+}
+
+// The standard tiers.
+var (
+	PublicTier  = Tier{Name: "public", RequestsPerMinute: 4, RequestsPerDay: 500}
+	PremiumTier = Tier{Name: "premium", FeedAccess: true}
+)
+
+// auth enforces API keys and quotas in front of the mux.
+type auth struct {
+	clock simclock.Clock
+	keys  map[string]Tier
+
+	mu       sync.Mutex
+	limiters map[string]*ratelimit.Limiter
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithAuth enables API-key authentication: requests must carry a
+// known key in the x-apikey header (VT's convention); quotas are
+// enforced per key on the given clock; the feed requires a tier with
+// FeedAccess.
+func WithAuth(clock simclock.Clock, keys map[string]Tier) Option {
+	return func(s *Server) {
+		s.auth = &auth{
+			clock:    clock,
+			keys:     keys,
+			limiters: make(map[string]*ratelimit.Limiter),
+		}
+	}
+}
+
+// check authenticates and rate-limits one request. It writes the
+// error response itself and returns false when the request must not
+// proceed.
+func (a *auth) check(w http.ResponseWriter, r *http.Request) bool {
+	key := r.Header.Get("x-apikey")
+	if key == "" {
+		writeError(w, http.StatusUnauthorized, "AuthenticationRequiredError",
+			"x-apikey header is required")
+		return false
+	}
+	tier, ok := a.keys[key]
+	if !ok {
+		writeError(w, http.StatusUnauthorized, "WrongCredentialsError",
+			"unknown API key")
+		return false
+	}
+	if strings.HasPrefix(r.URL.Path, "/api/v3/feed/") && !tier.FeedAccess {
+		writeError(w, http.StatusForbidden, "ForbiddenError",
+			fmt.Sprintf("the %s tier has no feed access", tier.Name))
+		return false
+	}
+	a.mu.Lock()
+	lim, ok := a.limiters[key]
+	if !ok {
+		lim = ratelimit.NewLimiter(a.clock, tier.RequestsPerMinute, tier.RequestsPerDay)
+		a.limiters[key] = lim
+	}
+	a.mu.Unlock()
+	verdict := lim.Check()
+	if !verdict.Allowed {
+		if verdict.RetryAfter > 0 {
+			secs := int(verdict.RetryAfter.Seconds()) + 1
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		}
+		writeError(w, http.StatusTooManyRequests, "QuotaExceededError",
+			fmt.Sprintf("quota exceeded for the %s tier", tier.Name))
+		return false
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package vtapi_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtclient"
+	"vtdynamics/internal/vtsim"
+)
+
+// authSetup starts a server requiring keys: "pub-key" on the public
+// tier, "prem-key" on the premium tier.
+func authSetup(t *testing.T) (string, *simclock.SimClock) {
+	t.Helper()
+	set, err := engine.NewSet(engine.DefaultRoster(), 42,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	svc := vtsim.NewService(set, clock)
+	srv := httptest.NewServer(vtapi.NewServer(svc, nil, vtapi.WithAuth(clock, map[string]vtapi.Tier{
+		"pub-key":  vtapi.PublicTier,
+		"prem-key": vtapi.PremiumTier,
+	})))
+	t.Cleanup(srv.Close)
+	return srv.URL, clock
+}
+
+func authDesc(sha string) vtapi.UploadDescriptor {
+	return vtapi.UploadDescriptor{
+		SHA256:        sha,
+		FileType:      ftypes.Win32EXE,
+		Malicious:     true,
+		Detectability: 0.8,
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	url, _ := authSetup(t)
+	// No key.
+	noKey := vtclient.New(url)
+	_, err := noKey.Upload(context.Background(), authDesc("a1"))
+	if !errors.Is(err, vtclient.ErrUnauthorized) {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+	// Wrong key.
+	wrong := vtclient.New(url, vtclient.WithAPIKey("bogus"))
+	_, err = wrong.Upload(context.Background(), authDesc("a1"))
+	if !errors.Is(err, vtclient.ErrUnauthorized) {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+	// Valid key.
+	ok := vtclient.New(url, vtclient.WithAPIKey("pub-key"))
+	if _, err := ok.Upload(context.Background(), authDesc("a1")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTierFeedForbidden(t *testing.T) {
+	url, clock := authSetup(t)
+	pub := vtclient.New(url, vtclient.WithAPIKey("pub-key"))
+	_, err := pub.FeedBetween(context.Background(),
+		clock.Now().Add(-time.Hour), clock.Now())
+	if !errors.Is(err, vtclient.ErrForbidden) {
+		t.Fatalf("err = %v, want ErrForbidden", err)
+	}
+	prem := vtclient.New(url, vtclient.WithAPIKey("prem-key"))
+	if _, err := prem.FeedBetween(context.Background(),
+		clock.Now().Add(-time.Hour), clock.Now()); err != nil {
+		t.Fatalf("premium feed err = %v", err)
+	}
+}
+
+func TestPublicTierRateLimit(t *testing.T) {
+	url, _ := authSetup(t)
+	// Disable client-side Retry-After waiting so we see the 429.
+	pub := vtclient.New(url,
+		vtclient.WithAPIKey("pub-key"),
+		vtclient.WithMaxRetryAfter(0),
+		vtclient.WithRetries(0))
+	ctx := context.Background()
+	okCount := 0
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		_, err := pub.Upload(ctx, authDesc("rl"))
+		if err == nil {
+			okCount++
+		} else {
+			lastErr = err
+		}
+	}
+	if okCount != 4 {
+		t.Fatalf("public tier allowed %d immediate requests, want 4", okCount)
+	}
+	if !errors.Is(lastErr, vtclient.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", lastErr)
+	}
+}
+
+func TestPublicTierRefillsWithClock(t *testing.T) {
+	url, clock := authSetup(t)
+	pub := vtclient.New(url,
+		vtclient.WithAPIKey("pub-key"),
+		vtclient.WithMaxRetryAfter(0),
+		vtclient.WithRetries(0))
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := pub.Upload(ctx, authDesc("rf")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pub.Upload(ctx, authDesc("rf")); !errors.Is(err, vtclient.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want quota exceeded", err)
+	}
+	clock.Advance(time.Minute)
+	if _, err := pub.Upload(ctx, authDesc("rf")); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestPremiumTierUnlimited(t *testing.T) {
+	url, _ := authSetup(t)
+	prem := vtclient.New(url, vtclient.WithAPIKey("prem-key"))
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if _, err := prem.Upload(ctx, authDesc("prem")); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestHealthzUnauthenticated(t *testing.T) {
+	url, _ := authSetup(t)
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with auth enabled = %d", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterHeaderPresent(t *testing.T) {
+	url, _ := authSetup(t)
+	// Exhaust the minute bucket with raw requests.
+	for i := 0; i < 4; i++ {
+		req, _ := http.NewRequest(http.MethodPost, url+"/api/v3/files/x/analyse", nil)
+		req.Header.Set("x-apikey", "pub-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	req, _ := http.NewRequest(http.MethodPost, url+"/api/v3/files/x/analyse", nil)
+	req.Header.Set("x-apikey", "pub-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}

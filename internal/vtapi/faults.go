@@ -1,0 +1,86 @@
+package vtapi
+
+import (
+	"net/http"
+	"sync"
+
+	"vtdynamics/internal/xrand"
+)
+
+// Fault injection: a 14-month collection campaign will see the far
+// side misbehave — transient 500s, hung connections, shed load. The
+// FaultInjector middleware makes the simulated service exhibit those
+// failures at a configurable rate so clients and collectors can be
+// hardened against them in tests (the vtclient retry/backoff paths
+// and the collector's checkpointing exist precisely for this).
+
+// FaultConfig sets per-request failure probabilities. Probabilities
+// are independent; the first sampled failure wins.
+type FaultConfig struct {
+	// Error500Rate is the probability of responding 500.
+	Error500Rate float64
+	// Error503Rate is the probability of responding 503 (load shed).
+	Error503Rate float64
+	// Seed makes the failure sequence deterministic.
+	Seed int64
+}
+
+// faultInjector decides per request whether to fail it.
+type faultInjector struct {
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *xrand.Rand
+	// counters for observability in tests.
+	injected500 int
+	injected503 int
+	passed      int
+}
+
+// WithFaults installs the fault injector. Faults fire before auth —
+// like infrastructure failing in front of the application — so a
+// failed request consumes no API-key quota.
+func WithFaults(cfg FaultConfig) Option {
+	return func(s *Server) {
+		s.faults = &faultInjector{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	}
+}
+
+// intercept returns true when it already wrote a failure response.
+func (f *faultInjector) intercept(w http.ResponseWriter, r *http.Request) bool {
+	if r.URL.Path == "/healthz" {
+		return false
+	}
+	f.mu.Lock()
+	fail500 := f.rng.Bool(f.cfg.Error500Rate)
+	fail503 := !fail500 && f.rng.Bool(f.cfg.Error503Rate)
+	switch {
+	case fail500:
+		f.injected500++
+	case fail503:
+		f.injected503++
+	default:
+		f.passed++
+	}
+	f.mu.Unlock()
+	switch {
+	case fail500:
+		writeError(w, http.StatusInternalServerError, "TransientError",
+			"injected internal error")
+		return true
+	case fail503:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "ServiceUnavailableError",
+			"injected load shedding")
+		return true
+	default:
+		return false
+	}
+}
+
+// Counts reports how many requests were failed vs passed (for tests).
+func (f *faultInjector) Counts() (injected500, injected503, passed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected500, f.injected503, f.passed
+}

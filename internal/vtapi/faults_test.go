@@ -1,0 +1,125 @@
+package vtapi_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/feed"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtclient"
+	"vtdynamics/internal/vtsim"
+)
+
+func faultySetup(t *testing.T, cfg vtapi.FaultConfig) (*vtclient.Client, *vtsim.Service, *simclock.SimClock) {
+	t.Helper()
+	set, err := engine.NewSet(engine.DefaultRoster(), 42,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	svc := vtsim.NewService(set, clock)
+	srv := httptest.NewServer(vtapi.NewServer(svc, nil, vtapi.WithFaults(cfg)))
+	t.Cleanup(srv.Close)
+	client := vtclient.New(srv.URL,
+		vtclient.WithRetries(8),
+		vtclient.WithBackoff(time.Millisecond),
+		vtclient.WithMaxRetryAfter(2*time.Second))
+	return client, svc, clock
+}
+
+// TestClientSurvivesInjected500s exercises the retry path: with a 30%
+// injected 500 rate and generous retries, every logical request must
+// eventually succeed.
+func TestClientSurvivesInjected500s(t *testing.T) {
+	client, _, clock := faultySetup(t, vtapi.FaultConfig{Error500Rate: 0.3, Seed: 5})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		clock.Advance(time.Minute)
+		_, err := client.Upload(ctx, desc(shaI(i)))
+		if err != nil {
+			t.Fatalf("upload %d failed through retries: %v", i, err)
+		}
+	}
+}
+
+// TestCollectorSurvivesFaultyFeed runs a resumable collection against
+// a server that sheds load: the collector retries through the client,
+// and the campaign completes exactly.
+func TestCollectorSurvivesFaultyFeed(t *testing.T) {
+	client, svc, clock := faultySetup(t, vtapi.FaultConfig{
+		Error500Rate: 0.15, Error503Rate: 0.15, Seed: 9})
+	ctx := context.Background()
+
+	// Generate some reports.
+	for i := 0; i < 10; i++ {
+		if _, err := svc.Upload(vtsim.UploadRequest{
+			SHA256: shaI(i), FileType: "Win32 EXE", Malicious: true, Detectability: 0.8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(10 * time.Minute)
+	}
+	end := clock.Now().Add(time.Minute)
+
+	var stored int
+	collector := feed.NewCollector(
+		feed.SourceFunc(func(ctx context.Context, a, b time.Time) ([]report.Envelope, error) {
+			return client.FeedBetween(ctx, a, b)
+		}),
+		feed.SinkFunc(func(report.Envelope) error { stored++; return nil }),
+	)
+	collector.Interval = 10 * time.Minute
+	stats, err := collector.RunResumable(ctx, simclock.CollectionStart, end, &feed.MemCursor{})
+	if err != nil {
+		t.Fatalf("collection failed despite retries: %v", err)
+	}
+	if stored != 10 || stats.Envelopes != 10 {
+		t.Fatalf("stored %d envelopes (stats %+v), want 10", stored, stats)
+	}
+}
+
+// TestHealthzExemptFromFaults keeps the liveness probe reliable even
+// under total fault injection.
+func TestHealthzExemptFromFaults(t *testing.T) {
+	set, _ := engine.NewSet(engine.DefaultRoster(), 42,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	svc := vtsim.NewService(set, simclock.NewSim(simclock.CollectionStart))
+	srv := httptest.NewServer(vtapi.NewServer(svc, nil,
+		vtapi.WithFaults(vtapi.FaultConfig{Error500Rate: 1, Seed: 1})))
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d under fault injection", resp.StatusCode)
+		}
+	}
+	// Everything else must fail.
+	resp, err := http.Get(srv.URL + "/api/v3/files/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("api status = %d, want injected 500", resp.StatusCode)
+	}
+}
+
+func shaI(i int) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, 8)
+	for j := range b {
+		b[j] = hex[(i>>uint(j*4))&0xf]
+	}
+	return "fault" + string(b)
+}

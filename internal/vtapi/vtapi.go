@@ -1,0 +1,199 @@
+// Package vtapi exposes the simulated VirusTotal service over HTTP,
+// mirroring the v3 endpoints the paper describes in §2.1:
+//
+//	POST /api/v3/files                 upload & analyze a file
+//	GET  /api/v3/files/{id}            fetch the latest report
+//	POST /api/v3/files/{id}/analyse    rescan an existing file
+//	GET  /api/v3/feed/reports          premium feed slice (?from=&to=, Unix seconds)
+//	GET  /healthz                      liveness
+//
+// Responses use the VT-v3-style JSON envelope from internal/report;
+// errors use VT's {"error": {"code", "message"}} shape. Because the
+// simulator has no file bytes, the upload body carries a descriptor
+// with the sample's latent attributes instead of multipart content.
+package vtapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/vtsim"
+)
+
+// UploadDescriptor is the upload request body.
+type UploadDescriptor struct {
+	SHA256        string  `json:"sha256"`
+	FileType      string  `json:"file_type"`
+	Size          int64   `json:"size"`
+	Malicious     bool    `json:"malicious"`
+	Detectability float64 `json:"detectability"`
+}
+
+// apiError is VT's error envelope.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Server wraps a vtsim.Service with the HTTP surface.
+type Server struct {
+	svc    *vtsim.Service
+	mux    *http.ServeMux
+	log    *log.Logger
+	auth   *auth
+	faults *faultInjector
+}
+
+// NewServer builds the HTTP surface over the service. logger may be
+// nil to disable request logging; pass WithAuth to require API keys
+// and enforce tier quotas.
+func NewServer(svc *vtsim.Service, logger *log.Logger, opts ...Option) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("POST /api/v3/files", s.handleUpload)
+	s.mux.HandleFunc("GET /api/v3/files/{id}", s.handleReport)
+	s.mux.HandleFunc("POST /api/v3/files/{id}/analyse", s.handleRescan)
+	s.mux.HandleFunc("GET /api/v3/feed/reports", s.handleFeed)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	// Injected faults fire first, like infrastructure failing in
+	// front of the application; /healthz is exempt from both faults
+	// and auth so orchestration can always probe it.
+	if s.faults != nil && s.faults.intercept(w, r) {
+		return
+	}
+	if s.auth != nil && r.URL.Path != "/healthz" {
+		if !s.auth.check(w, r) {
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var desc UploadDescriptor
+	if err := json.NewDecoder(r.Body).Decode(&desc); err != nil {
+		writeError(w, http.StatusBadRequest, "BadRequestError", "malformed upload descriptor")
+		return
+	}
+	if desc.SHA256 == "" {
+		writeError(w, http.StatusBadRequest, "BadRequestError", "sha256 is required")
+		return
+	}
+	env, err := s.svc.Upload(vtsim.UploadRequest{
+		SHA256:        desc.SHA256,
+		FileType:      desc.FileType,
+		Size:          desc.Size,
+		Malicious:     desc.Malicious,
+		Detectability: desc.Detectability,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "BadRequestError", err.Error())
+		return
+	}
+	writeEnvelope(w, http.StatusOK, env)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	env, err := s.svc.Report(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, env)
+}
+
+func (s *Server) handleRescan(w http.ResponseWriter, r *http.Request) {
+	env, err := s.svc.Rescan(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeEnvelope(w, http.StatusOK, env)
+}
+
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	from, err1 := parseUnix(r.URL.Query().Get("from"))
+	to, err2 := parseUnix(r.URL.Query().Get("to"))
+	if err1 != nil || err2 != nil || !to.After(from) {
+		writeError(w, http.StatusBadRequest, "BadRequestError",
+			"from and to must be Unix seconds with to > from")
+		return
+	}
+	envs := s.svc.FeedBetween(from, to)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Stream as a JSON array of wire envelopes.
+	enc := json.NewEncoder(w)
+	if _, err := w.Write([]byte("[")); err != nil {
+		return
+	}
+	for i := range envs {
+		if i > 0 {
+			if _, err := w.Write([]byte(",")); err != nil {
+				return
+			}
+		}
+		if err := enc.Encode(envs[i]); err != nil {
+			return
+		}
+	}
+	w.Write([]byte("]"))
+}
+
+func parseUnix(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, errors.New("missing")
+	}
+	sec, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(sec, 0).UTC(), nil
+}
+
+func writeServiceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, vtsim.ErrUnknownSample) {
+		writeError(w, http.StatusNotFound, "NotFoundError", err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "InternalError", err.Error())
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, env report.Envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var e apiError
+	e.Error.Code = code
+	e.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}

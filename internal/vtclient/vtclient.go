@@ -1,0 +1,241 @@
+// Package vtclient is the typed HTTP client for the simulated
+// VirusTotal API — the piece a collector (cmd/vtcollect) or any user
+// script talks through, mirroring the upload/report/rescan calls of
+// the paper's §2.1 plus the premium feed.
+//
+// The client retries transient failures (network errors and 5xx)
+// with exponential backoff and honors context cancellation.
+package vtclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/vtapi"
+)
+
+// ErrNotFound is returned for unknown samples (HTTP 404).
+var ErrNotFound = errors.New("vtclient: not found")
+
+// ErrQuotaExceeded is returned when the server keeps answering 429
+// after the retry budget is spent.
+var ErrQuotaExceeded = errors.New("vtclient: quota exceeded")
+
+// ErrForbidden is returned for 403 (e.g. feed access without a
+// premium key).
+var ErrForbidden = errors.New("vtclient: forbidden")
+
+// ErrUnauthorized is returned for 401 (missing or unknown API key).
+var ErrUnauthorized = errors.New("vtclient: unauthorized")
+
+// Client talks to one API server.
+type Client struct {
+	base       string
+	httpClient *http.Client
+	maxRetries int
+	backoff    time.Duration
+	apiKey     string
+	// maxRetryAfter caps how long a Retry-After hint is honored.
+	maxRetryAfter time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpClient = h }
+}
+
+// WithRetries sets the number of retries for transient failures.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoff sets the initial backoff (doubled per retry).
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// WithAPIKey sends the key in the x-apikey header (VT's convention).
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithMaxRetryAfter caps how long a server Retry-After hint is
+// honored before giving up with ErrQuotaExceeded (default 5s).
+func WithMaxRetryAfter(d time.Duration) Option {
+	return func(c *Client) { c.maxRetryAfter = d }
+}
+
+// New builds a client for the given base URL (e.g.
+// "http://127.0.0.1:8099").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:          base,
+		httpClient:    &http.Client{Timeout: 30 * time.Second},
+		maxRetries:    2,
+		backoff:       50 * time.Millisecond,
+		maxRetryAfter: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Upload submits a file descriptor and returns the analysis envelope.
+func (c *Client) Upload(ctx context.Context, desc vtapi.UploadDescriptor) (report.Envelope, error) {
+	body, err := json.Marshal(desc)
+	if err != nil {
+		return report.Envelope{}, fmt.Errorf("vtclient: %w", err)
+	}
+	return c.doEnvelope(ctx, http.MethodPost, "/api/v3/files", body)
+}
+
+// Report fetches the latest report for a hash without triggering a
+// new analysis.
+func (c *Client) Report(ctx context.Context, sha256 string) (report.Envelope, error) {
+	return c.doEnvelope(ctx, http.MethodGet, "/api/v3/files/"+url.PathEscape(sha256), nil)
+}
+
+// Rescan requests a re-analysis of an existing sample.
+func (c *Client) Rescan(ctx context.Context, sha256 string) (report.Envelope, error) {
+	return c.doEnvelope(ctx, http.MethodPost, "/api/v3/files/"+url.PathEscape(sha256)+"/analyse", nil)
+}
+
+// FeedBetween fetches the premium-feed slice for [from, to).
+func (c *Client) FeedBetween(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+	path := "/api/v3/feed/reports?from=" + strconv.FormatInt(from.Unix(), 10) +
+		"&to=" + strconv.FormatInt(to.Unix(), 10)
+	raw, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var envs []report.Envelope
+	if err := json.Unmarshal(raw, &envs); err != nil {
+		return nil, fmt.Errorf("vtclient: feed decode: %w", err)
+	}
+	return envs, nil
+}
+
+func (c *Client) doEnvelope(ctx context.Context, method, path string, body []byte) (report.Envelope, error) {
+	raw, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return report.Envelope{}, err
+	}
+	var env report.Envelope
+	if err := env.UnmarshalJSON(raw); err != nil {
+		return report.Envelope{}, fmt.Errorf("vtclient: envelope decode: %w", err)
+	}
+	return env, nil
+}
+
+// do performs the request with retry on transient failures.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("vtclient: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.apiKey != "" {
+			req.Header.Set("x-apikey", c.apiKey)
+		}
+		resp, err := c.httpClient.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("vtclient: %w", err)
+			continue // transient: retry
+		}
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		if readErr != nil {
+			lastErr = fmt.Errorf("vtclient: read body: %w", readErr)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return data, nil
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, apiMessage(data))
+		case resp.StatusCode == http.StatusUnauthorized:
+			return nil, fmt.Errorf("%w: %s", ErrUnauthorized, apiMessage(data))
+		case resp.StatusCode == http.StatusForbidden:
+			return nil, fmt.Errorf("%w: %s", ErrForbidden, apiMessage(data))
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Honor the server's Retry-After hint within our cap, then
+			// count the attempt against the retry budget.
+			wait := retryAfter(resp.Header.Get("Retry-After"))
+			if wait <= 0 || wait > c.maxRetryAfter {
+				return nil, fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(wait):
+			}
+			lastErr = fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+			continue
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("vtclient: server error %d: %s", resp.StatusCode, apiMessage(data))
+			continue // transient: retry
+		default:
+			return nil, fmt.Errorf("vtclient: HTTP %d: %s", resp.StatusCode, apiMessage(data))
+		}
+	}
+	return nil, lastErr
+}
+
+// retryAfter parses a Retry-After header given in seconds.
+func retryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// apiMessage extracts the error message from a VT error envelope,
+// falling back to the raw body.
+func apiMessage(data []byte) string {
+	var e struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err == nil && e.Error.Message != "" {
+		return e.Error.Message
+	}
+	if len(data) > 200 {
+		data = data[:200]
+	}
+	return string(data)
+}

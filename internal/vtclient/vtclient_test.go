@@ -1,0 +1,202 @@
+package vtclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// fakeEnvelope returns a minimal valid VT-wire envelope body.
+func fakeEnvelope(t *testing.T) []byte {
+	t.Helper()
+	env := report.Envelope{
+		Meta: report.SampleMeta{SHA256: "abc", FileType: "TXT",
+			LastAnalysisDate: time.Unix(1620000000, 0)},
+		Scan: report.ScanReport{SHA256: "abc", FileType: "TXT",
+			AnalysisDate: time.Unix(1620000000, 0)},
+	}
+	b, err := env.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRetriesOn500ThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	body := fakeEnvelope(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":{"code":"TransientError","message":"try again"}}`, 500)
+			return
+		}
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	env, err := c.Report(context.Background(), "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Meta.SHA256 != "abc" {
+		t.Fatalf("meta = %+v", env.Meta)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestGivesUpAfterRetryBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", 500)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	_, err := c.Report(context.Background(), "abc")
+	if err == nil {
+		t.Fatal("expected failure after retries")
+	}
+}
+
+func TestNotFoundIsNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":{"code":"NotFoundError","message":"nope"}}`, 404)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	_, err := c.Report(context.Background(), "abc")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: %d calls", calls.Load())
+	}
+}
+
+func TestQuotaRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	body := fakeEnvelope(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":{"code":"QuotaExceededError","message":"slow down"}}`, 429)
+			return
+		}
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(2), WithBackoff(time.Millisecond),
+		WithMaxRetryAfter(2*time.Second))
+	start := time.Now()
+	_, err := c.Report(context.Background(), "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("Retry-After not honored: only waited %v", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestQuotaRetryAfterTooLongFailsFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		http.Error(w, `{"error":{"code":"QuotaExceededError","message":"daily"}}`, 429)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(3), WithMaxRetryAfter(time.Second))
+	start := time.Now()
+	_, err := c.Report(context.Background(), "abc")
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("waited on an over-cap Retry-After")
+	}
+}
+
+func TestAPIKeyHeaderSent(t *testing.T) {
+	var gotKey atomic.Value
+	body := fakeEnvelope(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotKey.Store(r.Header.Get("x-apikey"))
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithAPIKey("sekrit"))
+	if _, err := c.Report(context.Background(), "abc"); err != nil {
+		t.Fatal(err)
+	}
+	if gotKey.Load() != "sekrit" {
+		t.Fatalf("x-apikey = %v", gotKey.Load())
+	}
+}
+
+func TestContextCancellationDuringBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", 500)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(5), WithBackoff(10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Report(ctx, "abc")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context cancellation did not interrupt backoff")
+	}
+}
+
+func TestMalformedEnvelopeSurfacesError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"data":{"type":"url"}}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	if _, err := c.Report(context.Background(), "abc"); err == nil {
+		t.Fatal("expected envelope decode error")
+	}
+}
+
+func TestFeedDecodesArray(t *testing.T) {
+	body := fakeEnvelope(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("["))
+		w.Write(body)
+		w.Write([]byte(","))
+		w.Write(body)
+		w.Write([]byte("]"))
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	envs, err := c.FeedBetween(context.Background(), time.Unix(0, 0), time.Unix(60, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("envelopes = %d", len(envs))
+	}
+}
+
+func TestNetworkErrorRetried(t *testing.T) {
+	// Point at a closed port: all attempts fail with a transport
+	// error, surfaced after the retry budget.
+	c := New("http://127.0.0.1:1", WithRetries(1), WithBackoff(time.Millisecond))
+	_, err := c.Report(context.Background(), "abc")
+	if err == nil {
+		t.Fatal("expected network error")
+	}
+}

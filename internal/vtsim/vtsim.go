@@ -1,0 +1,297 @@
+// Package vtsim implements the simulated VirusTotal service: it
+// orchestrates the engine roster over submitted samples, maintains
+// per-sample metadata with the exact field-update rules of the
+// paper's Table 1, keeps full scan histories, and exposes the
+// generated-report stream the premium feed delivers.
+//
+// Two usage modes:
+//
+//   - Service: a stateful, concurrency-safe service with Upload /
+//     Rescan / Report operations — the thing cmd/vtsimd serves over
+//     HTTP and the collector polls. Use for API-semantics and
+//     feed/store experiments.
+//
+//   - ScanSample: a pure function producing one sample's complete
+//     scan history. Analyses only ever need per-sample histories, so
+//     large experiments call this concurrently across samples without
+//     materializing a global service.
+package vtsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/xrand"
+)
+
+// Errors returned by the service.
+var (
+	ErrUnknownSample = errors.New("vtsim: unknown sample")
+	ErrNoTarget      = errors.New("vtsim: upload requires target attributes for a new sample")
+)
+
+// Service is the stateful simulated VT backend.
+type Service struct {
+	mu      sync.Mutex
+	clock   simclock.Clock
+	engines *engine.Set
+	samples map[string]*sampleState
+	// feed accumulates every generated report in generation order;
+	// FeedBetween serves the premium-feed slices.
+	feed []report.Envelope
+}
+
+type sampleState struct {
+	target  engine.Target
+	meta    report.SampleMeta
+	history []*report.ScanReport
+}
+
+// NewService builds a service over the given engine set and clock.
+func NewService(engines *engine.Set, clock simclock.Clock) *Service {
+	return &Service{
+		clock:   clock,
+		engines: engines,
+		samples: make(map[string]*sampleState),
+	}
+}
+
+// UploadRequest describes a file being uploaded. The latent fields
+// (Malicious, Detectability) stand in for the file content the real
+// service would receive.
+type UploadRequest struct {
+	SHA256        string
+	FileType      string
+	Size          int64
+	Malicious     bool
+	Detectability float64
+}
+
+// Upload submits a file and analyzes it (Table 1 row "Upload"):
+// last_analysis_date and last_submission_date update and
+// times_submitted increments. The first upload also sets
+// first_submission_date.
+func (s *Service) Upload(req UploadRequest) (report.Envelope, error) {
+	if req.SHA256 == "" {
+		return report.Envelope{}, ErrNoTarget
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	st, ok := s.samples[req.SHA256]
+	if !ok {
+		st = &sampleState{
+			target: engine.Target{
+				SHA256:        req.SHA256,
+				FileType:      req.FileType,
+				Malicious:     req.Malicious,
+				Detectability: req.Detectability,
+				FirstSeen:     now,
+			},
+			meta: report.SampleMeta{
+				SHA256:              req.SHA256,
+				FileType:            req.FileType,
+				Size:                req.Size,
+				FirstSubmissionDate: now,
+			},
+		}
+		s.samples[req.SHA256] = st
+	}
+	st.meta.LastSubmissionDate = now
+	st.meta.TimesSubmitted++
+	env := s.analyzeLocked(st, now)
+	return env, nil
+}
+
+// Rescan re-analyzes an existing sample (Table 1 row "Rescan"): only
+// last_analysis_date updates.
+func (s *Service) Rescan(sha256 string) (report.Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.samples[sha256]
+	if !ok {
+		return report.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
+	}
+	env := s.analyzeLocked(st, s.clock.Now())
+	return env, nil
+}
+
+// Report returns the latest report without generating a new one
+// (Table 1 row "Report"): no field changes.
+func (s *Service) Report(sha256 string) (report.Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.samples[sha256]
+	if !ok {
+		return report.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
+	}
+	if len(st.history) == 0 {
+		return report.Envelope{}, fmt.Errorf("%w: %s has no analyses", ErrUnknownSample, sha256)
+	}
+	return report.Envelope{Meta: st.meta, Scan: *st.history[len(st.history)-1].Clone()}, nil
+}
+
+// History returns a copy of the sample's full scan history.
+func (s *Service) History(sha256 string) (*report.History, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.samples[sha256]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
+	}
+	h := &report.History{Meta: st.meta}
+	for _, r := range st.history {
+		h.Reports = append(h.Reports, r.Clone())
+	}
+	return h, nil
+}
+
+// NumSamples returns the number of distinct samples seen.
+func (s *Service) NumSamples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// NumReports returns the total number of generated reports.
+func (s *Service) NumReports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.feed)
+}
+
+// FeedBetween returns the envelopes generated in [from, to), in
+// generation order — the premium-feed slice the collector fetches
+// every virtual minute.
+func (s *Service) FeedBetween(from, to time.Time) []report.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The feed is append-only in nondecreasing analysis time, so
+	// binary-search the bounds.
+	lo := sort.Search(len(s.feed), func(i int) bool {
+		return !s.feed[i].Scan.AnalysisDate.Before(from)
+	})
+	hi := sort.Search(len(s.feed), func(i int) bool {
+		return !s.feed[i].Scan.AnalysisDate.Before(to)
+	})
+	out := make([]report.Envelope, hi-lo)
+	copy(out, s.feed[lo:hi])
+	return out
+}
+
+// analyzeLocked runs every engine, records the report, and returns
+// the envelope. Caller holds s.mu.
+func (s *Service) analyzeLocked(st *sampleState, now time.Time) report.Envelope {
+	results := s.engines.Scan(st.target, now)
+	scan := &report.ScanReport{
+		SHA256:       st.target.SHA256,
+		FileType:     st.target.FileType,
+		AnalysisDate: now,
+		Results:      results,
+		AVRank:       report.ComputeAVRank(results),
+		EnginesTotal: report.CountActive(results),
+	}
+	st.meta.LastAnalysisDate = now
+	st.history = append(st.history, scan)
+	env := report.Envelope{Meta: st.meta, Scan: *scan.Clone()}
+	s.feed = append(s.feed, env)
+	return env
+}
+
+// uploadShare is the fraction of follow-up scans that arrive as
+// re-uploads (other users submitting the same file) rather than
+// rescans; it drives times_submitted growth.
+const uploadShare = 0.6
+
+// ScanSample produces one sample's complete in-window history as a
+// pure function of (engines, sample): the per-sample path analyses
+// use. Follow-up scans are deterministically split between re-uploads
+// and rescans so the Table 1 metadata semantics stay exercised.
+// It is safe to call concurrently for different samples.
+func ScanSample(engines *engine.Set, s *sampleset.Sample) *report.History {
+	tgt := s.Target()
+	meta := report.SampleMeta{
+		SHA256:              s.SHA256,
+		FileType:            s.FileType,
+		Size:                s.Size,
+		FirstSubmissionDate: s.FirstSeen,
+	}
+	rng := xrand.New(7).SplitFor("submitkind|" + s.SHA256)
+	h := &report.History{}
+	rows := engines.ScanSeries(tgt, s.ScanTimes)
+	for i, at := range s.ScanTimes {
+		isUpload := i == 0 || rng.Bool(uploadShare)
+		if isUpload {
+			meta.LastSubmissionDate = at
+			meta.TimesSubmitted++
+		}
+		meta.LastAnalysisDate = at
+		results := rows[i]
+		h.Reports = append(h.Reports, &report.ScanReport{
+			SHA256:       s.SHA256,
+			FileType:     s.FileType,
+			AnalysisDate: at,
+			Results:      results,
+			AVRank:       report.ComputeAVRank(results),
+			EnginesTotal: report.CountActive(results),
+		})
+	}
+	h.Meta = meta
+	return h
+}
+
+// RunWorkload drives a service through a whole population's scan
+// schedules in global time order, advancing the clock to each event.
+// It reproduces what 14 months of worldwide submissions do to the
+// real service; the feed and store experiments run on top of it.
+func RunWorkload(svc *Service, clock *simclock.SimClock, samples []*sampleset.Sample) error {
+	type event struct {
+		s   *sampleset.Sample
+		idx int
+		at  time.Time
+	}
+	var events []event
+	for _, s := range samples {
+		for i, at := range s.ScanTimes {
+			events = append(events, event{s: s, idx: i, at: at})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
+	for _, ev := range events {
+		clock.Set(ev.at)
+		if ev.idx == 0 {
+			if _, err := svc.Upload(UploadRequest{
+				SHA256:        ev.s.SHA256,
+				FileType:      ev.s.FileType,
+				Size:          ev.s.Size,
+				Malicious:     ev.s.Malicious,
+				Detectability: ev.s.Detectability,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		rng := xrand.New(7).SplitFor(fmt.Sprintf("kind|%s|%d", ev.s.SHA256, ev.idx))
+		if rng.Bool(uploadShare) {
+			if _, err := svc.Upload(UploadRequest{
+				SHA256:   ev.s.SHA256,
+				FileType: ev.s.FileType,
+				Size:     ev.s.Size,
+			}); err != nil {
+				return err
+			}
+		} else {
+			if _, err := svc.Rescan(ev.s.SHA256); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

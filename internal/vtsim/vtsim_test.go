@@ -1,0 +1,285 @@
+package vtsim
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+)
+
+func newTestService(t *testing.T) (*Service, *simclock.SimClock) {
+	t.Helper()
+	set, err := engine.NewSet(engine.DefaultRoster(), 99,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	return NewService(set, clock), clock
+}
+
+func exeUpload(sha string) UploadRequest {
+	return UploadRequest{
+		SHA256:        sha,
+		FileType:      ftypes.Win32EXE,
+		Size:          1 << 20,
+		Malicious:     true,
+		Detectability: 0.9,
+	}
+}
+
+// TestTable1UploadSemantics checks the "Upload" row of Table 1: all
+// three fields change.
+func TestTable1UploadSemantics(t *testing.T) {
+	svc, clock := newTestService(t)
+	env1, err := svc.Upload(exeUpload("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env1.Meta.TimesSubmitted != 1 {
+		t.Fatalf("times_submitted after first upload = %d", env1.Meta.TimesSubmitted)
+	}
+	clock.Advance(48 * time.Hour)
+	env2, err := svc.Upload(exeUpload("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Meta.TimesSubmitted != 2 {
+		t.Fatalf("times_submitted after second upload = %d", env2.Meta.TimesSubmitted)
+	}
+	if !env2.Meta.LastAnalysisDate.After(env1.Meta.LastAnalysisDate) {
+		t.Fatal("upload did not update last_analysis_date")
+	}
+	if !env2.Meta.LastSubmissionDate.After(env1.Meta.LastSubmissionDate) {
+		t.Fatal("upload did not update last_submission_date")
+	}
+	if !env2.Meta.FirstSubmissionDate.Equal(env1.Meta.FirstSubmissionDate) {
+		t.Fatal("first_submission_date changed on re-upload")
+	}
+}
+
+// TestTable1RescanSemantics checks the "Rescan" row: only
+// last_analysis_date changes.
+func TestTable1RescanSemantics(t *testing.T) {
+	svc, clock := newTestService(t)
+	env1, _ := svc.Upload(exeUpload("s2"))
+	clock.Advance(24 * time.Hour)
+	env2, err := svc.Rescan("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env2.Meta.LastAnalysisDate.After(env1.Meta.LastAnalysisDate) {
+		t.Fatal("rescan did not update last_analysis_date")
+	}
+	if !env2.Meta.LastSubmissionDate.Equal(env1.Meta.LastSubmissionDate) {
+		t.Fatal("rescan changed last_submission_date")
+	}
+	if env2.Meta.TimesSubmitted != env1.Meta.TimesSubmitted {
+		t.Fatal("rescan changed times_submitted")
+	}
+}
+
+// TestTable1ReportSemantics checks the "Report" row: nothing changes
+// and no new report is generated.
+func TestTable1ReportSemantics(t *testing.T) {
+	svc, clock := newTestService(t)
+	env1, _ := svc.Upload(exeUpload("s3"))
+	clock.Advance(24 * time.Hour)
+	before := svc.NumReports()
+	env2, err := svc.Report("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.NumReports() != before {
+		t.Fatal("report API generated a new report")
+	}
+	if !env2.Meta.LastAnalysisDate.Equal(env1.Meta.LastAnalysisDate) ||
+		!env2.Meta.LastSubmissionDate.Equal(env1.Meta.LastSubmissionDate) ||
+		env2.Meta.TimesSubmitted != env1.Meta.TimesSubmitted {
+		t.Fatal("report API mutated metadata")
+	}
+	if !env2.Scan.AnalysisDate.Equal(env1.Scan.AnalysisDate) {
+		t.Fatal("report API returned a different scan")
+	}
+}
+
+func TestRescanUnknownSample(t *testing.T) {
+	svc, _ := newTestService(t)
+	if _, err := svc.Rescan("nope"); err == nil {
+		t.Fatal("expected error for unknown sample")
+	}
+	if _, err := svc.Report("nope"); err == nil {
+		t.Fatal("expected error for unknown sample")
+	}
+}
+
+func TestUploadRequiresHash(t *testing.T) {
+	svc, _ := newTestService(t)
+	if _, err := svc.Upload(UploadRequest{}); err == nil {
+		t.Fatal("expected error for empty hash")
+	}
+}
+
+func TestHistoryAccumulates(t *testing.T) {
+	svc, clock := newTestService(t)
+	svc.Upload(exeUpload("s4"))
+	for i := 0; i < 4; i++ {
+		clock.Advance(72 * time.Hour)
+		if _, err := svc.Rescan("s4"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := svc.History("s4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 5 {
+		t.Fatalf("history length = %d, want 5", len(h.Reports))
+	}
+	if !h.SortedByTime() {
+		t.Fatal("history not time-sorted")
+	}
+	for _, r := range h.Reports {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFeedBetween(t *testing.T) {
+	svc, clock := newTestService(t)
+	t0 := clock.Now()
+	svc.Upload(exeUpload("f1"))
+	clock.Advance(10 * time.Minute)
+	svc.Upload(exeUpload("f2"))
+	clock.Advance(10 * time.Minute)
+	svc.Upload(exeUpload("f3"))
+	t1 := clock.Now()
+
+	all := svc.FeedBetween(t0, t1.Add(time.Minute))
+	if len(all) != 3 {
+		t.Fatalf("full feed = %d entries", len(all))
+	}
+	mid := svc.FeedBetween(t0.Add(5*time.Minute), t0.Add(15*time.Minute))
+	if len(mid) != 1 || mid[0].Meta.SHA256 != "f2" {
+		t.Fatalf("mid slice = %v", mid)
+	}
+	empty := svc.FeedBetween(t1.Add(time.Hour), t1.Add(2*time.Hour))
+	if len(empty) != 0 {
+		t.Fatalf("future slice = %d entries", len(empty))
+	}
+}
+
+func TestScanSamplePureAndDeterministic(t *testing.T) {
+	set, err := engine.NewSet(engine.DefaultRoster(), 99,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sampleset.Generate(sampleset.Config{Seed: 4, NumSamples: 50, MultiOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		h1 := ScanSample(set, s)
+		h2 := ScanSample(set, s)
+		if len(h1.Reports) != len(s.ScanTimes) {
+			t.Fatalf("history %d reports, schedule %d", len(h1.Reports), len(s.ScanTimes))
+		}
+		if h1.Meta.TimesSubmitted != h2.Meta.TimesSubmitted {
+			t.Fatal("ScanSample not deterministic (meta)")
+		}
+		if h1.Meta.TimesSubmitted < 1 {
+			t.Fatal("first scan must be an upload")
+		}
+		for i := range h1.Reports {
+			if h1.Reports[i].AVRank != h2.Reports[i].AVRank {
+				t.Fatal("ScanSample not deterministic (ranks)")
+			}
+			if err := h1.Reports[i].Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !h1.SortedByTime() {
+			t.Fatal("history not sorted")
+		}
+	}
+}
+
+func TestScanSampleConcurrentSafety(t *testing.T) {
+	set, err := engine.NewSet(engine.DefaultRoster(), 99,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sampleset.Generate(sampleset.Config{Seed: 8, NumSamples: 200, MultiOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := w; i < len(ss); i += 8 {
+				h := ScanSample(set, ss[i])
+				if len(h.Reports) == 0 {
+					t.Error("empty history")
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}
+
+func TestRunWorkloadMatchesSchedules(t *testing.T) {
+	svc, clock := newTestService(t)
+	ss, err := sampleset.Generate(sampleset.Config{Seed: 12, NumSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunWorkload(svc, clock, ss); err != nil {
+		t.Fatal(err)
+	}
+	wantReports := 0
+	for _, s := range ss {
+		wantReports += len(s.ScanTimes)
+	}
+	if got := svc.NumReports(); got != wantReports {
+		t.Fatalf("reports = %d, want %d", got, wantReports)
+	}
+	if got := svc.NumSamples(); got != len(ss) {
+		t.Fatalf("samples = %d, want %d", got, len(ss))
+	}
+	// Spot-check per-sample history lengths.
+	for _, s := range ss[:20] {
+		h, err := svc.History(s.SHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Reports) != len(s.ScanTimes) {
+			t.Fatalf("history %d, schedule %d", len(h.Reports), len(s.ScanTimes))
+		}
+	}
+}
+
+func TestFeedIsTimeOrdered(t *testing.T) {
+	svc, clock := newTestService(t)
+	ss, err := sampleset.Generate(sampleset.Config{Seed: 14, NumSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunWorkload(svc, clock, ss); err != nil {
+		t.Fatal(err)
+	}
+	feed := svc.FeedBetween(simclock.CollectionStart, simclock.CollectionEnd)
+	for i := 1; i < len(feed); i++ {
+		if feed[i].Scan.AnalysisDate.Before(feed[i-1].Scan.AnalysisDate) {
+			t.Fatal("feed not time-ordered")
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package xrand provides deterministic, seedable random sources and
+// the handful of distributions the workload and engine generators
+// need: Bernoulli draws, weighted choice, Poisson counts, lognormal
+// gaps, and a bounded heavy-tail for reports-per-sample.
+//
+// Everything is built on math/rand with an explicit source so that a
+// simulation seeded identically reproduces bit-identical report
+// streams — a requirement for the experiment harness, whose expected
+// values are recorded in EXPERIMENTS.md.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps *rand.Rand with the distribution helpers used across the
+// simulator. It is NOT safe for concurrent use; derive one per
+// goroutine with Split.
+//
+// The underlying source is splitmix64 rather than math/rand's default
+// rngSource: the simulator constructs a fresh stream per
+// (engine, sample) pair, and the default source's ~5 KB state array
+// would dominate allocation; splitmix64 carries 8 bytes of state with
+// excellent statistical quality for this use.
+type Rand struct {
+	r *rand.Rand
+	// mix caches the per-Rand mixing constant consumed by SplitFor.
+	mix int64
+}
+
+// sm64 is a splitmix64 rand.Source64.
+type sm64 struct{ s uint64 }
+
+func (s *sm64) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *sm64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *sm64) Seed(seed int64) { s.s = uint64(seed) }
+
+// New returns a Rand seeded with seed.
+func New(seed int64) *Rand {
+	src := &sm64{s: uint64(seed)}
+	// Warm the state so nearby seeds decorrelate immediately.
+	src.Uint64()
+	return &Rand{r: rand.New(src)}
+}
+
+// Split derives an independent Rand from this one. The derived stream
+// is a deterministic function of the parent state, so a simulation
+// that splits in a fixed order is fully reproducible.
+func (x *Rand) Split() *Rand {
+	return New(x.r.Int63())
+}
+
+// SplitFor derives an independent Rand keyed by an arbitrary string
+// (e.g. a sample hash or engine name) mixed with this Rand's next
+// value. Using a key decouples the derived stream from how many other
+// streams were split before it.
+func (x *Rand) SplitFor(key string) *Rand {
+	h := fnv64(key)
+	return New(int64(h ^ uint64(x.base())))
+}
+
+// base returns a stable per-Rand mixing constant. It consumes one
+// value from the stream the first time it is needed.
+func (x *Rand) base() int64 {
+	if x.mix == 0 {
+		x.mix = x.r.Int63() | 1
+	}
+	return x.mix
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Rand) Float64() float64 { return x.r.Float64() }
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (x *Rand) Intn(n int) int { return x.r.Intn(n) }
+
+// Int63 returns a uniform non-negative 63-bit value.
+func (x *Rand) Int63() int64 { return x.r.Int63() }
+
+// Bool returns true with probability p.
+func (x *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate.
+func (x *Rand) NormFloat64() float64 { return x.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (x *Rand) ExpFloat64() float64 { return x.r.ExpFloat64() }
+
+// Lognormal returns exp(mu + sigma*Z): a right-skewed positive value.
+// Used for inter-scan gaps, whose medians are around days but whose
+// tails reach hundreds of days (the paper saw gaps up to 418 days).
+func (x *Rand) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*x.r.NormFloat64())
+}
+
+// Poisson returns a Poisson(lambda) count using Knuth's method for
+// small lambda and a normal approximation for large lambda. lambda
+// must be >= 0.
+func (x *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(lambda + math.Sqrt(lambda)*x.r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= x.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a value in {0, 1, 2, ...} with mean
+// (1-p)/p. p must be in (0, 1].
+func (x *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("xrand: Geometric requires p in (0, 1]")
+	}
+	// Inverse-CDF: floor(ln(U) / ln(1-p)).
+	u := x.r.Float64()
+	for u == 0 {
+		u = x.r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// BoundedPareto returns an integer heavy-tail draw in [min, max] with
+// tail exponent alpha. It is used for the reports-per-sample tail,
+// where most samples have a handful of reports but the maximum in the
+// paper's data reached 64,168.
+func (x *Rand) BoundedPareto(min, max int, alpha float64) int {
+	if min >= max {
+		return min
+	}
+	lo, hi := float64(min), float64(max)+1
+	u := x.r.Float64()
+	// Inverse CDF of the bounded Pareto distribution.
+	la, ha := math.Pow(lo, alpha), math.Pow(hi, alpha)
+	v := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	n := int(v)
+	if n < min {
+		n = min
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with
+// probability proportional to weights[i]. Weights must be
+// non-negative with a positive sum.
+func (x *Rand) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: WeightedChoice requires positive total weight")
+	}
+	target := x.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Cumulative is a precomputed cumulative-weight table for repeated
+// weighted choices over the same distribution (e.g. the file-type mix,
+// drawn hundreds of thousands of times per run).
+type Cumulative struct {
+	cum []float64
+}
+
+// NewCumulative builds a cumulative table. Weights must be
+// non-negative with a positive sum.
+func NewCumulative(weights []float64) *Cumulative {
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		acc += w
+		cum[i] = acc
+	}
+	if acc <= 0 {
+		panic("xrand: NewCumulative requires positive total weight")
+	}
+	return &Cumulative{cum: cum}
+}
+
+// Choose returns an index drawn according to the table's weights.
+func (c *Cumulative) Choose(x *Rand) int {
+	total := c.cum[len(c.cum)-1]
+	target := x.Float64() * total
+	// Binary search for the first cumulative weight > target.
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] > target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Len returns the number of categories in the table.
+func (c *Cumulative) Len() int { return len(c.cum) }
+
+// fnv64 is the FNV-1a hash of s, used to key derived streams.
+func fnv64(s string) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

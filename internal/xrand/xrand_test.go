@@ -1,0 +1,271 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentButDeterministic(t *testing.T) {
+	a1 := New(7).Split()
+	a2 := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatalf("split streams from same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitForKeyedStreams(t *testing.T) {
+	parent := New(1)
+	s1 := parent.SplitFor("sample-a")
+	s2 := parent.SplitFor("sample-b")
+	same := true
+	for i := 0; i < 50; i++ {
+		if s1.Float64() != s2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("SplitFor with different keys produced identical streams")
+	}
+	// Same key from an identically-seeded parent reproduces the stream.
+	p1, p2 := New(9), New(9)
+	k1, k2 := p1.SplitFor("x"), p2.SplitFor("x")
+	for i := 0; i < 50; i++ {
+		if k1.Float64() != k2.Float64() {
+			t.Fatal("SplitFor not reproducible for equal seed and key")
+		}
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	x := New(3)
+	for i := 0; i < 100; i++ {
+		if x.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !x.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	x := New(11)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %.4f, want ~0.30", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	x := New(5)
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += x.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%.1f) mean = %.3f", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 10; i++ {
+		if got := x.Poisson(0); got != 0 {
+			t.Fatalf("Poisson(0) = %d", got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	x := New(6)
+	p := 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += x.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // 3.0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(0.25) mean = %.3f, want %.3f", mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	x := New(6)
+	if got := x.Geometric(1); got != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", got)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	x := New(8)
+	const min, max = 2, 64168
+	for i := 0; i < 100000; i++ {
+		v := x.BoundedPareto(min, max, 1.8)
+		if v < min || v > max {
+			t.Fatalf("BoundedPareto out of range: %d", v)
+		}
+	}
+}
+
+func TestBoundedParetoHeavyTailShape(t *testing.T) {
+	x := New(8)
+	const n = 200000
+	small, large := 0, 0
+	for i := 0; i < n; i++ {
+		v := x.BoundedPareto(2, 64168, 1.8)
+		if v <= 4 {
+			small++
+		}
+		if v > 1000 {
+			large++
+		}
+	}
+	if float64(small)/n < 0.5 {
+		t.Fatalf("expected most draws near the minimum, got %.3f <= 4", float64(small)/n)
+	}
+	if large == 0 {
+		t.Fatal("expected at least one draw deep in the tail")
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	x := New(8)
+	if got := x.BoundedPareto(5, 5, 2); got != 5 {
+		t.Fatalf("BoundedPareto(5,5) = %d", got)
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	x := New(13)
+	const n = 100000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = x.Lognormal(math.Log(17), 1.2)
+	}
+	// Median of lognormal(mu, sigma) is exp(mu) = 17.
+	below := 0
+	for _, v := range vals {
+		if v < 17 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median = %.4f, want ~0.5", frac)
+	}
+}
+
+func TestWeightedChoiceProportions(t *testing.T) {
+	x := New(21)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[x.WeightedChoice(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency = %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoicePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero total weight")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, 0})
+}
+
+func TestCumulativeMatchesWeightedChoice(t *testing.T) {
+	weights := []float64{2, 0, 5, 3}
+	cum := NewCumulative(weights)
+	x := New(33)
+	counts := make([]int, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[cum.Choose(x)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category chosen %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w/total) > 0.01 {
+			t.Fatalf("category %d frequency = %.4f, want %.4f", i, got, w/total)
+		}
+	}
+}
+
+func TestCumulativePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	NewCumulative([]float64{1, -1})
+}
+
+func TestCumulativeLen(t *testing.T) {
+	if got := NewCumulative([]float64{1, 2, 3}).Len(); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+// Property: Bool(p) for p in (0,1) never panics and WeightedChoice
+// always returns a valid index.
+func TestQuickWeightedChoiceIndexInRange(t *testing.T) {
+	f := func(seed int64, a, b, c uint8) bool {
+		w := []float64{float64(a) + 1, float64(b), float64(c)}
+		i := New(seed).WeightedChoice(w)
+		return i >= 0 && i < 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BoundedPareto always stays within bounds for arbitrary
+// seeds and valid parameters.
+func TestQuickBoundedParetoInBounds(t *testing.T) {
+	f := func(seed int64, span uint16) bool {
+		min := 1
+		max := min + int(span)
+		v := New(seed).BoundedPareto(min, max, 1.5)
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

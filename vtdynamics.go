@@ -1,0 +1,302 @@
+// Package vtdynamics is a library for studying the label dynamics of
+// online anti-malware scanning services, reproducing "Re-measuring
+// the Label Dynamics of Online Anti-Malware Engines from Millions of
+// Samples" (IMC 2023).
+//
+// It bundles three layers behind one import:
+//
+//   - A simulated VirusTotal-style service: a 70+ engine roster with
+//     latency, signature-update, activity, and correlation dynamics;
+//     a workload generator calibrated to the paper's dataset shape;
+//     upload/rescan/report API semantics (Table 1); a per-minute
+//     premium feed; and a compressed, monthly-partitioned report
+//     store.
+//
+//   - The label-dynamics analysis core: stable/dynamic
+//     classification, δ/Δ metrics, white/black/gray threshold
+//     categorization, AV-Rank and label stabilization, per-engine
+//     flip and hazard-flip analysis, and engine-correlation groups.
+//
+//   - The experiment harness regenerating every table and figure of
+//     the paper's evaluation.
+//
+// Quick start:
+//
+//	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 1})
+//	svc, clock := sim.NewService()
+//	env, err := svc.Upload(vtdynamics.UploadRequest{
+//		SHA256: "...", FileType: vtdynamics.FileTypeWin32EXE,
+//		Malicious: true, Detectability: 0.9,
+//	})
+//	clock.Advance(24 * time.Hour)
+//	env, err = svc.Rescan("...")
+//
+// See examples/ for runnable programs and DESIGN.md for the paper
+// mapping.
+package vtdynamics
+
+import (
+	"time"
+
+	"vtdynamics/internal/core"
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/experiments"
+	"vtdynamics/internal/labeling"
+	"vtdynamics/internal/predict"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/stats"
+	"vtdynamics/internal/store"
+	"vtdynamics/internal/vtsim"
+)
+
+// Re-exported data model types.
+type (
+	// ScanReport is one analysis of one sample.
+	ScanReport = report.ScanReport
+	// EngineResult is one engine's entry in a scan report.
+	EngineResult = report.EngineResult
+	// SampleMeta is the per-sample metadata with the Table 1 fields.
+	SampleMeta = report.SampleMeta
+	// History is a sample's scan reports in time order.
+	History = report.History
+	// Envelope pairs metadata with a scan for wire transport.
+	Envelope = report.Envelope
+	// Verdict is an engine's per-scan decision.
+	Verdict = report.Verdict
+	// UploadRequest describes a file submitted to the service.
+	UploadRequest = vtsim.UploadRequest
+	// Service is the simulated VirusTotal backend.
+	Service = vtsim.Service
+	// Sample is one generated workload file with its scan schedule.
+	Sample = sampleset.Sample
+	// Clock abstracts time for the service.
+	Clock = simclock.Clock
+	// SimClock is the deterministic virtual clock.
+	SimClock = simclock.SimClock
+	// Store is the embedded compressed report store.
+	Store = store.Store
+)
+
+// Verdict values (the paper's R-matrix encoding).
+const (
+	VerdictMalicious  = report.Malicious
+	VerdictBenign     = report.Benign
+	VerdictUndetected = report.Undetected
+)
+
+// Common file-type labels (the paper's top types).
+const (
+	FileTypeWin32EXE = "Win32 EXE"
+	FileTypeWin32DLL = "Win32 DLL"
+	FileTypeWin64EXE = "Win64 EXE"
+	FileTypeWin64DLL = "Win64 DLL"
+	FileTypeTXT      = "TXT"
+	FileTypeHTML     = "HTML"
+	FileTypeZIP      = "ZIP"
+	FileTypePDF      = "PDF"
+	FileTypeDEX      = "DEX"
+	FileTypeELF      = "ELF executable"
+)
+
+// Re-exported analysis types.
+type (
+	// RankSeries is a sample's AV-Rank trajectory.
+	RankSeries = core.RankSeries
+	// Category is the white/black/gray class under a threshold.
+	Category = core.Category
+	// CategoryCounts tallies a population under one threshold.
+	CategoryCounts = core.CategoryCounts
+	// StabilizationResult describes when a series stabilized.
+	StabilizationResult = core.StabilizationResult
+	// FlipCounts aggregates an engine's flip behaviour.
+	FlipCounts = core.FlipCounts
+	// FlipMatrix accumulates flips per (engine, file type).
+	FlipMatrix = core.FlipMatrix
+	// VerdictMatrix is the scans × engines decision matrix of §7.2.
+	VerdictMatrix = core.VerdictMatrix
+	// PairCorrelation is one engine pair's Spearman correlation.
+	PairCorrelation = core.PairCorrelation
+	// EngineSeries is one engine's trajectory over one sample.
+	EngineSeries = core.EngineSeries
+	// Summary is the one-stop per-sample dynamics digest.
+	Summary = core.Summary
+	// SpearmanResult carries ρ, p, and n.
+	SpearmanResult = stats.SpearmanResult
+	// BoxplotStats is the five-number summary used by the figures.
+	BoxplotStats = stats.BoxplotStats
+)
+
+// Category values.
+const (
+	CategoryWhite = core.White
+	CategoryBlack = core.Black
+	CategoryGray  = core.Gray
+)
+
+// Analysis entry points (see internal/core for full documentation).
+var (
+	// FromHistory extracts a sample's rank series.
+	FromHistory = core.FromHistory
+	// CategorySweep classifies a population under thresholds (Fig. 8).
+	CategorySweep = core.CategorySweep
+	// CountFlips tallies an engine's flips over a sample (§7.1).
+	CountFlips = core.CountFlips
+	// ExtractEngineSeries pulls one engine's trajectory from a history.
+	ExtractEngineSeries = core.ExtractEngineSeries
+	// NewFlipMatrix creates a flip accumulator (Fig. 10).
+	NewFlipMatrix = core.NewFlipMatrix
+	// NewVerdictMatrix creates a correlation matrix (§7.2).
+	NewVerdictMatrix = core.NewVerdictMatrix
+	// StrongGroups extracts correlated engine groups (Tables 4–8).
+	StrongGroups = core.StrongGroups
+	// Summarize digests one history under a labeling threshold.
+	Summarize = core.Summarize
+	// Spearman computes a tie-corrected rank correlation.
+	Spearman = stats.Spearman
+	// OpenStore opens the embedded compressed report store.
+	OpenStore = store.Open
+)
+
+// Labeling strategies (§3.1).
+type (
+	// Aggregator collapses one scan into a binary label.
+	Aggregator = labeling.Aggregator
+	// Threshold labels malicious iff AV-Rank >= T.
+	Threshold = labeling.Threshold
+	// Percentage labels malicious iff AV-Rank >= fraction of engines.
+	Percentage = labeling.Percentage
+	// TrustedSubset counts votes from chosen engines only.
+	TrustedSubset = labeling.TrustedSubset
+)
+
+// Labeling constructors.
+var (
+	NewThreshold     = labeling.NewThreshold
+	NewPercentage    = labeling.NewPercentage
+	NewTrustedSubset = labeling.NewTrustedSubset
+	LabelHistory     = labeling.LabelHistory
+)
+
+// Learned label aggregation (§3.1's ML line — see internal/predict).
+type (
+	// Featurizer turns scan reports into engine verdict vectors.
+	Featurizer = predict.Featurizer
+	// PredictExample is one (features, label) training observation.
+	PredictExample = predict.Example
+	// PredictModel is a trained logistic-regression aggregator.
+	PredictModel = predict.Model
+	// PredictConfig parameterizes training.
+	PredictConfig = predict.Config
+	// PredictMetrics summarizes binary-classification quality.
+	PredictMetrics = predict.Metrics
+)
+
+// Prediction entry points.
+var (
+	// NewFeaturizer fixes the engine feature order.
+	NewFeaturizer = predict.NewFeaturizer
+	// TrainPredictor fits a logistic-regression aggregator.
+	TrainPredictor = predict.Train
+	// PredictThresholdBaseline scores the unweighted threshold rule
+	// on the same feature vectors.
+	PredictThresholdBaseline = predict.ThresholdBaseline
+)
+
+// Experiments harness.
+type (
+	// ExperimentConfig sizes the experiment suite.
+	ExperimentConfig = experiments.Config
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+)
+
+// NewExperimentRunner builds the experiment harness.
+var NewExperimentRunner = experiments.NewRunner
+
+// Collection window of the paper (May 2021 – June 2022).
+var (
+	CollectionStart = simclock.CollectionStart
+	CollectionEnd   = simclock.CollectionEnd
+)
+
+// SimConfig parameterizes a Simulation.
+type SimConfig struct {
+	// Seed drives all randomness; equal seeds reproduce everything.
+	Seed int64
+	// Start and End bound the engine-update schedules and default
+	// workload window; zero values select the paper's 14 months.
+	Start, End time.Time
+	// Roster overrides the default 70+ engine roster when non-nil.
+	Roster []EngineSpec
+}
+
+// EngineSpec is the behavioural parameterization of one engine.
+type EngineSpec = engine.Spec
+
+// DefaultRoster returns the calibrated 70+ engine roster.
+func DefaultRoster() []EngineSpec { return engine.DefaultRoster() }
+
+// Simulation owns an instantiated engine roster and provides the
+// service, scanning, and workload entry points.
+type Simulation struct {
+	cfg SimConfig
+	set *engine.Set
+}
+
+// NewSimulation instantiates the roster for the window.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	if cfg.Start.IsZero() {
+		cfg.Start = simclock.CollectionStart
+	}
+	if cfg.End.IsZero() {
+		cfg.End = simclock.CollectionEnd
+	}
+	roster := cfg.Roster
+	if roster == nil {
+		roster = engine.DefaultRoster()
+	}
+	set, err := engine.NewSet(roster, cfg.Seed, cfg.Start, cfg.End)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{cfg: cfg, set: set}, nil
+}
+
+// EngineNames returns the roster's engine names in order.
+func (s *Simulation) EngineNames() []string { return s.set.Names() }
+
+// NewService creates a stateful service over a fresh virtual clock
+// starting at the window start.
+func (s *Simulation) NewService() (*Service, *SimClock) {
+	clock := simclock.NewSim(s.cfg.Start)
+	return vtsim.NewService(s.set, clock), clock
+}
+
+// NewServiceWithClock creates a service over a caller-provided clock.
+func (s *Simulation) NewServiceWithClock(clock Clock) *Service {
+	return vtsim.NewService(s.set, clock)
+}
+
+// ScanSample produces one sample's complete scan history as a pure
+// function — the entry point for large-scale analyses. Safe to call
+// concurrently.
+func (s *Simulation) ScanSample(sample *Sample) *History {
+	return vtsim.ScanSample(s.set, sample)
+}
+
+// RunWorkload drives a service through a population in global time
+// order.
+func (s *Simulation) RunWorkload(svc *Service, clock *SimClock, samples []*Sample) error {
+	return vtsim.RunWorkload(svc, clock, samples)
+}
+
+// WorkloadConfig mirrors the workload generator's configuration.
+type WorkloadConfig = sampleset.Config
+
+// GenerateWorkload produces a calibrated synthetic submission
+// population.
+func GenerateWorkload(cfg WorkloadConfig) ([]*Sample, error) {
+	return sampleset.Generate(cfg)
+}

@@ -1,0 +1,171 @@
+package vtdynamics_test
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics"
+)
+
+func newSim(t *testing.T) *vtdynamics.Simulation {
+	t.Helper()
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	sim := newSim(t)
+	svc, clock := sim.NewService()
+	env, err := svc.Upload(vtdynamics.UploadRequest{
+		SHA256:        "api-test-sample",
+		FileType:      vtdynamics.FileTypeWin32EXE,
+		Size:          4096,
+		Malicious:     true,
+		Detectability: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Scan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(7 * 24 * time.Hour)
+	if _, err := svc.Rescan("api-test-sample"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := svc.History("api-test-sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := vtdynamics.FromHistory(h)
+	if series.Len() != 2 {
+		t.Fatalf("series length = %d", series.Len())
+	}
+	if c := series.Classify(); c.String() == "" {
+		t.Fatal("classification failed")
+	}
+}
+
+func TestPublicAPIWorkloadAndAnalysis(t *testing.T) {
+	sim := newSim(t)
+	samples, err := vtdynamics.GenerateWorkload(vtdynamics.WorkloadConfig{
+		Seed: 99, NumSamples: 300, MultiOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dynamic int
+	matrix := vtdynamics.NewVerdictMatrix(sim.EngineNames())
+	flips := vtdynamics.NewFlipMatrix()
+	for _, s := range samples {
+		h := sim.ScanSample(s)
+		rs := vtdynamics.FromHistory(h)
+		if rs.Delta() > 0 {
+			dynamic++
+		}
+		matrix.AddHistory(h)
+		flips.AddHistory(h)
+	}
+	if dynamic == 0 {
+		t.Fatal("no dynamic samples in workload")
+	}
+	pairs, err := matrix.Correlations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no correlation pairs")
+	}
+	groups := vtdynamics.StrongGroups(pairs, 0.8)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	if flips.Total().Opportunities == 0 {
+		t.Fatal("no flip opportunities")
+	}
+}
+
+func TestPublicAPILabeling(t *testing.T) {
+	th, err := vtdynamics.NewThreshold(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := vtdynamics.NewPercentage(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := vtdynamics.NewTrustedSubset([]string{"Kaspersky", "Microsoft"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := newSim(t)
+	svc, _ := sim.NewService()
+	env, err := svc.Upload(vtdynamics.UploadRequest{
+		SHA256: "label-me", FileType: vtdynamics.FileTypeWin32EXE,
+		Malicious: true, Detectability: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []vtdynamics.Aggregator{th, pc, ts} {
+		_ = agg.Malicious(&env.Scan) // must not panic; value depends on dynamics
+		if agg.Name() == "" {
+			t.Fatal("aggregator without a name")
+		}
+	}
+}
+
+func TestPublicAPICustomRoster(t *testing.T) {
+	roster := vtdynamics.DefaultRoster()[:10]
+	sim, err := vtdynamics.NewSimulation(vtdynamics.SimConfig{Seed: 5, Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sim.EngineNames()); got != 10 {
+		t.Fatalf("engines = %d", got)
+	}
+}
+
+func TestPublicAPIStore(t *testing.T) {
+	st, err := vtdynamics.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := newSim(t)
+	svc, _ := sim.NewService()
+	env, err := svc.Upload(vtdynamics.UploadRequest{
+		SHA256: "store-me", FileType: vtdynamics.FileTypeTXT,
+		Malicious: false, Detectability: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := st.Get("store-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 1 {
+		t.Fatalf("stored reports = %d", len(h.Reports))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionWindowExported(t *testing.T) {
+	if !vtdynamics.CollectionEnd.After(vtdynamics.CollectionStart) {
+		t.Fatal("collection window inverted")
+	}
+	if months := vtdynamics.CollectionEnd.Sub(vtdynamics.CollectionStart).Hours() / 24 / 30; months < 13 || months > 15 {
+		t.Fatalf("window ~%.1f months, want ~14", months)
+	}
+}
