@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	vtsimd [-addr :8099] [-seed 1] [-accel 0]
+//	vtsimd [-addr :8099] [-seed 1] [-accel 0] [-shards 32]
 //
 // By default the service runs on the real clock with an engine
 // window spanning a year around now. With -accel N > 0 the service
@@ -37,6 +37,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8099", "listen address")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		shards     = flag.Int("shards", vtsim.DefaultShards, "sample-state shard count (rounded up to a power of two)")
 		accel      = flag.Float64("accel", 0, "virtual-clock acceleration (0 = real clock)")
 		quiet      = flag.Bool("quiet", false, "disable request logging")
 		publicKey  = flag.String("public-key", "", "enable auth: API key on the public tier (4 req/min, 500/day, no feed)")
@@ -70,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vtsimd:", err)
 		os.Exit(1)
 	}
-	svc := vtsim.NewService(set, clock)
+	svc := vtsim.NewService(set, clock, vtsim.WithShards(*shards))
 
 	var logger *log.Logger
 	if !*quiet {

@@ -1,0 +1,146 @@
+package concurrency
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vtdynamics/internal/experiments"
+)
+
+// pipelineSize mirrors the EXPERIMENTS.md service/feed/store
+// configuration (8,000 samples through the full pipeline); -short
+// uses the experiments suite's own small scale.
+func pipelineSize(t *testing.T) int {
+	t.Helper()
+	if testing.Short() {
+		return 1_500
+	}
+	return 8_000
+}
+
+// hashDir returns path → SHA-256 of contents for every file in dir.
+func hashDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		f.Close()
+		out[e.Name()] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}
+
+// TestPipelineDeterminismAcrossWorkers is the golden determinism
+// harness: the full service→feed→store mini-pipeline (the
+// EXPERIMENTS.md Table 2 configuration) runs at -workers=1 and
+// -workers=8 with the same seed, and every observable output must be
+// identical — the Table 2 result struct (total stats, sample counts,
+// per-month partition stats) and, stronger, the byte-identical
+// on-disk store: every partition file, the metadata snapshot, and the
+// stats sidecar hash equal. Worker count is a wall-clock knob only.
+func TestPipelineDeterminismAcrossWorkers(t *testing.T) {
+	size := pipelineSize(t)
+	run := func(workers int) (*experiments.Table2Result, map[string]string) {
+		r, err := experiments.NewRunner(experiments.Config{
+			Seed:             1,
+			PopulationSize:   1, // unused by Table 2
+			DynamicsSize:     1, // unused by Table 2
+			CorrelationScans: 1, // unused by Table 2
+			ServiceSize:      size,
+			Workers:          workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		res, err := r.Table2DatasetOverview(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, hashDir(t, dir)
+	}
+
+	res1, files1 := run(1)
+	res8, files8 := run(8)
+
+	if !reflect.DeepEqual(res1, res8) {
+		t.Errorf("Table 2 results diverge:\nworkers=1: %+v\nworkers=8: %+v", res1, res8)
+	}
+	if res1.TotalSamples != size {
+		t.Errorf("TotalSamples = %d, want %d", res1.TotalSamples, size)
+	}
+	if res1.TotalReports == 0 || len(res1.Rows) == 0 {
+		t.Fatalf("empty pipeline output: %+v", res1)
+	}
+
+	var names1, names8 []string
+	for n := range files1 {
+		names1 = append(names1, n)
+	}
+	for n := range files8 {
+		names8 = append(names8, n)
+	}
+	sort.Strings(names1)
+	sort.Strings(names8)
+	if !reflect.DeepEqual(names1, names8) {
+		t.Fatalf("store file sets diverge:\nworkers=1: %v\nworkers=8: %v", names1, names8)
+	}
+	for _, name := range names1 {
+		if files1[name] != files8[name] {
+			t.Errorf("store file %s differs between workers=1 and workers=8", name)
+		}
+	}
+}
+
+// TestPipelineDeterminismSameWorkers is the repeatability control:
+// two runs at the same worker count must also be identical (if this
+// fails, nondeterminism is in the pipeline itself, not the worker
+// fan-out).
+func TestPipelineDeterminismSameWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestPipelineDeterminismAcrossWorkers at full scale")
+	}
+	run := func() map[string]string {
+		r, err := experiments.NewRunner(experiments.Config{
+			Seed:             1,
+			PopulationSize:   1,
+			DynamicsSize:     1,
+			CorrelationScans: 1,
+			ServiceSize:      1_500,
+			Workers:          8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if _, err := r.Table2DatasetOverview(dir); err != nil {
+			t.Fatal(err)
+		}
+		return hashDir(t, dir)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed same-workers runs diverge")
+	}
+}

@@ -1,0 +1,14 @@
+// Package concurrency holds the cross-package concurrency test
+// layer: race-detector stress tests that hammer the sharded
+// vtsim.Service and store.Store from dozens of goroutines, worker
+// equivalence tests for the feed collector, and the fixed-seed
+// determinism harness proving that the service→feed→store pipeline
+// produces byte-identical output regardless of worker count.
+//
+// The package intentionally contains no non-test code; it exists so
+// the stress suite can exercise the public surfaces of vtsim, store,
+// feed, and experiments together, the way cmd/vtcollect and
+// cmd/vtanalyze combine them. Run it with the race detector:
+//
+//	go test -race ./internal/concurrency
+package concurrency

@@ -1,0 +1,251 @@
+package concurrency
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/ftypes"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtsim"
+)
+
+func newService(t testing.TB, opts ...vtsim.Option) (*vtsim.Service, *simclock.SimClock) {
+	t.Helper()
+	set, err := engine.NewSet(engine.DefaultRoster(), 42,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	return vtsim.NewService(set, clock, opts...), clock
+}
+
+func upload(sha string) vtsim.UploadRequest {
+	return vtsim.UploadRequest{
+		SHA256:        sha,
+		FileType:      ftypes.Win32EXE,
+		Size:          1 << 16,
+		Malicious:     true,
+		Detectability: 0.8,
+	}
+}
+
+// TestServiceConcurrentStress hammers every Service operation from 32
+// writer goroutines plus a reader crowd, under go test -race. Each
+// writer owns a disjoint set of samples, so the final counts are
+// exact: W goroutines × K samples × 3 analyses each.
+func TestServiceConcurrentStress(t *testing.T) {
+	const (
+		writers = 32
+		perW    = 12
+	)
+	svc, clock := newService(t)
+	clock.Set(simclock.CollectionStart.Add(time.Hour))
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+8)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Racing clock advances exercise the ordered-insert
+				// path of the feed append.
+				clock.Advance(time.Millisecond)
+				sha := fmt.Sprintf("stress-%02d-%03d", w, i)
+				if _, err := svc.Upload(upload(sha)); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := svc.Rescan(sha); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := svc.Upload(upload(sha)); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := svc.Report(sha); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := svc.History(sha); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers poll global views while the writers run: the race
+	// detector checks these paths against concurrent appends.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.NumSamples()
+				svc.NumReports()
+				envs := svc.FeedBetween(simclock.CollectionStart, clock.Now().Add(time.Hour))
+				for i := 1; i < len(envs); i++ {
+					if envs[i].Scan.AnalysisDate.Before(envs[i-1].Scan.AnalysisDate) {
+						errc <- fmt.Errorf("feed out of order at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	if got, want := svc.NumSamples(), writers*perW; got != want {
+		t.Fatalf("NumSamples = %d, want %d", got, want)
+	}
+	if got, want := svc.NumReports(), writers*perW*3; got != want {
+		t.Fatalf("NumReports = %d, want %d", got, want)
+	}
+	// Per-sample Table 1 semantics survived the contention: two
+	// uploads and one rescan each.
+	for w := 0; w < writers; w++ {
+		sha := fmt.Sprintf("stress-%02d-%03d", w, perW-1)
+		h, err := svc.History(sha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Reports) != 3 {
+			t.Fatalf("%s history = %d reports", sha, len(h.Reports))
+		}
+		if h.Meta.TimesSubmitted != 2 {
+			t.Fatalf("%s times_submitted = %d, want 2", sha, h.Meta.TimesSubmitted)
+		}
+	}
+}
+
+// TestServiceShardCountInvariance proves the shard count is purely a
+// contention knob: the same serial workload on 1, 4, and 64 shards
+// yields identical feeds.
+func TestServiceShardCountInvariance(t *testing.T) {
+	run := func(shards int) []report.Envelope {
+		svc, clock := newService(t, vtsim.WithShards(shards))
+		for i := 0; i < 40; i++ {
+			clock.Advance(time.Minute)
+			sha := fmt.Sprintf("inv-%03d", i%10)
+			if i < 10 {
+				if _, err := svc.Upload(upload(sha)); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := svc.Rescan(sha); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return svc.FeedBetween(simclock.CollectionStart, clock.Now().Add(time.Hour))
+	}
+	want := run(1)
+	for _, shards := range []int{4, 64} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d envelopes, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Scan.SHA256 != want[i].Scan.SHA256 ||
+				!got[i].Scan.AnalysisDate.Equal(want[i].Scan.AnalysisDate) ||
+				got[i].Scan.AVRank != want[i].Scan.AVRank {
+				t.Fatalf("shards=%d: envelope %d differs", shards, i)
+			}
+		}
+	}
+}
+
+// TestFeedBetweenIsolation pins the FeedBetween contract: the
+// returned slice is a deep copy, so mutating it (or racing it against
+// appends) can never corrupt the service's log or histories.
+func TestFeedBetweenIsolation(t *testing.T) {
+	svc, clock := newService(t)
+	clock.Advance(time.Hour)
+	if _, err := svc.Upload(upload("iso-1")); err != nil {
+		t.Fatal(err)
+	}
+	envs := svc.FeedBetween(simclock.CollectionStart, clock.Now().Add(time.Hour))
+	if len(envs) != 1 || len(envs[0].Scan.Results) == 0 {
+		t.Fatalf("feed = %+v", envs)
+	}
+	// Vandalize everything the caller can reach.
+	envs[0].Scan.Results[0].Verdict = report.Undetected
+	envs[0].Scan.Results[0].Label = "vandalized"
+	envs[0].Scan.AVRank = -99
+	envs = append(envs[:0], report.Envelope{})
+	_ = envs
+
+	again := svc.FeedBetween(simclock.CollectionStart, clock.Now().Add(time.Hour))
+	if len(again) != 1 {
+		t.Fatalf("feed after vandalism = %d envelopes", len(again))
+	}
+	if again[0].Scan.AVRank == -99 || again[0].Scan.Results[0].Label == "vandalized" {
+		t.Fatal("caller mutation reached the internal feed")
+	}
+	if err := again[0].Scan.Validate(); err != nil {
+		t.Fatalf("internal feed corrupted: %v", err)
+	}
+	// The stored history is equally isolated.
+	h, err := svc.History("iso-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Reports[0].Validate(); err != nil {
+		t.Fatalf("history corrupted: %v", err)
+	}
+}
+
+// TestFeedBetweenDuringAppends reads feed slices while 32 writers
+// append — under -race this proves readers can never observe a torn
+// append, and functionally that every returned slice is sorted.
+func TestFeedBetweenDuringAppends(t *testing.T) {
+	svc, clock := newService(t)
+	clock.Set(simclock.CollectionStart.Add(time.Hour))
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := svc.Upload(upload(fmt.Sprintf("app-%02d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		envs := svc.FeedBetween(simclock.CollectionStart, clock.Now().Add(time.Hour))
+		for i := 1; i < len(envs); i++ {
+			if envs[i].Scan.AnalysisDate.Before(envs[i-1].Scan.AnalysisDate) {
+				t.Fatalf("unsorted slice at %d", i)
+			}
+		}
+		if len(envs) == 32*8 {
+			break
+		}
+	}
+	wg.Wait()
+	if got := svc.NumReports(); got != 32*8 {
+		t.Fatalf("NumReports = %d, want %d", got, 32*8)
+	}
+}

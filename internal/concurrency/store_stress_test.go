@@ -1,0 +1,239 @@
+package concurrency
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
+)
+
+var storeT0 = time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+
+func storeEnvelope(sha string, at time.Time, rank int) report.Envelope {
+	results := []report.EngineResult{
+		{Engine: "Avast", Verdict: report.Benign, SignatureVersion: 3},
+		{Engine: "BitDefender", Verdict: report.Undetected, SignatureVersion: 9},
+	}
+	for i := 0; i < rank; i++ {
+		results = append(results, report.EngineResult{
+			Engine:           fmt.Sprintf("Det%02d", i),
+			Verdict:          report.Malicious,
+			Label:            "Trojan.Gen",
+			SignatureVersion: 1,
+		})
+	}
+	return report.Envelope{
+		Meta: report.SampleMeta{
+			SHA256:              sha,
+			FileType:            "Win32 EXE",
+			Size:                4096,
+			FirstSubmissionDate: storeT0,
+			LastAnalysisDate:    at,
+			LastSubmissionDate:  at,
+			TimesSubmitted:      1,
+		},
+		Scan: report.ScanReport{
+			SHA256:       sha,
+			FileType:     "Win32 EXE",
+			AnalysisDate: at,
+			Results:      results,
+			AVRank:       rank,
+			EnginesTotal: rank + 1,
+		},
+	}
+}
+
+// TestStoreConcurrentStress drives 32 Put goroutines spanning three
+// monthly partitions while readers poll stats, metadata, and
+// histories, and a flusher rotates gzip members mid-stream — all
+// under go test -race. The final accounting must be exact and the
+// store must pass full integrity verification.
+func TestStoreConcurrentStress(t *testing.T) {
+	const (
+		writers = 32
+		perW    = 40
+	)
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+4)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				at := storeT0.Add(time.Duration(i%3) * 31 * 24 * time.Hour)
+				env := storeEnvelope(fmt.Sprintf("st-%02d-%03d", w, i), at, i%6)
+				if err := s.Put(env); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.NumSamples()
+				s.TotalStats()
+				s.Months()
+				s.Meta(fmt.Sprintf("st-%02d-000", r))
+				if r == 0 {
+					// One goroutine rotates gzip members mid-write:
+					// Put must survive writer handoff.
+					if err := s.Flush(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	if got, want := s.TotalStats().Reports, writers*perW; got != want {
+		t.Fatalf("TotalStats.Reports = %d, want %d", got, want)
+	}
+	if got, want := s.NumSamples(), writers*perW; got != want {
+		t.Fatalf("NumSamples = %d, want %d", got, want)
+	}
+	checked, err := s.Verify()
+	if err != nil {
+		t.Fatalf("Verify after concurrent ingest: %v", err)
+	}
+	if checked != writers*perW {
+		t.Fatalf("Verify checked %d rows, want %d", checked, writers*perW)
+	}
+	// Every partition's rows read back.
+	h, err := s.Get("st-00-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 1 || h.Reports[0].AVRank != 1 {
+		t.Fatalf("history = %+v", h.Reports)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBatchMatchesSingle proves PutBatch and per-envelope Put
+// are observationally equivalent: same index, same accounting, same
+// rows back — batch is purely a lock-amortization.
+func TestStoreBatchMatchesSingle(t *testing.T) {
+	envs := make([]report.Envelope, 0, 60)
+	for i := 0; i < 60; i++ {
+		at := storeT0.Add(time.Duration(i) * 13 * time.Hour)
+		envs = append(envs, storeEnvelope(fmt.Sprintf("b-%03d", i%20), at, i%5))
+	}
+	single, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range envs {
+		if err := single.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.PutBatch(envs); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*store.Store{single, batch} {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := single.TotalStats(), batch.TotalStats(); a.Reports != b.Reports || a.RawBytes != b.RawBytes {
+		t.Fatalf("stats diverge: single %+v batch %+v", a, b)
+	}
+	if a, b := single.NumSamples(), batch.NumSamples(); a != b {
+		t.Fatalf("samples diverge: %d vs %d", a, b)
+	}
+	ha, err := single.Get("b-007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := batch.Get("b-007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ha.Reports) != len(hb.Reports) {
+		t.Fatalf("history lengths diverge: %d vs %d", len(ha.Reports), len(hb.Reports))
+	}
+	for i := range ha.Reports {
+		if ha.Reports[i].AVRank != hb.Reports[i].AVRank ||
+			!ha.Reports[i].AnalysisDate.Equal(hb.Reports[i].AnalysisDate) {
+			t.Fatalf("report %d diverges", i)
+		}
+	}
+}
+
+// TestStoreConcurrentPutBatch runs 32 goroutines of PutBatch slices
+// with interleaved flushes; counts must be exact and verification
+// clean.
+func TestStoreConcurrentPutBatch(t *testing.T) {
+	const writers = 32
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []report.Envelope
+			for i := 0; i < 30; i++ {
+				at := storeT0.Add(time.Duration(i%2) * 31 * 24 * time.Hour)
+				batch = append(batch, storeEnvelope(fmt.Sprintf("pb-%02d-%03d", w, i), at, i%4))
+			}
+			if err := s.PutBatch(batch); err != nil {
+				errc <- err
+				return
+			}
+			if w%8 == 0 {
+				if err := s.Flush(); err != nil {
+					errc <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if got, want := s.TotalStats().Reports, writers*30; got != want {
+		t.Fatalf("reports = %d, want %d", got, want)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

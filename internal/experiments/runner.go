@@ -65,7 +65,10 @@ type Config struct {
 	// CorrelationScans caps the number of scan rows fed to the
 	// engine-correlation matrices. Default 40_000.
 	CorrelationScans int
-	// Workers is the scan parallelism. Default GOMAXPROCS.
+	// Workers is the scan parallelism, and the feed-collector fetch
+	// concurrency in the Table 2 pipeline. Default GOMAXPROCS. The
+	// worker count never changes results, only wall time (proved by
+	// the internal/concurrency determinism harness).
 	Workers int
 }
 

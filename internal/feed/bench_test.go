@@ -1,0 +1,51 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// fetchLatency models one /feed poll against a remote API. The
+// paper's collection loop is latency-bound, not CPU-bound: each
+// per-minute batch costs a round trip, so overlapping fetches is
+// where the worker pool earns its keep.
+const fetchLatency = 2 * time.Millisecond
+
+func benchSource() Source {
+	return SourceFunc(func(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+		select {
+		case <-time.After(fetchLatency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		sha := fmt.Sprintf("bench-%d", from.Unix())
+		return []report.Envelope{{
+			Meta: report.SampleMeta{SHA256: sha, LastAnalysisDate: from},
+			Scan: report.ScanReport{SHA256: sha, AnalysisDate: from, FileType: "Win32 EXE"},
+		}}, nil
+	})
+}
+
+// benchCollect runs one 64-minute window; reported ns/op is the
+// wall-clock for the whole window, so worker counts compare directly.
+func benchCollect(b *testing.B, workers int) {
+	b.Helper()
+	t0 := time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+	src := benchSource()
+	for i := 0; i < b.N; i++ {
+		c := NewCollector(src, SinkFunc(func(report.Envelope) error { return nil }))
+		c.Workers = workers
+		if _, err := c.Run(context.Background(), t0, t0.Add(64*time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectWindowWorkers1(b *testing.B)  { benchCollect(b, 1) }
+func BenchmarkCollectWindowWorkers4(b *testing.B)  { benchCollect(b, 4) }
+func BenchmarkCollectWindowWorkers8(b *testing.B)  { benchCollect(b, 8) }
+func BenchmarkCollectWindowWorkers16(b *testing.B) { benchCollect(b, 16) }

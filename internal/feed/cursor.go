@@ -61,6 +61,20 @@ func (c *FileCursor) Save(frontier time.Time) error {
 	return nil
 }
 
+// CursorFunc adapts a load/save function pair to Cursor — handy for
+// wrapping a Cursor with extra behavior (cmd/vtcollect flushes the
+// store before each checkpoint this way).
+type CursorFunc struct {
+	LoadFn func() (time.Time, bool, error)
+	SaveFn func(frontier time.Time) error
+}
+
+// Load implements Cursor.
+func (c CursorFunc) Load() (time.Time, bool, error) { return c.LoadFn() }
+
+// Save implements Cursor.
+func (c CursorFunc) Save(frontier time.Time) error { return c.SaveFn(frontier) }
+
 // MemCursor is an in-memory Cursor for tests and single-process runs.
 type MemCursor struct {
 	frontier time.Time
@@ -86,47 +100,9 @@ var ErrCursorAhead = errors.New("feed: cursor frontier beyond window end")
 // frontier when one is stored (otherwise from start) and saves the
 // frontier after every slice, so a crashed or cancelled run can be
 // re-invoked with the same arguments and will complete the window
-// exactly once.
+// exactly once. With Workers > 1 fetches overlap, but commits (and
+// therefore checkpoints) stay in slice order, so the exactly-once
+// guarantee is unchanged.
 func (c *Collector) RunResumable(ctx context.Context, start, end time.Time, cursor Cursor) (Stats, error) {
-	var stats Stats
-	from := start
-	if frontier, ok, err := cursor.Load(); err != nil {
-		return stats, err
-	} else if ok {
-		if frontier.After(end) {
-			return stats, fmt.Errorf("%w: %v > %v", ErrCursorAhead, frontier, end)
-		}
-		if frontier.After(from) {
-			from = frontier
-		}
-	}
-	seen := make(map[string]bool)
-	for ; from.Before(end); from = from.Add(c.Interval) {
-		if err := ctx.Err(); err != nil {
-			return stats, err
-		}
-		to := from.Add(c.Interval)
-		if to.After(end) {
-			to = end
-		}
-		envs, err := c.source.FeedBetween(ctx, from, to)
-		if err != nil {
-			return stats, fmt.Errorf("feed: poll [%v, %v): %w", from, to, err)
-		}
-		stats.Polls++
-		for _, env := range envs {
-			if err := c.sink.Put(env); err != nil {
-				return stats, fmt.Errorf("feed: store: %w", err)
-			}
-			stats.Envelopes++
-			if !seen[env.Meta.SHA256] {
-				seen[env.Meta.SHA256] = true
-				stats.Samples++
-			}
-		}
-		if err := cursor.Save(to); err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
+	return c.collect(ctx, start, end, cursor)
 }

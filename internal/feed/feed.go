@@ -12,6 +12,7 @@ package feed
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"vtdynamics/internal/report"
@@ -25,6 +26,14 @@ type Source interface {
 // Sink consumes collected envelopes (e.g. the compressed store).
 type Sink interface {
 	Put(env report.Envelope) error
+}
+
+// BatchSink is an optional Sink upgrade: sinks that can commit a
+// whole feed slice at once (store.PutBatch amortizes the partition
+// lock this way). The collector uses it when available.
+type BatchSink interface {
+	Sink
+	PutBatch(envs []report.Envelope) error
 }
 
 // SourceFunc adapts a function to Source.
@@ -58,22 +67,74 @@ type Collector struct {
 	sink   Sink
 	// Interval is the poll period; the paper used one minute.
 	Interval time.Duration
+	// Workers is the number of concurrent feed fetches. Values <= 1
+	// poll serially (the paper's loop). With W > 1, up to W slices are
+	// fetched in flight at once while commits to the sink stay in
+	// strict slice order — so sink contents, stats, and checkpoint
+	// semantics are identical to the serial run, only the fetch
+	// latency overlaps.
+	Workers int
 }
 
 // NewCollector builds a collector with the paper's one-minute poll
-// interval.
+// interval and serial fetching; set Workers for concurrent fetches.
 func NewCollector(source Source, sink Sink) *Collector {
 	return &Collector{source: source, sink: sink, Interval: time.Minute}
 }
 
-// Run collects the window [start, end) in Interval steps. It is
-// synchronous over virtual time: each poll covers exactly one
-// interval, so no report can be missed or double-fetched. ctx cancels
-// a long run.
+// Run collects the window [start, end) in Interval steps. Each poll
+// covers exactly one interval, so no report can be missed or
+// double-fetched; commits are in slice order even with Workers > 1.
+// ctx cancels a long run.
 func (c *Collector) Run(ctx context.Context, start, end time.Time) (Stats, error) {
+	return c.collect(ctx, start, end, nil)
+}
+
+// commitSlice stores one slice's envelopes and folds them into stats.
+func (c *Collector) commitSlice(envs []report.Envelope, seen map[string]bool, stats *Stats) error {
+	if bs, ok := c.sink.(BatchSink); ok {
+		if err := bs.PutBatch(envs); err != nil {
+			return fmt.Errorf("feed: store: %w", err)
+		}
+	} else {
+		for _, env := range envs {
+			if err := c.sink.Put(env); err != nil {
+				return fmt.Errorf("feed: store: %w", err)
+			}
+		}
+	}
+	stats.Envelopes += len(envs)
+	for _, env := range envs {
+		if !seen[env.Meta.SHA256] {
+			seen[env.Meta.SHA256] = true
+			stats.Samples++
+		}
+	}
+	return nil
+}
+
+// collect is the shared engine behind Run and RunResumable: cursor is
+// nil for uncheckpointed runs.
+func (c *Collector) collect(ctx context.Context, start, end time.Time, cursor Cursor) (Stats, error) {
 	var stats Stats
+	from := start
+	if cursor != nil {
+		if frontier, ok, err := cursor.Load(); err != nil {
+			return stats, err
+		} else if ok {
+			if frontier.After(end) {
+				return stats, fmt.Errorf("%w: %v > %v", ErrCursorAhead, frontier, end)
+			}
+			if frontier.After(from) {
+				from = frontier
+			}
+		}
+	}
+	if c.Workers > 1 {
+		return c.collectConcurrent(ctx, from, end, cursor)
+	}
 	seen := make(map[string]bool)
-	for from := start; from.Before(end); from = from.Add(c.Interval) {
+	for ; from.Before(end); from = from.Add(c.Interval) {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
@@ -86,18 +147,111 @@ func (c *Collector) Run(ctx context.Context, start, end time.Time) (Stats, error
 			return stats, fmt.Errorf("feed: poll [%v, %v): %w", from, to, err)
 		}
 		stats.Polls++
-		for _, env := range envs {
-			if err := c.sink.Put(env); err != nil {
-				return stats, fmt.Errorf("feed: store: %w", err)
-			}
-			stats.Envelopes++
-			if !seen[env.Meta.SHA256] {
-				seen[env.Meta.SHA256] = true
-				stats.Samples++
+		if err := c.commitSlice(envs, seen, &stats); err != nil {
+			return stats, err
+		}
+		if cursor != nil {
+			if err := cursor.Save(to); err != nil {
+				return stats, err
 			}
 		}
 	}
 	return stats, nil
+}
+
+// fetchResult carries one slice's envelopes from a worker to the
+// committer.
+type fetchResult struct {
+	from, to time.Time
+	envs     []report.Envelope
+	err      error
+}
+
+// collectConcurrent fans slice fetches out to c.Workers goroutines
+// while committing in slice order. In-flight slices are bounded by
+// the worker count (plus the promise buffer), giving natural
+// backpressure when the sink is the bottleneck.
+func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time, cursor Cursor) (Stats, error) {
+	var stats Stats
+	if !start.Before(end) {
+		return stats, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type promise chan fetchResult
+	workers := c.Workers
+	// promises delivers per-slice result channels to the committer in
+	// dispatch order; its buffer bounds the number of in-flight slices.
+	promises := make(chan promise, workers)
+	jobs := make(chan struct {
+		p        promise
+		from, to time.Time
+	}, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				if err := ctx.Err(); err != nil {
+					job.p <- fetchResult{from: job.from, to: job.to, err: err}
+					continue
+				}
+				envs, err := c.source.FeedBetween(ctx, job.from, job.to)
+				job.p <- fetchResult{from: job.from, to: job.to, envs: envs, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(promises)
+		defer close(jobs)
+		for from := start; from.Before(end); from = from.Add(c.Interval) {
+			if ctx.Err() != nil {
+				return
+			}
+			to := from.Add(c.Interval)
+			if to.After(end) {
+				to = end
+			}
+			p := make(promise, 1)
+			select {
+			case promises <- p:
+			case <-ctx.Done():
+				return
+			}
+			jobs <- struct {
+				p        promise
+				from, to time.Time
+			}{p, from, to}
+		}
+	}()
+	defer wg.Wait()
+
+	seen := make(map[string]bool)
+	for p := range promises {
+		res := <-p
+		if res.err != nil {
+			cancel()
+			if res.err == ctx.Err() {
+				return stats, res.err
+			}
+			return stats, fmt.Errorf("feed: poll [%v, %v): %w", res.from, res.to, res.err)
+		}
+		stats.Polls++
+		if err := c.commitSlice(res.envs, seen, &stats); err != nil {
+			cancel()
+			return stats, err
+		}
+		if cursor != nil {
+			if err := cursor.Save(res.to); err != nil {
+				cancel()
+				return stats, err
+			}
+		}
+	}
+	return stats, ctx.Err()
 }
 
 // RunHourly is Run with a coarser step for long windows where

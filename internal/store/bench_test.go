@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -18,6 +19,31 @@ func BenchmarkPut(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPutParallel measures contended ingest throughput: many
+// goroutines Put distinct samples concurrently, all landing in the
+// same monthly partition — the collector's hot path.
+func BenchmarkPutParallel(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			env := envelope(fmt.Sprintf("bench%08d", i), t0.Add(time.Duration(i)*time.Second), 10)
+			if err := s.Put(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.StopTimer()
 	if err := s.Close(); err != nil {
 		b.Fatal(err)

@@ -13,10 +13,20 @@
 // The store tracks raw-vs-stored byte accounting so the compression
 // ratio the paper reports (10.06×) can be measured on our data.
 //
-// Layout under the store directory:
+// Layout under the store directory (identical to the original
+// single-writer layout — sharding is an in-memory concern only):
 //
 //	scans-2021-05.jsonl.gz   one multi-member gzip file per month
 //	samples.jsonl.gz         latest metadata snapshot, written on Close
+//
+// Concurrency model: the sample index (metadata + month membership)
+// is hash-sharded with one mutex per shard, so concurrent Puts on
+// different samples never contend on the index. Each monthly
+// partition has its own writer with its own lock, so ingest into
+// different months proceeds in parallel and the gzip compression for
+// one month never blocks another. Row encoding (the expensive JSON
+// work) happens outside every lock. PutBatch amortizes the partition
+// lock over a whole feed slice.
 package store
 
 import (
@@ -39,17 +49,49 @@ import (
 // ErrUnknownSample is returned by Get for hashes never stored.
 var ErrUnknownSample = errors.New("store: unknown sample")
 
+// indexShards is the sample-index shard count (power of two).
+const indexShards = 32
+
 // Store is an embedded, compressed, monthly-partitioned report store.
-// It is safe for concurrent use.
+// It is safe for concurrent use; see the package comment for the
+// locking scheme.
 type Store struct {
 	dir string
 
+	// shards hold the per-sample metadata and month-membership index.
+	shards [indexShards]indexShard
+
+	// wmu guards the writers map (creation/detach); individual writes
+	// lock only the month's writer.
+	wmu     sync.Mutex
+	writers map[string]*partWriter
+
+	// smu guards the per-month accounting.
+	smu   sync.Mutex
+	stats map[string]*PartitionStats
+}
+
+type indexShard struct {
 	mu      sync.Mutex
 	samples map[string]report.SampleMeta
 	// months maps sample hash -> partition keys that contain its rows.
-	months  map[string]map[string]bool
-	writers map[string]*partWriter
-	stats   map[string]*PartitionStats
+	months map[string]map[string]bool
+}
+
+func (s *Store) shardFor(sha string) *indexShard {
+	return &s.shards[fnv32a(sha)&(indexShards-1)]
+}
+
+// fnv32a hashes a sample hash onto its index shard.
+func fnv32a(s string) uint32 {
+	const offset = 2166136261
+	const prime = 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // PartitionStats is the per-month accounting of Table 2.
@@ -89,7 +131,36 @@ type rowRes struct {
 	L string `json:"l,omitempty"`
 }
 
+// validUTF8 normalizes a string to valid UTF-8 so the row encoding
+// round-trips: encoding/json silently replaces invalid bytes with
+// U+FFFD on marshal, so storing the replacement form up front keeps
+// what Get returns identical to what the partition holds. (Engine
+// label strings are arbitrary engine output, so this does happen.)
+func validUTF8(s string) string { return strings.ToValidUTF8(s, "�") }
+
+// rowFromScan builds the compact on-disk encoding of one scan. All
+// strings are normalized to valid UTF-8 and the timestamp goes
+// through the same zero-preserving unix encoding as metadata rows, so
+// rowToReport(rowFromScan(r)) reproduces r exactly (fuzzed by
+// FuzzStoreRowRoundTrip).
+func rowFromScan(scan *report.ScanReport) scanRow {
+	row := scanRow{
+		SHA:  validUTF8(scan.SHA256),
+		FT:   validUTF8(scan.FileType),
+		At:   unix(scan.AnalysisDate),
+		Rank: scan.AVRank,
+		Tot:  scan.EnginesTotal,
+		Res:  make([]rowRes, len(scan.Results)),
+	}
+	for i, er := range scan.Results {
+		row.Res[i] = rowRes{E: validUTF8(er.Engine), V: int8(er.Verdict), S: er.SignatureVersion, L: validUTF8(er.Label)}
+	}
+	return row
+}
+
 type partWriter struct {
+	mu      sync.Mutex
+	closed  bool
 	f       *os.File
 	counter *countingWriter
 	gz      *gzip.Writer
@@ -115,10 +186,12 @@ func Open(dir string) (*Store, error) {
 	}
 	s := &Store{
 		dir:     dir,
-		samples: make(map[string]report.SampleMeta),
-		months:  make(map[string]map[string]bool),
 		writers: make(map[string]*partWriter),
 		stats:   make(map[string]*PartitionStats),
+	}
+	for i := range s.shards {
+		s.shards[i].samples = make(map[string]report.SampleMeta)
+		s.shards[i].months = make(map[string]map[string]bool)
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -127,6 +200,7 @@ func Open(dir string) (*Store, error) {
 }
 
 // load rebuilds the in-memory index from existing partition files.
+// It runs before the store is shared, so it takes no locks.
 func (s *Store) load() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -143,10 +217,11 @@ func (s *Store) load() error {
 		if err := s.scanPartition(path, func(row scanRow, rawLen int) {
 			st.Reports++
 			st.RawBytes += int64(rawLen)
-			set, ok := s.months[row.SHA]
+			sh := s.shardFor(row.SHA)
+			set, ok := sh.months[row.SHA]
 			if !ok {
 				set = make(map[string]bool)
-				s.months[row.SHA] = set
+				sh.months[row.SHA] = set
 			}
 			set[month] = true
 		}); err != nil {
@@ -183,7 +258,7 @@ func (s *Store) load() error {
 			}
 			return fmt.Errorf("store: samples snapshot: %w", err)
 		}
-		s.samples[m.Meta.SHA] = m.Meta.toMeta()
+		s.shardFor(m.Meta.SHA).samples[m.Meta.SHA] = m.Meta.toMeta()
 	}
 	return s.loadStatsSidecar()
 }
@@ -235,8 +310,8 @@ func (m metaRow) toMeta() report.SampleMeta {
 
 func metaFrom(meta report.SampleMeta) metaRow {
 	return metaRow{
-		SHA:   meta.SHA256,
-		FT:    meta.FileType,
+		SHA:   validUTF8(meta.SHA256),
+		FT:    validUTF8(meta.FileType),
 		Size:  meta.Size,
 		First: unix(meta.FirstSubmissionDate),
 		LastA: unix(meta.LastAnalysisDate),
@@ -262,67 +337,160 @@ func fromUnix(s int64) time.Time {
 // MonthKey formats the partition key for an instant.
 func MonthKey(t time.Time) string { return t.UTC().Format("2006-01") }
 
-// Put stores one envelope: the scan row goes to its month partition
-// and the sample metadata snapshot is updated.
-func (s *Store) Put(env report.Envelope) error {
-	if env.Meta.SHA256 == "" {
-		return errors.New("store: envelope without sha256")
-	}
-	month := MonthKey(env.Scan.AnalysisDate)
+// encoded is one envelope marshaled outside the locks.
+type encoded struct {
+	month string
+	sha   string
+	meta  report.SampleMeta
+	line  []byte
+	raw   int
+}
 
-	row := scanRow{
-		SHA:  env.Scan.SHA256,
-		FT:   env.Scan.FileType,
-		At:   env.Scan.AnalysisDate.Unix(),
-		Rank: env.Scan.AVRank,
-		Tot:  env.Scan.EnginesTotal,
-		Res:  make([]rowRes, len(env.Scan.Results)),
+func encodeEnvelope(env report.Envelope) (encoded, error) {
+	if env.Meta.SHA256 == "" {
+		return encoded{}, errors.New("store: envelope without sha256")
 	}
-	for i, er := range env.Scan.Results {
-		row.Res[i] = rowRes{E: er.Engine, V: int8(er.Verdict), S: er.SignatureVersion, L: er.Label}
-	}
-	line, err := json.Marshal(row)
+	line, err := json.Marshal(rowFromScan(&env.Scan))
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return encoded{}, fmt.Errorf("store: %w", err)
 	}
 	// Raw baseline: the full VT wire envelope.
 	rawWire, err := env.MarshalJSON()
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return encoded{}, fmt.Errorf("store: %w", err)
 	}
+	return encoded{
+		month: MonthKey(env.Scan.AnalysisDate),
+		sha:   env.Meta.SHA256,
+		meta:  env.Meta,
+		line:  line,
+		raw:   len(rawWire),
+	}, nil
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	w, err := s.writerLocked(month)
+// Put stores one envelope: the scan row goes to its month partition
+// and the sample metadata snapshot is updated.
+func (s *Store) Put(env report.Envelope) error {
+	enc, err := encodeEnvelope(env)
 	if err != nil {
 		return err
 	}
-	if _, err := w.buf.Write(line); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.writeLines(enc.month, [][]byte{enc.line}); err != nil {
+		return err
 	}
-	if err := w.buf.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
+	s.indexEncoded(enc)
+	s.accountRows(enc.month, 1, int64(enc.raw))
+	return nil
+}
 
-	s.samples[env.Meta.SHA256] = env.Meta
-	set, ok := s.months[env.Meta.SHA256]
+// PutBatch stores many envelopes, grouping partition writes so each
+// month's writer lock is taken once per batch. Rows land in slice
+// order, so a single-committer caller produces byte-identical
+// partitions regardless of how the batch was assembled.
+func (s *Store) PutBatch(envs []report.Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	encs := make([]encoded, len(envs))
+	for i, env := range envs {
+		enc, err := encodeEnvelope(env)
+		if err != nil {
+			return err
+		}
+		encs[i] = enc
+	}
+	// Group lines by month preserving order.
+	byMonth := make(map[string][][]byte)
+	var months []string
+	for _, enc := range encs {
+		if _, ok := byMonth[enc.month]; !ok {
+			months = append(months, enc.month)
+		}
+		byMonth[enc.month] = append(byMonth[enc.month], enc.line)
+	}
+	sort.Strings(months)
+	for _, month := range months {
+		if err := s.writeLines(month, byMonth[month]); err != nil {
+			return err
+		}
+	}
+	rawByMonth := make(map[string]struct {
+		rows int
+		raw  int64
+	})
+	for _, enc := range encs {
+		s.indexEncoded(enc)
+		acc := rawByMonth[enc.month]
+		acc.rows++
+		acc.raw += int64(enc.raw)
+		rawByMonth[enc.month] = acc
+	}
+	for _, month := range months {
+		acc := rawByMonth[month]
+		s.accountRows(month, acc.rows, acc.raw)
+	}
+	return nil
+}
+
+// indexEncoded updates the sample index for one stored row.
+func (s *Store) indexEncoded(enc encoded) {
+	sh := s.shardFor(enc.sha)
+	sh.mu.Lock()
+	sh.samples[enc.sha] = enc.meta
+	set, ok := sh.months[enc.sha]
 	if !ok {
 		set = make(map[string]bool)
-		s.months[env.Meta.SHA256] = set
+		sh.months[enc.sha] = set
 	}
-	set[month] = true
+	set[enc.month] = true
+	sh.mu.Unlock()
+}
 
+// accountRows folds rows into the month's Table 2 accounting.
+func (s *Store) accountRows(month string, rows int, raw int64) {
+	s.smu.Lock()
 	st, ok := s.stats[month]
 	if !ok {
 		st = &PartitionStats{}
 		s.stats[month] = st
 	}
-	st.Reports++
-	st.RawBytes += int64(len(rawWire))
-	return nil
+	st.Reports += rows
+	st.RawBytes += raw
+	s.smu.Unlock()
 }
 
-func (s *Store) writerLocked(month string) (*partWriter, error) {
+// writeLines appends rows to the month's partition under that
+// partition's lock only. If a concurrent Flush closed the writer
+// between lookup and write, it retries with a fresh writer.
+func (s *Store) writeLines(month string, lines [][]byte) error {
+	for {
+		w, err := s.writer(month)
+		if err != nil {
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			continue
+		}
+		for _, line := range lines {
+			if _, err := w.buf.Write(line); err != nil {
+				w.mu.Unlock()
+				return fmt.Errorf("store: %w", err)
+			}
+			if err := w.buf.WriteByte('\n'); err != nil {
+				w.mu.Unlock()
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		w.mu.Unlock()
+		return nil
+	}
+}
+
+func (s *Store) writer(month string) (*partWriter, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if w, ok := s.writers[month]; ok {
 		return w, nil
 	}
@@ -343,35 +511,44 @@ func (s *Store) writerLocked(month string) (*partWriter, error) {
 // Flush finalizes all open partition writers so data is durable and
 // readable; subsequent Puts open fresh gzip members.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
-}
-
-func (s *Store) flushLocked() error {
+	// Detach every open writer first so new Puts start fresh members,
+	// then close each under its own lock.
+	s.wmu.Lock()
+	detached := make(map[string]*partWriter, len(s.writers))
 	for month, w := range s.writers {
+		detached[month] = w
+		delete(s.writers, month)
+	}
+	s.wmu.Unlock()
+	for month, w := range detached {
+		w.mu.Lock()
+		w.closed = true
 		if err := w.buf.Flush(); err != nil {
+			w.mu.Unlock()
 			return fmt.Errorf("store: %w", err)
 		}
 		if err := w.gz.Close(); err != nil {
+			w.mu.Unlock()
 			return fmt.Errorf("store: %w", err)
 		}
-		if st := s.stats[month]; st != nil {
-			st.StoredBytes += w.counter.n
-		}
+		stored := w.counter.n
 		if err := w.f.Close(); err != nil {
+			w.mu.Unlock()
 			return fmt.Errorf("store: %w", err)
 		}
-		delete(s.writers, month)
+		w.mu.Unlock()
+		s.smu.Lock()
+		if st := s.stats[month]; st != nil {
+			st.StoredBytes += stored
+		}
+		s.smu.Unlock()
 	}
 	return nil
 }
 
 // Close flushes partitions and writes the metadata snapshot.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.flushLocked(); err != nil {
+	if err := s.Flush(); err != nil {
 		return err
 	}
 	f, err := os.Create(filepath.Join(s.dir, "samples.jsonl.gz"))
@@ -380,15 +557,16 @@ func (s *Store) Close() error {
 	}
 	gz := gzip.NewWriter(f)
 	enc := json.NewEncoder(gz)
-	hashes := make([]string, 0, len(s.samples))
-	for h := range s.samples {
+	metas := s.snapshotSamples()
+	hashes := make([]string, 0, len(metas))
+	for h := range metas {
 		hashes = append(hashes, h)
 	}
 	sort.Strings(hashes)
 	for _, h := range hashes {
 		row := struct {
 			Meta metaRow `json:"m"`
-		}{Meta: metaFrom(s.samples[h])}
+		}{Meta: metaFrom(metas[h])}
 		if err := enc.Encode(row); err != nil {
 			gz.Close()
 			f.Close()
@@ -403,10 +581,12 @@ func (s *Store) Close() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	// Persist the exact accounting for reloads.
+	s.smu.Lock()
 	snapshot := make(map[string]PartitionStats, len(s.stats))
 	for month, st := range s.stats {
 		snapshot[month] = *st
 	}
+	s.smu.Unlock()
 	b, err := json.Marshal(snapshot)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -417,21 +597,36 @@ func (s *Store) Close() error {
 	return nil
 }
 
+// snapshotSamples copies the whole sample index out of the shards.
+func (s *Store) snapshotSamples() map[string]report.SampleMeta {
+	out := make(map[string]report.SampleMeta)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for h, m := range sh.samples {
+			out[h] = m
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Get returns the sample's full history, reading every partition that
 // contains its rows. Call Flush first if writes may be buffered.
 func (s *Store) Get(sha string) (*report.History, error) {
-	s.mu.Lock()
-	meta, ok := s.samples[sha]
+	sh := s.shardFor(sha)
+	sh.mu.Lock()
+	meta, ok := sh.samples[sha]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSample, sha)
 	}
-	monthSet := s.months[sha]
+	monthSet := sh.months[sha]
 	months := make([]string, 0, len(monthSet))
 	for m := range monthSet {
 		months = append(months, m)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	h := &report.History{Meta: meta}
 	for _, month := range months {
@@ -525,8 +720,8 @@ func (s *Store) IterReports(month string, fn func(*report.ScanReport) error) err
 
 // Months returns the partition keys present, sorted.
 func (s *Store) Months() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
 	out := make([]string, 0, len(s.stats))
 	for m := range s.stats {
 		out = append(out, m)
@@ -538,8 +733,8 @@ func (s *Store) Months() []string {
 // Stats returns the accounting for one month. StoredBytes is only
 // final after Flush.
 func (s *Store) Stats(month string) PartitionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
 	if st, ok := s.stats[month]; ok {
 		return *st
 	}
@@ -548,8 +743,8 @@ func (s *Store) Stats(month string) PartitionStats {
 
 // TotalStats sums all partitions.
 func (s *Store) TotalStats() PartitionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
 	var total PartitionStats
 	for _, st := range s.stats {
 		total.Reports += st.Reports
@@ -561,18 +756,26 @@ func (s *Store) TotalStats() PartitionStats {
 
 // NumSamples returns the number of distinct samples stored.
 func (s *Store) NumSamples() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.samples)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.samples)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SampleHashes returns every stored sample hash, sorted.
 func (s *Store) SampleHashes() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.samples))
-	for h := range s.samples {
-		out = append(out, h)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for h := range sh.samples {
+			out = append(out, h)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -580,9 +783,10 @@ func (s *Store) SampleHashes() []string {
 
 // Meta returns the latest metadata snapshot for a sample.
 func (s *Store) Meta(sha string) (report.SampleMeta, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.samples[sha]
+	sh := s.shardFor(sha)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.samples[sha]
 	return m, ok
 }
 
@@ -600,18 +804,12 @@ func (s *Store) StatsByType() (map[string]TypeStats, error) {
 		return nil, err
 	}
 	out := map[string]TypeStats{}
-	s.mu.Lock()
-	for _, meta := range s.samples {
+	for _, meta := range s.snapshotSamples() {
 		ts := out[meta.FileType]
 		ts.Samples++
 		out[meta.FileType] = ts
 	}
-	months := make([]string, 0, len(s.stats))
-	for m := range s.stats {
-		months = append(months, m)
-	}
-	s.mu.Unlock()
-	for _, month := range months {
+	for _, month := range s.Months() {
 		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
 		if err := s.scanPartition(path, func(row scanRow, _ int) {
 			ts := out[row.FT]
@@ -631,17 +829,11 @@ func (s *Store) Verify() (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	months := make([]string, 0, len(s.stats))
-	for m := range s.stats {
-		months = append(months, m)
-	}
-	known := make(map[string]bool, len(s.samples))
-	for h := range s.samples {
+	months := s.Months()
+	known := make(map[string]bool)
+	for h := range s.snapshotSamples() {
 		known[h] = true
 	}
-	s.mu.Unlock()
-	sort.Strings(months)
 	checked := 0
 	for _, month := range months {
 		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")

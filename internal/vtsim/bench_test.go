@@ -1,0 +1,50 @@
+package vtsim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/simclock"
+)
+
+func newBenchService(b *testing.B) *Service {
+	b.Helper()
+	set, err := engine.NewSet(engine.DefaultRoster(), 99,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewService(set, simclock.NewSim(simclock.CollectionStart))
+}
+
+// BenchmarkUpload measures single-goroutine upload throughput: every
+// iteration submits a distinct sample, so the per-sample analysis cost
+// dominates and lock handoff is free.
+func BenchmarkUpload(b *testing.B) {
+	svc := newBenchService(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Upload(exeUpload(fmt.Sprintf("bench%08d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUploadParallel measures contended upload throughput: many
+// goroutines submit distinct samples concurrently — the workload the
+// sharded service is built for.
+func BenchmarkUploadParallel(b *testing.B) {
+	svc := newBenchService(b)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			if _, err := svc.Upload(exeUpload(fmt.Sprintf("bench%08d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

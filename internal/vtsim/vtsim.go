@@ -15,6 +15,16 @@
 //     scan history. Analyses only ever need per-sample histories, so
 //     large experiments call this concurrently across samples without
 //     materializing a global service.
+//
+// Concurrency model: sample state is hash-sharded (FNV-1a of the
+// SHA-256, power-of-two shard count) with one mutex per shard, so
+// operations on different samples run in parallel — the engine scan,
+// the expensive part of every upload/rescan, only holds its sample's
+// shard lock. The feed is a single ordered log guarded by its own
+// mutex; appends keep it sorted by analysis date so FeedBetween can
+// binary-search. Envelopes with equal timestamps appear in commit
+// order, which under concurrent submission is scheduling-dependent;
+// serial drivers (RunWorkload) retain the exact seed ordering.
 package vtsim
 
 import (
@@ -37,15 +47,28 @@ var (
 	ErrNoTarget      = errors.New("vtsim: upload requires target attributes for a new sample")
 )
 
-// Service is the stateful simulated VT backend.
+// DefaultShards is the sample-map shard count used by NewService
+// unless overridden with WithShards.
+const DefaultShards = 32
+
+// Service is the stateful simulated VT backend. It is safe for
+// concurrent use; see the package comment for the sharding scheme.
 type Service struct {
-	mu      sync.Mutex
 	clock   simclock.Clock
 	engines *engine.Set
+	shards  []serviceShard
+	mask    uint32
+
+	// feedMu guards the ordered report log; it is separate from the
+	// shard locks so sample operations never contend on it beyond the
+	// short append.
+	feedMu sync.Mutex
+	feed   []report.Envelope
+}
+
+type serviceShard struct {
+	mu      sync.Mutex
 	samples map[string]*sampleState
-	// feed accumulates every generated report in generation order;
-	// FeedBetween serves the premium-feed slices.
-	feed []report.Envelope
 }
 
 type sampleState struct {
@@ -54,14 +77,68 @@ type sampleState struct {
 	history []*report.ScanReport
 }
 
+// Option configures a Service.
+type Option func(*serviceConfig)
+
+type serviceConfig struct {
+	shards int
+}
+
+// WithShards sets the sample-map shard count. Values are rounded up
+// to the next power of two; n < 1 selects DefaultShards. The shard
+// count never affects results, only contention.
+func WithShards(n int) Option {
+	return func(c *serviceConfig) { c.shards = n }
+}
+
 // NewService builds a service over the given engine set and clock.
-func NewService(engines *engine.Set, clock simclock.Clock) *Service {
-	return &Service{
+func NewService(engines *engine.Set, clock simclock.Clock, opts ...Option) *Service {
+	cfg := serviceConfig{shards: DefaultShards}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := nextPow2(cfg.shards)
+	s := &Service{
 		clock:   clock,
 		engines: engines,
-		samples: make(map[string]*sampleState),
+		shards:  make([]serviceShard, n),
+		mask:    uint32(n - 1),
 	}
+	for i := range s.shards {
+		s.shards[i].samples = make(map[string]*sampleState)
+	}
+	return s
 }
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fnv32a hashes a sample hash onto its shard.
+func fnv32a(s string) uint32 {
+	const offset = 2166136261
+	const prime = 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (s *Service) shardFor(sha string) *serviceShard {
+	return &s.shards[fnv32a(sha)&s.mask]
+}
+
+// NumShards returns the shard count (always a power of two).
+func (s *Service) NumShards() int { return len(s.shards) }
 
 // UploadRequest describes a file being uploaded. The latent fields
 // (Malicious, Detectability) stand in for the file content the real
@@ -82,10 +159,11 @@ func (s *Service) Upload(req UploadRequest) (report.Envelope, error) {
 	if req.SHA256 == "" {
 		return report.Envelope{}, ErrNoTarget
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(req.SHA256)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := s.clock.Now()
-	st, ok := s.samples[req.SHA256]
+	st, ok := sh.samples[req.SHA256]
 	if !ok {
 		st = &sampleState{
 			target: engine.Target{
@@ -102,7 +180,7 @@ func (s *Service) Upload(req UploadRequest) (report.Envelope, error) {
 				FirstSubmissionDate: now,
 			},
 		}
-		s.samples[req.SHA256] = st
+		sh.samples[req.SHA256] = st
 	}
 	st.meta.LastSubmissionDate = now
 	st.meta.TimesSubmitted++
@@ -113,9 +191,10 @@ func (s *Service) Upload(req UploadRequest) (report.Envelope, error) {
 // Rescan re-analyzes an existing sample (Table 1 row "Rescan"): only
 // last_analysis_date updates.
 func (s *Service) Rescan(sha256 string) (report.Envelope, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.samples[sha256]
+	sh := s.shardFor(sha256)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.samples[sha256]
 	if !ok {
 		return report.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
 	}
@@ -126,9 +205,10 @@ func (s *Service) Rescan(sha256 string) (report.Envelope, error) {
 // Report returns the latest report without generating a new one
 // (Table 1 row "Report"): no field changes.
 func (s *Service) Report(sha256 string) (report.Envelope, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.samples[sha256]
+	sh := s.shardFor(sha256)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.samples[sha256]
 	if !ok {
 		return report.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
 	}
@@ -140,9 +220,10 @@ func (s *Service) Report(sha256 string) (report.Envelope, error) {
 
 // History returns a copy of the sample's full scan history.
 func (s *Service) History(sha256 string) (*report.History, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.samples[sha256]
+	sh := s.shardFor(sha256)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.samples[sha256]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSample, sha256)
 	}
@@ -155,25 +236,32 @@ func (s *Service) History(sha256 string) (*report.History, error) {
 
 // NumSamples returns the number of distinct samples seen.
 func (s *Service) NumSamples() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.samples)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.samples)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // NumReports returns the total number of generated reports.
 func (s *Service) NumReports() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
 	return len(s.feed)
 }
 
-// FeedBetween returns the envelopes generated in [from, to), in
-// generation order — the premium-feed slice the collector fetches
-// every virtual minute.
+// FeedBetween returns the envelopes generated in [from, to), ordered
+// by analysis date — the premium-feed slice the collector fetches
+// every virtual minute. The result is a fresh deep copy: callers may
+// retain or mutate it freely and can never observe (or disturb)
+// concurrent appends to the internal log.
 func (s *Service) FeedBetween(from, to time.Time) []report.Envelope {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// The feed is append-only in nondecreasing analysis time, so
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	// The feed is kept sorted by nondecreasing analysis time, so
 	// binary-search the bounds.
 	lo := sort.Search(len(s.feed), func(i int) bool {
 		return !s.feed[i].Scan.AnalysisDate.Before(from)
@@ -182,12 +270,34 @@ func (s *Service) FeedBetween(from, to time.Time) []report.Envelope {
 		return !s.feed[i].Scan.AnalysisDate.Before(to)
 	})
 	out := make([]report.Envelope, hi-lo)
-	copy(out, s.feed[lo:hi])
+	for i, env := range s.feed[lo:hi] {
+		out[i] = report.Envelope{Meta: env.Meta, Scan: *env.Scan.Clone()}
+	}
 	return out
 }
 
+// appendFeed inserts env keeping the log sorted by analysis date.
+// Under a monotonic clock the fast path is a plain append; concurrent
+// submitters that raced the clock are insertion-sorted from the tail
+// (envelopes arrive at most a few positions out of order).
+func (s *Service) appendFeed(env report.Envelope) {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	at := env.Scan.AnalysisDate
+	i := len(s.feed)
+	for i > 0 && s.feed[i-1].Scan.AnalysisDate.After(at) {
+		i--
+	}
+	s.feed = append(s.feed, report.Envelope{})
+	copy(s.feed[i+1:], s.feed[i:])
+	s.feed[i] = env
+}
+
 // analyzeLocked runs every engine, records the report, and returns
-// the envelope. Caller holds s.mu.
+// the envelope. Caller holds the sample's shard lock; the feed append
+// takes feedMu internally. The feed entry and the returned envelope
+// are independent clones, so neither callers nor feed readers can
+// alias the stored history.
 func (s *Service) analyzeLocked(st *sampleState, now time.Time) report.Envelope {
 	results := s.engines.Scan(st.target, now)
 	scan := &report.ScanReport{
@@ -200,9 +310,8 @@ func (s *Service) analyzeLocked(st *sampleState, now time.Time) report.Envelope 
 	}
 	st.meta.LastAnalysisDate = now
 	st.history = append(st.history, scan)
-	env := report.Envelope{Meta: st.meta, Scan: *scan.Clone()}
-	s.feed = append(s.feed, env)
-	return env
+	s.appendFeed(report.Envelope{Meta: st.meta, Scan: *scan.Clone()})
+	return report.Envelope{Meta: st.meta, Scan: *scan.Clone()}
 }
 
 // uploadShare is the fraction of follow-up scans that arrive as
@@ -251,6 +360,8 @@ func ScanSample(engines *engine.Set, s *sampleset.Sample) *report.History {
 // schedules in global time order, advancing the clock to each event.
 // It reproduces what 14 months of worldwide submissions do to the
 // real service; the feed and store experiments run on top of it.
+// Because events are applied serially, the feed ordering (including
+// ties) is fully deterministic for a given sample set.
 func RunWorkload(svc *Service, clock *simclock.SimClock, samples []*sampleset.Sample) error {
 	type event struct {
 		s   *sampleset.Sample
