@@ -73,13 +73,12 @@ func main() {
 	defer stop()
 
 	// Checkpointed collection: an interrupted campaign resumes at the
-	// first unfetched slice on the next invocation. The wrapper makes
-	// buffered store rows durable before each checkpoint advances, so
-	// the cursor never claims slices that could be lost in a crash.
-	cursor := flushingCursor{
-		inner: &feed.FileCursor{Path: filepath.Join(*dir, "collect.cursor")},
-		st:    st,
-	}
+	// first unfetched slice on the next invocation. The store is a
+	// feed.Syncer, so the collector cuts its gzip blocks to disk
+	// before each checkpoint advances — the cursor never claims
+	// slices that could be lost in a crash, and unlike a full Flush
+	// the partition writers stay open across checkpoints.
+	cursor := &feed.FileCursor{Path: filepath.Join(*dir, "collect.cursor")}
 	stats, err := collector.RunResumable(ctx, from.UTC(), to.UTC(), cursor)
 	if cerr := st.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -94,21 +93,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-}
-
-// flushingCursor flushes the store before persisting the frontier.
-type flushingCursor struct {
-	inner feed.Cursor
-	st    *store.Store
-}
-
-func (c flushingCursor) Load() (time.Time, bool, error) { return c.inner.Load() }
-
-func (c flushingCursor) Save(frontier time.Time) error {
-	if err := c.st.Flush(); err != nil {
-		return err
-	}
-	return c.inner.Save(frontier)
 }
 
 func fatal(err error) {

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	vtquery -store ./vtdata -sha <sha256> [-t 5]
+//	vtquery -store ./vtdata -sha <sha256> [-t 5] [-timing]
+//
+// -timing additionally reports the cold and hot Get latency: the
+// first lookup seeks only the gzip blocks holding the sample (or
+// falls back to a full partition scan when the store predates the
+// block-index sidecars), the second is served from the decoded-
+// history LRU cache.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"vtdynamics/internal/core"
 	"vtdynamics/internal/family"
@@ -22,9 +29,10 @@ import (
 
 func main() {
 	var (
-		dir = flag.String("store", "./vtdata", "store directory")
-		sha = flag.String("sha", "", "sample sha256 (required)")
-		t   = flag.Int("t", 5, "labeling threshold for the category/stabilization summary")
+		dir    = flag.String("store", "./vtdata", "store directory")
+		sha    = flag.String("sha", "", "sample sha256 (required)")
+		t      = flag.Int("t", 5, "labeling threshold for the category/stabilization summary")
+		timing = flag.Bool("timing", false, "report cold (disk) and hot (cached) lookup latency")
 	)
 	flag.Parse()
 	if *sha == "" {
@@ -35,9 +43,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	coldStart := time.Now()
 	h, err := st.Get(*sha)
+	cold := time.Since(coldStart)
 	if err != nil {
 		fatal(err)
+	}
+	if *timing {
+		hotStart := time.Now()
+		if _, err := st.Get(*sha); err != nil {
+			fatal(err)
+		}
+		hot := time.Since(hotStart)
+		indexed := "full scan"
+		if st.Indexed() {
+			indexed = "block index"
+		}
+		fmt.Printf("lookup: cold %v (%s), hot %v (cache)\n", cold, indexed, hot)
 	}
 
 	fmt.Printf("sample %s\n", h.Meta.SHA256)

@@ -2,9 +2,15 @@
 //
 // Usage:
 //
-//	vtstore -store ./vtdata stats     per-month and per-type accounting
-//	vtstore -store ./vtdata verify    re-read and validate every row
-//	vtstore -store ./vtdata list      list stored sample hashes
+//	vtstore -store ./vtdata stats      per-month and per-type accounting
+//	vtstore -store ./vtdata verify     re-read and validate every row
+//	vtstore -store ./vtdata list       list stored sample hashes
+//	vtstore -store ./vtdata reindex    (re)build block-index sidecars
+//
+// stats and verify fan partition blocks across -workers goroutines
+// (default: all cores). reindex upgrades stores written before the
+// sidecar format in place, giving them the indexed random-access
+// read path; it also heals sidecars invalidated by a crash.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 func main() {
 	dir := flag.String("store", "./vtdata", "store directory")
+	workers := flag.Int("workers", 0, "parallel partition readers for stats/verify (0 = all cores)")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -42,7 +49,7 @@ func main() {
 		fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
 			"total", total.Reports, total.StoredBytes, total.RawBytes, total.CompressionRatio())
 
-		byType, err := st.StatsByType()
+		byType, err := st.StatsByTypeWorkers(*workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -60,7 +67,7 @@ func main() {
 		}
 
 	case "verify":
-		n, err := st.Verify()
+		n, err := st.VerifyWorkers(*workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vtstore: verification FAILED after %d rows: %v\n", n, err)
 			os.Exit(1)
@@ -73,8 +80,14 @@ func main() {
 			fmt.Printf("%s  %-20s %d submissions\n", sha, meta.FileType, meta.TimesSubmitted)
 		}
 
+	case "reindex":
+		if err := st.Reindex(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reindexed %d partitions: block-index sidecars written\n", len(st.Months()))
+
 	default:
-		fatal(fmt.Errorf("unknown subcommand %q (stats, verify, list)", cmd))
+		fatal(fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex)", cmd))
 	}
 }
 

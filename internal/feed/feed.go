@@ -36,6 +36,16 @@ type BatchSink interface {
 	PutBatch(envs []report.Envelope) error
 }
 
+// Syncer is an optional Sink upgrade: sinks that can make buffered
+// rows durable at a block boundary without tearing down their
+// writers (store.Sync cuts the open gzip members and persists index
+// sidecars). Resumable runs sync the sink before every checkpoint
+// save, so the cursor never claims slices whose rows could still be
+// lost in a crash.
+type Syncer interface {
+	Sync() error
+}
+
 // SourceFunc adapts a function to Source.
 type SourceFunc func(ctx context.Context, from, to time.Time) ([]report.Envelope, error)
 
@@ -151,12 +161,25 @@ func (c *Collector) collect(ctx context.Context, start, end time.Time, cursor Cu
 			return stats, err
 		}
 		if cursor != nil {
+			if err := c.syncSink(); err != nil {
+				return stats, err
+			}
 			if err := cursor.Save(to); err != nil {
 				return stats, err
 			}
 		}
 	}
 	return stats, nil
+}
+
+// syncSink makes committed rows durable before a checkpoint advances.
+func (c *Collector) syncSink() error {
+	if sy, ok := c.sink.(Syncer); ok {
+		if err := sy.Sync(); err != nil {
+			return fmt.Errorf("feed: sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // fetchResult carries one slice's envelopes from a worker to the
@@ -245,6 +268,10 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 			return stats, err
 		}
 		if cursor != nil {
+			if err := c.syncSink(); err != nil {
+				cancel()
+				return stats, err
+			}
 			if err := cursor.Save(res.to); err != nil {
 				cancel()
 				return stats, err

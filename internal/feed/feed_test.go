@@ -93,6 +93,72 @@ func TestCollectorPartialLastSlice(t *testing.T) {
 	}
 }
 
+// syncRecordingSink records the interleaving of Put, Sync, and
+// cursor Save calls.
+type syncRecordingSink struct {
+	log *[]string
+}
+
+func (s *syncRecordingSink) Put(report.Envelope) error {
+	*s.log = append(*s.log, "put")
+	return nil
+}
+
+func (s *syncRecordingSink) Sync() error {
+	*s.log = append(*s.log, "sync")
+	return nil
+}
+
+// TestResumableSyncsSinkBeforeCheckpoint pins the durability
+// contract: when the sink is a Syncer, every cursor save is preceded
+// by a sync, so a checkpoint never claims rows still sitting in a
+// write buffer.
+func TestResumableSyncsSinkBeforeCheckpoint(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var log []string
+		src := &fakeSource{envs: []report.Envelope{
+			env("a", t0.Add(10*time.Second)),
+			env("b", t0.Add(70*time.Second)),
+		}}
+		c := NewCollector(src, &syncRecordingSink{log: &log})
+		c.Workers = workers
+		cursor := &memCursor{log: &log}
+		if _, err := c.RunResumable(context.Background(), t0, t0.Add(3*time.Minute), cursor); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		syncs, saves := 0, 0
+		for i, ev := range log {
+			switch ev {
+			case "sync":
+				syncs++
+			case "save":
+				saves++
+				if i == 0 || log[i-1] != "sync" {
+					t.Fatalf("workers=%d: save not preceded by sync: %v", workers, log)
+				}
+			}
+		}
+		if saves != 3 || syncs != 3 {
+			t.Fatalf("workers=%d: %d saves, %d syncs (want 3 each): %v", workers, saves, syncs, log)
+		}
+	}
+}
+
+// memCursor is an in-memory Cursor that logs its saves.
+type memCursor struct {
+	log      *[]string
+	frontier time.Time
+	set      bool
+}
+
+func (m *memCursor) Load() (time.Time, bool, error) { return m.frontier, m.set, nil }
+
+func (m *memCursor) Save(frontier time.Time) error {
+	*m.log = append(*m.log, "save")
+	m.frontier, m.set = frontier, true
+	return nil
+}
+
 func TestCollectorSinkErrorStops(t *testing.T) {
 	src := &fakeSource{envs: []report.Envelope{env("x", t0)}}
 	sinkErr := errors.New("disk full")

@@ -2,9 +2,13 @@ package store
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"vtdynamics/internal/report"
 )
 
 func BenchmarkPut(b *testing.B) {
@@ -69,6 +73,138 @@ func BenchmarkGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Get(fmt.Sprintf("g%04d", i%samples)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSamples sizes the read-path benchmarks: big enough that a full
+// partition scan is visibly O(store) while an indexed Get stays
+// O(result).
+const benchSamples = 16384
+
+func benchSHA(i int) string { return fmt.Sprintf("bench%06d", i%benchSamples) }
+
+// buildReadStore fills dir with benchSamples single-report samples
+// across two monthly partitions and flushes, so block indexes and
+// sidecars are in place.
+func buildReadStore(b *testing.B, dir string, opts ...Option) *Store {
+	b.Helper()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]report.Envelope, 0, 512)
+	for i := 0; i < benchSamples; i++ {
+		at := t0.Add(time.Duration(i%2) * 31 * 24 * time.Hour).Add(time.Duration(i) * time.Second)
+		batch = append(batch, envelope(benchSHA(i), at, 8))
+		if len(batch) == cap(batch) {
+			if err := s.PutBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := s.PutBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGetIndexed measures the tentpole: an uncached Get that
+// seeks straight to the blocks holding its sample. Compare against
+// BenchmarkGetFullScan for the O(result) vs O(store) gap.
+func BenchmarkGetIndexed(b *testing.B) {
+	s := buildReadStore(b, b.TempDir(), WithCacheSize(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(benchSHA(i * 7919)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetFullScan is the pre-index baseline: the same store with
+// its sidecars deleted, so every Get gunzips whole partitions.
+func BenchmarkGetFullScan(b *testing.B) {
+	dir := b.TempDir()
+	s := buildReadStore(b, dir, WithCacheSize(0))
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.idx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, WithCacheSize(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if s2.Indexed() {
+		b.Fatal("baseline store is indexed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s2.Get(benchSHA(i * 7919)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetCold is the indexed disk path with the cache enabled
+// but never hit: every iteration asks for a different sample than the
+// cache can hold on a strided walk.
+func BenchmarkGetCold(b *testing.B) {
+	s := buildReadStore(b, b.TempDir(), WithCacheSize(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(benchSHA(i * 7919)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetHot measures a cache hit: repeated Gets of a small hot
+// set, each serving a deep copy from the LRU.
+func BenchmarkGetHot(b *testing.B) {
+	s := buildReadStore(b, b.TempDir())
+	for i := 0; i < 16; i++ { // warm the hot set
+		if _, err := s.Get(benchSHA(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(benchSHA(i % 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterAll measures the full-store pass that Verify and
+// StatsByType ride on, fanning blocks across GOMAXPROCS workers (so
+// -cpu 1,4,8 sweeps the pool width).
+func BenchmarkIterAll(b *testing.B) {
+	s := buildReadStore(b, b.TempDir())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows atomic.Int64
+		err := s.IterAll(0, func(month string, r *report.ScanReport) error {
+			rows.Add(1)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows.Load() != benchSamples {
+			b.Fatalf("iterated %d rows", rows.Load())
 		}
 	}
 }

@@ -1,0 +1,146 @@
+// Read cache: a size-bounded LRU of decoded histories with
+// singleflight-style in-flight deduplication. Concurrent Gets of a
+// hot sample decode its blocks once; every caller receives a deep
+// copy, mirroring FeedBetween's aliasing rule — callers can never
+// observe or corrupt cached state.
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"vtdynamics/internal/report"
+)
+
+// cacheSizeDefault bounds the history cache in entries. A history is
+// a handful of decoded reports, so even pathological ones keep the
+// default cache in the low tens of megabytes.
+const cacheSizeDefault = 4096
+
+type historyCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // sha -> element; value is *cacheEntry
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	sha string
+	h   *report.History
+}
+
+// flight is one in-progress decode. Followers block on done; the
+// leader publishes h/err before closing it. dirty is set by
+// invalidate so a decode that raced a Put is returned to its waiters
+// but never cached.
+type flight struct {
+	done  chan struct{}
+	h     *report.History
+	err   error
+	dirty bool
+}
+
+func newHistoryCache(capacity int) *historyCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &historyCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// get returns the sample's history, loading via load on a miss. Only
+// one goroutine runs load per sha at a time; the rest wait for its
+// result. The returned history is always a private deep copy.
+func (c *historyCache) get(sha string, load func(string) (*report.History, error)) (*report.History, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[sha]; ok {
+		c.ll.MoveToFront(el)
+		h := el.Value.(*cacheEntry).h
+		c.mu.Unlock()
+		return cloneHistory(h), nil
+	}
+	if fl, ok := c.flights[sha]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return cloneHistory(fl.h), nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[sha] = fl
+	c.mu.Unlock()
+
+	h, err := load(sha)
+
+	c.mu.Lock()
+	delete(c.flights, sha)
+	fl.h, fl.err = h, err
+	if err == nil && !fl.dirty {
+		c.insertLocked(sha, h)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, err
+	}
+	return cloneHistory(h), nil
+}
+
+// insertLocked adds an entry and evicts past capacity. Caller holds mu.
+func (c *historyCache) insertLocked(sha string, h *report.History) {
+	if el, ok := c.entries[sha]; ok {
+		el.Value.(*cacheEntry).h = h
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[sha] = c.ll.PushFront(&cacheEntry{sha: sha, h: h})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).sha)
+	}
+}
+
+// invalidate drops the sample's cached history and poisons any
+// in-flight decode so a result that predates the write is never
+// cached. Called on every Put of the sample.
+func (c *historyCache) invalidate(sha string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[sha]; ok {
+		c.ll.Remove(el)
+		delete(c.entries, sha)
+	}
+	if fl, ok := c.flights[sha]; ok {
+		fl.dirty = true
+	}
+	c.mu.Unlock()
+}
+
+// len reports the number of cached histories.
+func (c *historyCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cloneHistory deep-copies a history: the meta by value, each report
+// via its Clone.
+func cloneHistory(h *report.History) *report.History {
+	out := &report.History{Meta: h.Meta, Reports: make([]*report.ScanReport, len(h.Reports))}
+	for i, r := range h.Reports {
+		out.Reports[i] = r.Clone()
+	}
+	return out
+}

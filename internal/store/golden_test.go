@@ -1,0 +1,166 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// goldenDir is a committed store in the pre-sidecar on-disk format:
+// monthly multi-member gzip partitions, metadata snapshot, stats
+// sidecar — and no .idx files. It pins the compatibility promise that
+// stores written by earlier builds keep opening and reading
+// correctly, and that Reindex upgrades them in place.
+const goldenDir = "testdata/golden-v1"
+
+// TestRegenerateGoldenFixture rebuilds the committed fixture. It only
+// runs when VTDYN_REGEN_GOLDEN=1 is set; generation is deterministic
+// (fixed clock, sorted snapshots, zero gzip mtimes), so regenerating
+// without a format change is a no-op diff.
+func TestRegenerateGoldenFixture(t *testing.T) {
+	if os.Getenv("VTDYN_REGEN_GOLDEN") == "" {
+		t.Skip("set VTDYN_REGEN_GOLDEN=1 to regenerate testdata/golden-v1")
+	}
+	if err := os.RemoveAll(goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	// A huge block target makes every flush cut exactly one gzip
+	// member — the shape the pre-block writer produced.
+	s, err := Open(goldenDir, WithBlockSize(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		at := t0.Add(time.Duration(i%2) * 31 * 24 * time.Hour).Add(time.Duration(i) * time.Minute)
+		if err := s.Put(envelope(fmt.Sprintf("gold%02d", i%8), at, i%6)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 11 { // mid-stream flush: partitions get two members
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the sidecars: the fixture predates them.
+	matches, err := filepath.Glob(filepath.Join(goldenDir, "*.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// copyGolden clones the committed fixture into a scratch dir so tests
+// can reindex it without mutating testdata.
+func copyGolden(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with VTDYN_REGEN_GOLDEN=1 to create): %v", err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// snapshotReads captures everything the read API returns for a store:
+// every sample's history, per-month iteration order, and stats.
+func snapshotReads(t *testing.T, s *Store) (map[string]*report.History, map[string][]int, PartitionStats) {
+	t.Helper()
+	histories := make(map[string]*report.History)
+	for _, sha := range s.SampleHashes() {
+		h, err := s.Get(sha)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", sha, err)
+		}
+		histories[sha] = h
+	}
+	iter := make(map[string][]int)
+	for _, month := range s.Months() {
+		err := s.IterReports(month, func(r *report.ScanReport) error {
+			iter[month] = append(iter[month], r.AVRank)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("IterReports(%s): %v", month, err)
+		}
+	}
+	return histories, iter, s.TotalStats()
+}
+
+func TestGoldenPrePR2Compat(t *testing.T) {
+	dir := copyGolden(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Indexed() {
+		t.Fatal("pre-sidecar fixture opened as indexed")
+	}
+	if got := s.NumSamples(); got != 8 {
+		t.Fatalf("fixture samples = %d", got)
+	}
+	wantHist, wantIter, wantStats := snapshotReads(t, s)
+	if n, err := s.Verify(); err != nil || n != 24 {
+		t.Fatalf("Verify on fallback path: %d, %v", n, err)
+	}
+
+	// Upgrade in place.
+	if err := s.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Indexed() {
+		t.Fatal("Reindex did not index the fixture")
+	}
+	// Bypass the history cache so the comparison truly exercises the
+	// indexed disk path.
+	for _, sha := range s.SampleHashes() {
+		s.cache.invalidate(sha)
+	}
+	gotHist, gotIter, gotStats := snapshotReads(t, s)
+	if !reflect.DeepEqual(wantHist, gotHist) {
+		t.Fatal("indexed Get diverges from the fallback scan")
+	}
+	if !reflect.DeepEqual(wantIter, gotIter) {
+		t.Fatal("indexed iteration diverges from the fallback scan")
+	}
+	if wantStats != gotStats {
+		t.Fatalf("stats diverge: %+v vs %+v", wantStats, gotStats)
+	}
+	if n, err := s.Verify(); err != nil || n != 24 {
+		t.Fatalf("Verify on indexed path: %d, %v", n, err)
+	}
+
+	// The upgrade persists: a reopen loads the new sidecars and reads
+	// identically again.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Indexed() {
+		t.Fatal("upgraded store reopened unindexed")
+	}
+	reHist, reIter, reStats := snapshotReads(t, s2)
+	if !reflect.DeepEqual(wantHist, reHist) || !reflect.DeepEqual(wantIter, reIter) || wantStats != reStats {
+		t.Fatal("reopened upgraded store diverges from the original reads")
+	}
+}

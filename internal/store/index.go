@@ -1,0 +1,329 @@
+// Block index: the random-access read path.
+//
+// Each monthly partition is written as a sequence of independently
+// closed gzip members ("blocks") of roughly blockSizeDefault
+// uncompressed bytes. Concatenated gzip members are a valid gzip
+// stream, so partition files stay readable by the streaming reader,
+// by pre-index builds of this package, and by zcat. Alongside each
+// partition the store persists a sidecar, scans-YYYY-MM.idx, holding
+//
+//   - the partition file size the index covers (staleness check),
+//   - per-block (offset, compressed length, row count, raw bytes),
+//   - a SHA→block-set posting list.
+//
+// Get seeks straight to the few blocks that hold its sample instead
+// of gunzipping the whole month. Stores written before the sidecar
+// existed (or whose sidecar does not match the file) fall back
+// transparently to the full streaming scan; Reindex rebuilds sidecars
+// in place by re-walking the gzip members.
+package store
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// blockSizeDefault is the target uncompressed size of one block. Big
+// enough that gzip member overhead and per-block seek cost stay
+// negligible, small enough that Get decodes only a sliver of a month.
+const blockSizeDefault = 256 << 10
+
+// blockMeta locates one gzip member inside a partition file.
+type blockMeta struct {
+	// Offset is the member's first byte in the partition file.
+	Offset int64 `json:"o"`
+	// Len is the member's compressed length in bytes.
+	Len int64 `json:"l"`
+	// Rows is the number of scan rows in the member.
+	Rows int `json:"n"`
+	// Raw is the sum of uncompressed row lengths (sans newlines) —
+	// the same conservative accounting load() derives when scanning.
+	Raw int64 `json:"r"`
+}
+
+// sidecarFile is the on-disk JSON schema of scans-YYYY-MM.idx.
+type sidecarFile struct {
+	// FileSize is the partition size the blocks cover; a mismatch with
+	// the actual file marks the sidecar stale.
+	FileSize int64            `json:"file_size"`
+	Blocks   []blockMeta      `json:"blocks"`
+	Postings map[string][]int `json:"postings"`
+}
+
+// partIndex is the in-memory block index of one monthly partition.
+// Writers append blocks under the partition writer's lock; readers
+// snapshot under mu, so a Get never blocks behind gzip compression.
+type partIndex struct {
+	mu       sync.RWMutex
+	fileSize int64
+	blocks   []blockMeta
+	postings map[string][]int
+	dirty    bool // blocks appended since the sidecar was last written
+}
+
+func newPartIndex() *partIndex {
+	return &partIndex{postings: make(map[string][]int)}
+}
+
+// appendBlock records one freshly cut gzip member and its samples.
+func (ix *partIndex) appendBlock(bm blockMeta, shas map[string]int) {
+	ix.mu.Lock()
+	n := len(ix.blocks)
+	ix.blocks = append(ix.blocks, bm)
+	for sha := range shas {
+		ix.postings[sha] = append(ix.postings[sha], n)
+	}
+	ix.fileSize = bm.Offset + bm.Len
+	ix.dirty = true
+	ix.mu.Unlock()
+}
+
+// blocksFor snapshots the blocks that hold sha, in file order.
+func (ix *partIndex) blocksFor(sha string) []blockMeta {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids := ix.postings[sha]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]blockMeta, len(ids))
+	for i, id := range ids {
+		out[i] = ix.blocks[id]
+	}
+	return out
+}
+
+// totals sums rows and raw bytes across blocks (load's fast path).
+func (ix *partIndex) totals() (rows int, raw int64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, b := range ix.blocks {
+		rows += b.Rows
+		raw += b.Raw
+	}
+	return rows, raw
+}
+
+// sampleSHAs lists every sample with rows in the partition.
+func (ix *partIndex) sampleSHAs() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for sha := range ix.postings {
+		out = append(out, sha)
+	}
+	return out
+}
+
+// snapshotBlocks copies the block list, in file order.
+func (ix *partIndex) snapshotBlocks() []blockMeta {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]blockMeta(nil), ix.blocks...)
+}
+
+// sidecarPath names the index sidecar for a month.
+func sidecarPath(dir, month string) string {
+	return filepath.Join(dir, "scans-"+month+".idx")
+}
+
+// writeSidecar persists the index if it has grown since the last
+// write. Postings are a map, which encoding/json serializes with
+// sorted keys, so sidecar bytes are deterministic — the concurrency
+// determinism harness hashes them along with the partitions.
+func (ix *partIndex) writeSidecar(dir, month string) error {
+	ix.mu.Lock()
+	if !ix.dirty {
+		ix.mu.Unlock()
+		return nil
+	}
+	sf := sidecarFile{
+		FileSize: ix.fileSize,
+		Blocks:   append([]blockMeta(nil), ix.blocks...),
+		Postings: make(map[string][]int, len(ix.postings)),
+	}
+	for sha, ids := range ix.postings {
+		sf.Postings[sha] = append([]int(nil), ids...)
+	}
+	ix.dirty = false
+	ix.mu.Unlock()
+	b, err := json.Marshal(sf)
+	if err != nil {
+		return fmt.Errorf("store: index sidecar: %w", err)
+	}
+	if err := os.WriteFile(sidecarPath(dir, month), b, 0o644); err != nil {
+		return fmt.Errorf("store: index sidecar: %w", err)
+	}
+	return nil
+}
+
+// loadSidecar reads a month's sidecar and validates it against the
+// partition's current size. Any mismatch, unreadable file, or
+// malformed JSON yields (nil, false): the caller falls back to the
+// streaming scan exactly as if the sidecar never existed.
+func loadSidecar(dir, month string, partitionSize int64) (*partIndex, bool) {
+	b, err := os.ReadFile(sidecarPath(dir, month))
+	if err != nil {
+		return nil, false
+	}
+	var sf sidecarFile
+	if err := json.Unmarshal(b, &sf); err != nil {
+		return nil, false
+	}
+	if sf.FileSize != partitionSize {
+		return nil, false
+	}
+	// Internal consistency: blocks must tile [0, FileSize) and every
+	// posting must point at a real block.
+	var off int64
+	for _, bm := range sf.Blocks {
+		if bm.Offset != off || bm.Len <= 0 {
+			return nil, false
+		}
+		off += bm.Len
+	}
+	if off != sf.FileSize {
+		return nil, false
+	}
+	for _, ids := range sf.Postings {
+		for _, id := range ids {
+			if id < 0 || id >= len(sf.Blocks) {
+				return nil, false
+			}
+		}
+	}
+	ix := &partIndex{
+		fileSize: sf.FileSize,
+		blocks:   sf.Blocks,
+		postings: sf.Postings,
+	}
+	if ix.postings == nil {
+		ix.postings = make(map[string][]int)
+	}
+	return ix, true
+}
+
+// countingByteReader counts bytes consumed from the underlying
+// buffered reader. It implements io.ByteReader so flate never reads
+// past a gzip member's end — which makes c.n an exact member
+// boundary after each Multistream(false) member drains.
+type countingByteReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingByteReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// indexPartitionFile rebuilds a partition's block index by walking
+// its gzip members one at a time. Works on any valid partition —
+// block-written files recover their original block boundaries;
+// pre-index files yield one block per historical flush.
+func indexPartitionFile(path string) (*partIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return newPartIndex(), nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	cr := &countingByteReader{r: bufio.NewReaderSize(f, 1<<20)}
+	ix := newPartIndex()
+	zr, err := gzip.NewReader(cr)
+	if err != nil {
+		if errors.Is(err, io.EOF) { // empty partition
+			return ix, nil
+		}
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer zr.Close()
+	var start int64
+	for {
+		zr.Multistream(false)
+		var (
+			rows int
+			raw  int64
+			shas = make(map[string]int)
+		)
+		sc := bufio.NewScanner(zr)
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		for sc.Scan() {
+			var row scanRow
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				return nil, fmt.Errorf("store: %s: %w", path, err)
+			}
+			rows++
+			raw += int64(len(sc.Bytes()))
+			shas[row.SHA]++
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		end := cr.n
+		if rows > 0 || end > start {
+			ix.appendBlock(blockMeta{Offset: start, Len: end - start, Rows: rows, Raw: raw}, shas)
+		}
+		start = end
+		if err := zr.Reset(cr); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+	}
+	return ix, nil
+}
+
+// scanBlock streams the rows of one block. The section reader keeps
+// the decoder inside the member even though members are concatenated.
+func scanBlock(path string, bm blockMeta, fn func(row scanRow)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return scanBlockAt(f, path, bm, fn)
+}
+
+// scanBlockAt is scanBlock over an already open partition file, so a
+// multi-block Get opens the file once.
+func scanBlockAt(f *os.File, path string, bm blockMeta, fn func(row scanRow)) error {
+	sec := io.NewSectionReader(f, bm.Offset, bm.Len)
+	zr, err := gzip.NewReader(bufio.NewReaderSize(sec, 64<<10))
+	if err != nil {
+		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+	}
+	defer zr.Close()
+	sc := bufio.NewScanner(zr)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		var row scanRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+		}
+		fn(row)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// appendRawMember appends one row to a partition as its own gzip
+// member without going through the store — the shape an old build or
+// external tool would leave behind.
+func appendRawMember(t *testing.T, dir, month string, env report.Envelope) error {
+	t.Helper()
+	enc, err := encodeEnvelope(env)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "scans-"+month+".jsonl.gz"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write(append(enc.line, '\n')); err != nil {
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// fillStore writes n samples with small rows and returns their hashes.
+func fillStore(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	shas := make([]string, n)
+	for i := 0; i < n; i++ {
+		sha := fmt.Sprintf("ix%04d", i)
+		shas[i] = sha
+		env := envelope(sha, t0.Add(time.Duration(i)*time.Minute), i%6)
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shas
+}
+
+func TestBlockCuttingProducesMultipleMembers(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny block target: every few rows cut a member.
+	s, err := Open(dir, WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shas := fillStore(t, s, 200)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix := s.index("2021-05")
+	if ix == nil {
+		t.Fatal("fresh partition has no index")
+	}
+	blocks := ix.snapshotBlocks()
+	if len(blocks) < 4 {
+		t.Fatalf("expected several blocks, got %d", len(blocks))
+	}
+	// Blocks tile the file exactly.
+	fi, err := os.Stat(s.partPath("2021-05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	rows := 0
+	for _, bm := range blocks {
+		if bm.Offset != off {
+			t.Fatalf("block offset %d, want %d", bm.Offset, off)
+		}
+		off += bm.Len
+		rows += bm.Rows
+	}
+	if off != fi.Size() {
+		t.Fatalf("blocks cover %d bytes, file has %d", off, fi.Size())
+	}
+	if rows != 200 {
+		t.Fatalf("blocks hold %d rows, want 200", rows)
+	}
+	// Sidecar exists and every sample still reads back.
+	if _, err := os.Stat(sidecarPath(dir, "2021-05")); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	for _, sha := range shas {
+		h, err := s.Get(sha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Reports) != 1 {
+			t.Fatalf("%s: %d reports", sha, len(h.Reports))
+		}
+	}
+}
+
+func TestReopenUsesSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 100)
+	want := s.TotalStats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Indexed() {
+		t.Fatal("reopened store did not load its sidecar")
+	}
+	if got := s2.TotalStats(); got.Reports != want.Reports || got.RawBytes != want.RawBytes {
+		t.Fatalf("sidecar fast-path stats %+v, want %+v", got, want)
+	}
+	h, err := s2.Get("ix0042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 1 || h.Reports[0].AVRank != 42%6 {
+		t.Fatalf("history = %+v", h.Reports)
+	}
+}
+
+func TestStaleSidecarFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 50)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the partition behind the sidecar's back (as an old build,
+	// crash, or external tool would): FileSize no longer matches.
+	if err := appendRawMember(t, dir, "2021-05", envelope("ix0007", t0.Add(90*time.Minute), 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indexed() {
+		t.Fatal("stale sidecar was trusted")
+	}
+	// The fallback streaming scan sees every row, including the one
+	// appended behind the sidecar's back.
+	h, err := s2.Get("ix0007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 {
+		t.Fatalf("fallback missed the appended row: %+v", h.Reports)
+	}
+	// Reindex heals the sidecar in place.
+	if err := s2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Indexed() {
+		t.Fatal("Reindex did not restore the index")
+	}
+	s2.cache.invalidate("ix0007")
+	if h, err := s2.Get("ix0007"); err != nil || len(h.Reports) != 2 {
+		t.Fatalf("indexed read after heal: %v %+v", err, h)
+	}
+}
+
+func TestCorruptSidecarIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 10)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sidecarPath(dir, "2021-05"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indexed() {
+		t.Fatal("corrupt sidecar was trusted")
+	}
+	if h, err := s2.Get("ix0003"); err != nil || len(h.Reports) != 1 {
+		t.Fatalf("fallback read: %v %+v", err, h)
+	}
+}
+
+func TestReindexMatchesWriterIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 120)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	live := s.index("2021-05")
+	if live == nil {
+		t.Fatal("no live index")
+	}
+	rebuilt, err := indexPartitionFile(s.partPath("2021-05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.snapshotBlocks(), rebuilt.snapshotBlocks()) {
+		t.Fatalf("rebuilt blocks diverge:\nlive    %+v\nrebuilt %+v",
+			live.snapshotBlocks(), rebuilt.snapshotBlocks())
+	}
+	for _, sha := range []string{"ix0000", "ix0055", "ix0119"} {
+		if !reflect.DeepEqual(live.blocksFor(sha), rebuilt.blocksFor(sha)) {
+			t.Fatalf("%s: postings diverge", sha)
+		}
+	}
+}
+
+func TestDeleteSidecarThenReindex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 80)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(sidecarPath(dir, "2021-05")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indexed() {
+		t.Fatal("store indexed without a sidecar")
+	}
+	fallback, err := s2.Get("ix0031")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Indexed() {
+		t.Fatal("Reindex left the store unindexed")
+	}
+	// The indexed read returns exactly what the fallback scan returned.
+	// (Invalidate the cached copy first so Get really hits the index.)
+	s2.cache.invalidate("ix0031")
+	indexed, err := s2.Get("ix0031")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fallback, indexed) {
+		t.Fatalf("indexed read diverges from fallback:\nfallback %+v\nindexed  %+v", fallback, indexed)
+	}
+	// And the new sidecar survives a reopen.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s3.Indexed() {
+		t.Fatal("healed sidecar not loaded on reopen")
+	}
+}
+
+func TestAppendToUnindexedPartitionStaysUnindexed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 20)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(sidecarPath(dir, "2021-05")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without the sidecar, then append: the writer must not
+	// start a partial index (its sidecar would have holes), and reads
+	// must keep working through the fallback scan.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(envelope("late", t0.Add(time.Hour), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indexed() {
+		t.Fatal("append to a sidecar-less partition created a partial index")
+	}
+	if _, err := os.Stat(sidecarPath(dir, "2021-05")); !os.IsNotExist(err) {
+		t.Fatalf("partial sidecar written: %v", err)
+	}
+	for _, sha := range []string{"ix0000", "late"} {
+		if h, err := s2.Get(sha); err != nil || len(h.Reports) != 1 {
+			t.Fatalf("%s: %v %+v", sha, err, h)
+		}
+	}
+}

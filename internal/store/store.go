@@ -13,11 +13,17 @@
 // The store tracks raw-vs-stored byte accounting so the compression
 // ratio the paper reports (10.06×) can be measured on our data.
 //
-// Layout under the store directory (identical to the original
-// single-writer layout — sharding is an in-memory concern only):
+// Layout under the store directory:
 //
-//	scans-2021-05.jsonl.gz   one multi-member gzip file per month
+//	scans-2021-05.jsonl.gz   one multi-member gzip file per month,
+//	                         written as ~256 KiB block members
+//	scans-2021-05.idx        sidecar block index (see index.go)
 //	samples.jsonl.gz         latest metadata snapshot, written on Close
+//
+// Partition bytes remain a valid (multi-member) gzip stream, readable
+// by zcat and by pre-index builds of this package; the sidecar is
+// pure acceleration. Stores without sidecars open and read via the
+// full streaming scan; Reindex upgrades them in place.
 //
 // Concurrency model: the sample index (metadata + month membership)
 // is hash-sharded with one mutex per shard, so concurrent Puts on
@@ -27,6 +33,14 @@
 // one month never blocks another. Row encoding (the expensive JSON
 // work) happens outside every lock. PutBatch amortizes the partition
 // lock over a whole feed slice.
+//
+// Read path: Get consults each month's block index and decodes only
+// the members holding its sample (concurrently across months),
+// falling back to the streaming scan for unindexed months; decoded
+// histories are served from an LRU cache with singleflight decode
+// deduplication, and every caller gets a deep copy. IterAll fans
+// blocks across a worker pool for full-store passes (Verify,
+// StatsByType).
 package store
 
 import (
@@ -38,9 +52,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vtdynamics/internal/report"
@@ -58,6 +74,13 @@ const indexShards = 32
 type Store struct {
 	dir string
 
+	// blockSize is the target uncompressed bytes per gzip block.
+	blockSize int
+	// cacheSize is the history-cache capacity in entries (0 disables).
+	cacheSize int
+	// cache is the LRU + singleflight history cache (nil if disabled).
+	cache *historyCache
+
 	// shards hold the per-sample metadata and month-membership index.
 	shards [indexShards]indexShard
 
@@ -66,9 +89,58 @@ type Store struct {
 	wmu     sync.Mutex
 	writers map[string]*partWriter
 
+	// imu guards the indexes map; each partIndex has its own lock.
+	imu     sync.Mutex
+	indexes map[string]*partIndex
+
 	// smu guards the per-month accounting.
 	smu   sync.Mutex
 	stats map[string]*PartitionStats
+}
+
+// Option tunes a Store at Open time.
+type Option func(*Store)
+
+// WithBlockSize sets the target uncompressed size of one partition
+// block (gzip member). Smaller blocks make Get decode less per hit at
+// a slight compression-ratio cost. Values <= 0 keep the default.
+func WithBlockSize(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.blockSize = n
+		}
+	}
+}
+
+// WithCacheSize bounds the decoded-history read cache in entries;
+// 0 disables caching entirely (every Get decodes from disk).
+func WithCacheSize(n int) Option {
+	return func(s *Store) { s.cacheSize = n }
+}
+
+// index returns the month's block index, or nil when the month is
+// served by the fallback streaming scan.
+func (s *Store) index(month string) *partIndex {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	return s.indexes[month]
+}
+
+func (s *Store) setIndex(month string, ix *partIndex) {
+	s.imu.Lock()
+	s.indexes[month] = ix
+	s.imu.Unlock()
+}
+
+func (s *Store) dropIndex(month string) {
+	s.imu.Lock()
+	delete(s.indexes, month)
+	s.imu.Unlock()
+}
+
+// partPath names a month's partition file.
+func (s *Store) partPath(month string) string {
+	return filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
 }
 
 type indexShard struct {
@@ -158,13 +230,83 @@ func rowFromScan(scan *report.ScanReport) scanRow {
 	return row
 }
 
+// partWriter appends rows to one monthly partition as a sequence of
+// block-sized gzip members. Members start lazily on the first row
+// after a cut, so flush/sync cycles never emit empty members.
 type partWriter struct {
 	mu      sync.Mutex
 	closed  bool
 	f       *os.File
 	counter *countingWriter
-	gz      *gzip.Writer
-	buf     *bufio.Writer
+	// base is the partition's size when this writer opened; block
+	// offsets are base + compressed bytes written this session.
+	base      int64
+	blockSize int
+	// idx is the month's block index, nil when the month predates the
+	// sidecar format (then new blocks go unindexed and the month keeps
+	// using the fallback scan until Reindex).
+	idx *partIndex
+
+	// Current (pending) block; gz == nil between members.
+	gz            *gzip.Writer
+	buf           *bufio.Writer
+	blockStart    int64
+	pendingRows   int
+	pendingRaw    int64
+	pendingUncomp int
+	pendingShas   map[string]int
+}
+
+// writeRowLocked appends one row, cutting a block when the pending
+// member reaches the block-size target. Caller holds w.mu.
+func (w *partWriter) writeRowLocked(row encRow) error {
+	if w.gz == nil {
+		w.blockStart = w.base + w.counter.n
+		w.gz = gzip.NewWriter(w.counter)
+		w.buf = bufio.NewWriterSize(w.gz, 64<<10)
+	}
+	if _, err := w.buf.Write(row.line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w.pendingRows++
+	w.pendingRaw += int64(len(row.line))
+	w.pendingUncomp += len(row.line) + 1
+	w.pendingShas[row.sha]++
+	if w.pendingUncomp >= w.blockSize {
+		return w.cutBlockLocked()
+	}
+	return nil
+}
+
+// cutBlockLocked closes the pending gzip member, making its rows
+// readable on disk, and records it in the month's index. Caller
+// holds w.mu. A nil pending member is a no-op.
+func (w *partWriter) cutBlockLocked() error {
+	if w.gz == nil {
+		return nil
+	}
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.gz.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	end := w.base + w.counter.n
+	if w.idx != nil {
+		w.idx.appendBlock(blockMeta{
+			Offset: w.blockStart,
+			Len:    end - w.blockStart,
+			Rows:   w.pendingRows,
+			Raw:    w.pendingRaw,
+		}, w.pendingShas)
+	}
+	w.gz, w.buf = nil, nil
+	w.pendingRows, w.pendingRaw, w.pendingUncomp = 0, 0, 0
+	w.pendingShas = make(map[string]int)
+	return nil
 }
 
 type countingWriter struct {
@@ -180,15 +322,22 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // Open opens (or creates) a store in dir, loading any existing
 // partitions into the index.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:     dir,
-		writers: make(map[string]*partWriter),
-		stats:   make(map[string]*PartitionStats),
+		dir:       dir,
+		blockSize: blockSizeDefault,
+		cacheSize: cacheSizeDefault,
+		writers:   make(map[string]*partWriter),
+		indexes:   make(map[string]*partIndex),
+		stats:     make(map[string]*PartitionStats),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.cache = newHistoryCache(s.cacheSize)
 	for i := range s.shards {
 		s.shards[i].samples = make(map[string]report.SampleMeta)
 		s.shards[i].months = make(map[string]map[string]bool)
@@ -200,11 +349,23 @@ func Open(dir string) (*Store, error) {
 }
 
 // load rebuilds the in-memory index from existing partition files.
-// It runs before the store is shared, so it takes no locks.
+// Months with a valid sidecar load from it directly (no decompression
+// at all); the rest are streamed row by row as before — that is the
+// pre-sidecar fallback path, and it leaves the month unindexed.
+// load runs before the store is shared, so it takes no locks.
 func (s *Store) load() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	addMonth := func(sha, month string) {
+		sh := s.shardFor(sha)
+		set, ok := sh.months[sha]
+		if !ok {
+			set = make(map[string]bool)
+			sh.months[sha] = set
+		}
+		set[month] = true
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -214,22 +375,24 @@ func (s *Store) load() error {
 		month := strings.TrimSuffix(strings.TrimPrefix(name, "scans-"), ".jsonl.gz")
 		st := &PartitionStats{}
 		path := filepath.Join(s.dir, name)
-		if err := s.scanPartition(path, func(row scanRow, rawLen int) {
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		if ix, ok := loadSidecar(s.dir, month, size); ok {
+			s.indexes[month] = ix
+			st.Reports, st.RawBytes = ix.totals()
+			for _, sha := range ix.sampleSHAs() {
+				addMonth(sha, month)
+			}
+		} else if err := s.scanPartition(path, func(row scanRow, rawLen int) {
 			st.Reports++
 			st.RawBytes += int64(rawLen)
-			sh := s.shardFor(row.SHA)
-			set, ok := sh.months[row.SHA]
-			if !ok {
-				set = make(map[string]bool)
-				sh.months[row.SHA] = set
-			}
-			set[month] = true
+			addMonth(row.SHA, month)
 		}); err != nil {
 			return err
 		}
-		if fi, err := os.Stat(path); err == nil {
-			st.StoredBytes = fi.Size()
-		}
+		st.StoredBytes = size
 		s.stats[month] = st
 	}
 	// Load the metadata snapshot if present.
@@ -346,6 +509,13 @@ type encoded struct {
 	raw   int
 }
 
+// encRow is the unit handed to a partition writer: the compact line
+// plus its sample hash for the block posting list.
+type encRow struct {
+	sha  string
+	line []byte
+}
+
 func encodeEnvelope(env report.Envelope) (encoded, error) {
 	if env.Meta.SHA256 == "" {
 		return encoded{}, errors.New("store: envelope without sha256")
@@ -375,7 +545,7 @@ func (s *Store) Put(env report.Envelope) error {
 	if err != nil {
 		return err
 	}
-	if err := s.writeLines(enc.month, [][]byte{enc.line}); err != nil {
+	if err := s.writeRows(enc.month, []encRow{{sha: enc.sha, line: enc.line}}); err != nil {
 		return err
 	}
 	s.indexEncoded(enc)
@@ -399,18 +569,18 @@ func (s *Store) PutBatch(envs []report.Envelope) error {
 		}
 		encs[i] = enc
 	}
-	// Group lines by month preserving order.
-	byMonth := make(map[string][][]byte)
+	// Group rows by month preserving order.
+	byMonth := make(map[string][]encRow)
 	var months []string
 	for _, enc := range encs {
 		if _, ok := byMonth[enc.month]; !ok {
 			months = append(months, enc.month)
 		}
-		byMonth[enc.month] = append(byMonth[enc.month], enc.line)
+		byMonth[enc.month] = append(byMonth[enc.month], encRow{sha: enc.sha, line: enc.line})
 	}
 	sort.Strings(months)
 	for _, month := range months {
-		if err := s.writeLines(month, byMonth[month]); err != nil {
+		if err := s.writeRows(month, byMonth[month]); err != nil {
 			return err
 		}
 	}
@@ -432,7 +602,8 @@ func (s *Store) PutBatch(envs []report.Envelope) error {
 	return nil
 }
 
-// indexEncoded updates the sample index for one stored row.
+// indexEncoded updates the sample index for one stored row and drops
+// the sample's cached history — the next Get re-reads it.
 func (s *Store) indexEncoded(enc encoded) {
 	sh := s.shardFor(enc.sha)
 	sh.mu.Lock()
@@ -444,6 +615,7 @@ func (s *Store) indexEncoded(enc encoded) {
 	}
 	set[enc.month] = true
 	sh.mu.Unlock()
+	s.cache.invalidate(enc.sha)
 }
 
 // accountRows folds rows into the month's Table 2 accounting.
@@ -459,10 +631,10 @@ func (s *Store) accountRows(month string, rows int, raw int64) {
 	s.smu.Unlock()
 }
 
-// writeLines appends rows to the month's partition under that
+// writeRows appends rows to the month's partition under that
 // partition's lock only. If a concurrent Flush closed the writer
 // between lookup and write, it retries with a fresh writer.
-func (s *Store) writeLines(month string, lines [][]byte) error {
+func (s *Store) writeRows(month string, rows []encRow) error {
 	for {
 		w, err := s.writer(month)
 		if err != nil {
@@ -473,14 +645,10 @@ func (s *Store) writeLines(month string, lines [][]byte) error {
 			w.mu.Unlock()
 			continue
 		}
-		for _, line := range lines {
-			if _, err := w.buf.Write(line); err != nil {
+		for _, row := range rows {
+			if err := w.writeRowLocked(row); err != nil {
 				w.mu.Unlock()
-				return fmt.Errorf("store: %w", err)
-			}
-			if err := w.buf.WriteByte('\n'); err != nil {
-				w.mu.Unlock()
-				return fmt.Errorf("store: %w", err)
+				return err
 			}
 		}
 		w.mu.Unlock()
@@ -494,42 +662,66 @@ func (s *Store) writer(month string) (*partWriter, error) {
 	if w, ok := s.writers[month]; ok {
 		return w, nil
 	}
-	path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+	path := s.partPath(month)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	// Appending a new gzip member to an existing file is valid:
 	// readers process multi-member streams transparently.
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	base := fi.Size()
 	counter := &countingWriter{w: f}
-	gz := gzip.NewWriter(counter)
-	w := &partWriter{f: f, counter: counter, gz: gz, buf: bufio.NewWriterSize(gz, 64<<10)}
+	w := &partWriter{
+		f:           f,
+		counter:     counter,
+		base:        base,
+		blockSize:   s.blockSize,
+		pendingShas: make(map[string]int),
+	}
+	// Attach the month's block index. A fresh partition starts one; an
+	// existing partition continues its index only if that index covers
+	// every byte already on disk — otherwise new blocks would produce a
+	// sidecar with holes, so the month stays on the fallback streaming
+	// scan until Reindex rebuilds it.
+	ix := s.index(month)
+	switch {
+	case ix != nil && ix.fileSize == base:
+		w.idx = ix
+	case ix == nil && base == 0:
+		w.idx = newPartIndex()
+		s.setIndex(month, w.idx)
+	default:
+		if ix != nil {
+			s.dropIndex(month)
+		}
+	}
 	s.writers[month] = w
 	return w, nil
 }
 
 // Flush finalizes all open partition writers so data is durable and
-// readable; subsequent Puts open fresh gzip members.
+// readable, and persists grown index sidecars; subsequent Puts open
+// fresh gzip members.
 func (s *Store) Flush() error {
-	// Detach every open writer first so new Puts start fresh members,
-	// then close each under its own lock.
+	// Writers are closed while wmu is held: a successor writer for the
+	// same month can only be created once the old writer's bytes are
+	// fully on disk, so the successor's Stat-derived base — and every
+	// block offset it records — is exact. (Detaching first and closing
+	// outside wmu would let a concurrent Put open a writer whose base
+	// excludes the detached writer's still-pending member.)
 	s.wmu.Lock()
-	detached := make(map[string]*partWriter, len(s.writers))
+	defer s.wmu.Unlock()
 	for month, w := range s.writers {
-		detached[month] = w
-		delete(s.writers, month)
-	}
-	s.wmu.Unlock()
-	for month, w := range detached {
 		w.mu.Lock()
 		w.closed = true
-		if err := w.buf.Flush(); err != nil {
+		if err := w.cutBlockLocked(); err != nil {
 			w.mu.Unlock()
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := w.gz.Close(); err != nil {
-			w.mu.Unlock()
-			return fmt.Errorf("store: %w", err)
+			return err
 		}
 		stored := w.counter.n
 		if err := w.f.Close(); err != nil {
@@ -537,13 +729,79 @@ func (s *Store) Flush() error {
 			return fmt.Errorf("store: %w", err)
 		}
 		w.mu.Unlock()
+		delete(s.writers, month)
 		s.smu.Lock()
 		if st := s.stats[month]; st != nil {
 			st.StoredBytes += stored
 		}
 		s.smu.Unlock()
 	}
+	return s.writeSidecars()
+}
+
+// Sync makes buffered rows durable and readable by cutting the open
+// gzip members at a block boundary and persisting grown sidecars —
+// without tearing down partition writers. It is the cheap durability
+// point resumable collectors use before saving a checkpoint.
+func (s *Store) Sync() error {
+	s.wmu.Lock()
+	open := make([]*partWriter, 0, len(s.writers))
+	for _, w := range s.writers {
+		open = append(open, w)
+	}
+	s.wmu.Unlock()
+	for _, w := range open {
+		w.mu.Lock()
+		if !w.closed {
+			if err := w.cutBlockLocked(); err != nil {
+				w.mu.Unlock()
+				return err
+			}
+		}
+		w.mu.Unlock()
+	}
+	return s.writeSidecars()
+}
+
+// writeSidecars persists every index that has grown since its sidecar
+// was last written.
+func (s *Store) writeSidecars() error {
+	s.imu.Lock()
+	months := make([]string, 0, len(s.indexes))
+	for month := range s.indexes {
+		months = append(months, month)
+	}
+	s.imu.Unlock()
+	sort.Strings(months)
+	for _, month := range months {
+		if ix := s.index(month); ix != nil {
+			if err := ix.writeSidecar(s.dir, month); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// cutPendingFor makes the month's buffered rows readable if any of
+// them belong to sha — Get's read-your-writes guarantee. Cutting only
+// when the sample is actually pending avoids member churn under
+// read-heavy load.
+func (s *Store) cutPendingFor(month, sha string) error {
+	s.wmu.Lock()
+	w := s.writers[month]
+	s.wmu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// A writer closed by a concurrent Flush already has its rows on
+	// disk; nothing left to cut.
+	if w.closed || w.pendingShas[sha] == 0 {
+		return nil
+	}
+	return w.cutBlockLocked()
 }
 
 // Close flushes partitions and writes the metadata snapshot.
@@ -611,9 +869,22 @@ func (s *Store) snapshotSamples() map[string]report.SampleMeta {
 	return out
 }
 
-// Get returns the sample's full history, reading every partition that
-// contains its rows. Call Flush first if writes may be buffered.
+// Get returns the sample's full history. Indexed months are read by
+// seeking straight to the few blocks holding the sample (months are
+// scanned concurrently); unindexed months fall back to the full
+// streaming scan. Rows still sitting in a write buffer are cut to
+// disk first, so a Get after Put always sees the written rows.
+// Results are served through the history cache when enabled; the
+// returned history is always the caller's to mutate.
 func (s *Store) Get(sha string) (*report.History, error) {
+	if s.cache == nil {
+		return s.getUncached(sha)
+	}
+	return s.cache.get(sha, s.getUncached)
+}
+
+// getUncached assembles a history from disk.
+func (s *Store) getUncached(sha string) (*report.History, error) {
 	sh := s.shardFor(sha)
 	sh.mu.Lock()
 	meta, ok := sh.samples[sha]
@@ -627,24 +898,92 @@ func (s *Store) Get(sha string) (*report.History, error) {
 		months = append(months, m)
 	}
 	sh.mu.Unlock()
+	sort.Strings(months)
 
-	h := &report.History{Meta: meta}
+	// Read-your-writes: rows of this sample buffered in an open gzip
+	// member are not yet readable — cut them to disk first.
 	for _, month := range months {
-		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
-		err := s.scanPartition(path, func(row scanRow, _ int) {
-			if row.SHA != sha {
-				return
-			}
-			h.Reports = append(h.Reports, rowToReport(row))
-		})
-		if err != nil {
+		if err := s.cutPendingFor(month, sha); err != nil {
 			return nil, err
 		}
 	}
-	sort.Slice(h.Reports, func(i, j int) bool {
+
+	// Scan the sample's months concurrently, assembling results in
+	// month order so the pre-sort report order is deterministic.
+	perMonth := make([][]*report.ScanReport, len(months))
+	if len(months) == 1 {
+		rows, err := s.readMonthRows(months[0], sha)
+		if err != nil {
+			return nil, err
+		}
+		perMonth[0] = rows
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, len(months))
+		for i, month := range months {
+			wg.Add(1)
+			go func(i int, month string) {
+				defer wg.Done()
+				perMonth[i], errs[i] = s.readMonthRows(month, sha)
+			}(i, month)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	h := &report.History{Meta: meta}
+	for _, rows := range perMonth {
+		h.Reports = append(h.Reports, rows...)
+	}
+	// Stable sort: reports with equal timestamps keep their storage
+	// order (months ascending, file order within a month), so repeated
+	// Gets — and Gets against stores built at different worker counts,
+	// which are byte-identical — always return the identical sequence.
+	sort.SliceStable(h.Reports, func(i, j int) bool {
 		return h.Reports[i].AnalysisDate.Before(h.Reports[j].AnalysisDate)
 	})
 	return h, nil
+}
+
+// readMonthRows returns the sample's rows from one month, via the
+// block index when present, else the full streaming scan.
+func (s *Store) readMonthRows(month, sha string) ([]*report.ScanReport, error) {
+	path := s.partPath(month)
+	var out []*report.ScanReport
+	if ix := s.index(month); ix != nil {
+		blocks := ix.blocksFor(sha)
+		if len(blocks) == 0 {
+			return nil, nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		defer f.Close()
+		for _, bm := range blocks {
+			if err := scanBlockAt(f, path, bm, func(row scanRow) {
+				if row.SHA == sha {
+					out = append(out, rowToReport(row))
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	err := s.scanPartition(path, func(row scanRow, _ int) {
+		if row.SHA == sha {
+			out = append(out, rowToReport(row))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func rowToReport(row scanRow) *report.ScanReport {
@@ -704,7 +1043,7 @@ func (s *Store) IterReports(month string, fn func(*report.ScanReport) error) err
 	if err := s.Flush(); err != nil {
 		return err
 	}
-	path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
+	path := s.partPath(month)
 	var inner error
 	err := s.scanPartition(path, func(row scanRow, _ int) {
 		if inner != nil {
@@ -716,6 +1055,157 @@ func (s *Store) IterReports(month string, fn func(*report.ScanReport) error) err
 		return err
 	}
 	return inner
+}
+
+// iterJob is one unit of an IterAll pass: a single block of an
+// indexed month, or a whole unindexed month streamed end to end.
+type iterJob struct {
+	month string
+	path  string
+	block *blockMeta
+}
+
+// IterAll streams every report in the store through fn, fanning
+// partition blocks across a pool of workers (workers <= 0 uses
+// GOMAXPROCS; 1 iterates serially in storage order). It flushes
+// first, like IterReports. With workers > 1, fn is called from
+// multiple goroutines concurrently and no ordering is guaranteed —
+// fn must be safe for concurrent use. The first error stops the
+// pass.
+func (s *Store) IterAll(workers int, fn func(month string, r *report.ScanReport) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var jobs []iterJob
+	for _, month := range s.Months() {
+		path := s.partPath(month)
+		if ix := s.index(month); ix != nil {
+			for _, bm := range ix.snapshotBlocks() {
+				if bm.Rows == 0 {
+					continue
+				}
+				bm := bm
+				jobs = append(jobs, iterJob{month: month, path: path, block: &bm})
+			}
+		} else {
+			jobs = append(jobs, iterJob{month: month, path: path})
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if err := s.runIterJob(j, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	jobc := make(chan iterJob)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				if failed() {
+					continue
+				}
+				if err := s.runIterJob(j, fn); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobc <- j
+	}
+	close(jobc)
+	wg.Wait()
+	return firstErr
+}
+
+// runIterJob streams one job's rows through fn.
+func (s *Store) runIterJob(j iterJob, fn func(month string, r *report.ScanReport) error) error {
+	var inner error
+	handle := func(row scanRow) {
+		if inner != nil {
+			return
+		}
+		inner = fn(j.month, rowToReport(row))
+	}
+	var err error
+	if j.block != nil {
+		err = scanBlock(j.path, *j.block, handle)
+	} else {
+		err = s.scanPartition(j.path, func(row scanRow, _ int) { handle(row) })
+	}
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// Reindex rebuilds every partition's block index by re-walking its
+// gzip members, and persists fresh sidecars — upgrading pre-sidecar
+// stores (and healing stale sidecars) in place. Partitions written
+// before block compression existed get one block per historical
+// flush, which still lets Get skip every member without its sample.
+func (s *Store) Reindex() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	for _, month := range s.Months() {
+		ix, err := indexPartitionFile(s.partPath(month))
+		if err != nil {
+			return err
+		}
+		ix.dirty = true
+		s.setIndex(month, ix)
+		if err := ix.writeSidecar(s.dir, month); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CachedHistories reports how many decoded histories the read cache
+// currently holds (0 when the cache is disabled).
+func (s *Store) CachedHistories() int { return s.cache.len() }
+
+// Indexed reports whether every partition has a block index, i.e.
+// Get is served by block seeks rather than full partition scans. A
+// store that predates the sidecar format reports false until Reindex.
+func (s *Store) Indexed() bool {
+	months := s.Months()
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	for _, m := range months {
+		if s.indexes[m] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Months returns the partition keys present, sorted.
@@ -797,70 +1287,66 @@ type TypeStats struct {
 	Reports int
 }
 
-// StatsByType tallies stored samples and scan rows per file type. It
-// flushes first so buffered rows are counted.
+// StatsByType tallies stored samples and scan rows per file type
+// using all cores; it flushes first so buffered rows are counted.
 func (s *Store) StatsByType() (map[string]TypeStats, error) {
-	if err := s.Flush(); err != nil {
-		return nil, err
-	}
+	return s.StatsByTypeWorkers(0)
+}
+
+// StatsByTypeWorkers is StatsByType over an explicit worker count
+// (<= 0 uses GOMAXPROCS).
+func (s *Store) StatsByTypeWorkers(workers int) (map[string]TypeStats, error) {
 	out := map[string]TypeStats{}
 	for _, meta := range s.snapshotSamples() {
 		ts := out[meta.FileType]
 		ts.Samples++
 		out[meta.FileType] = ts
 	}
-	for _, month := range s.Months() {
-		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
-		if err := s.scanPartition(path, func(row scanRow, _ int) {
-			ts := out[row.FT]
-			ts.Reports++
-			out[row.FT] = ts
-		}); err != nil {
-			return nil, err
-		}
+	var mu sync.Mutex
+	err := s.IterAll(workers, func(_ string, r *report.ScanReport) error {
+		mu.Lock()
+		ts := out[r.FileType]
+		ts.Reports++
+		out[r.FileType] = ts
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Verify re-reads every partition, checking that each row parses,
-// validates, and belongs to an indexed sample. It returns the number
-// of rows checked.
-func (s *Store) Verify() (int, error) {
+// Verify re-reads every partition on all cores, checking that each
+// row parses, validates, and belongs to an indexed sample. It returns
+// the number of rows checked.
+func (s *Store) Verify() (int, error) { return s.VerifyWorkers(0) }
+
+// VerifyWorkers is Verify over an explicit worker count (<= 0 uses
+// GOMAXPROCS). On failure the returned count reflects the rows
+// checked before the pass stopped, which with workers > 1 is
+// approximate.
+func (s *Store) VerifyWorkers(workers int) (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
-	months := s.Months()
 	known := make(map[string]bool)
 	for h := range s.snapshotSamples() {
 		known[h] = true
 	}
-	checked := 0
-	for _, month := range months {
-		path := filepath.Join(s.dir, "scans-"+month+".jsonl.gz")
-		var inner error
-		err := s.scanPartition(path, func(row scanRow, _ int) {
-			if inner != nil {
-				return
-			}
-			checked++
-			if !known[row.SHA] {
-				inner = fmt.Errorf("store: %s row %s not in sample index", month, row.SHA)
-				return
-			}
-			if MonthKey(fromUnix(row.At)) != month {
-				inner = fmt.Errorf("store: row %s at %d filed under %s", row.SHA, row.At, month)
-				return
-			}
-			if err := rowToReport(row).Validate(); err != nil {
-				inner = fmt.Errorf("store: row %s invalid: %w", row.SHA, err)
-			}
-		})
-		if err != nil {
-			return checked, err
+	var checked atomic.Int64
+	err := s.IterAll(workers, func(month string, r *report.ScanReport) error {
+		checked.Add(1)
+		if !known[r.SHA256] {
+			return fmt.Errorf("store: %s row %s not in sample index", month, r.SHA256)
 		}
-		if inner != nil {
-			return checked, inner
+		if MonthKey(r.AnalysisDate) != month {
+			return fmt.Errorf("store: row %s at %d filed under %s", r.SHA256, r.AnalysisDate.Unix(), month)
 		}
-	}
-	return checked, nil
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("store: row %s invalid: %w", r.SHA256, err)
+		}
+		return nil
+	})
+	return int(checked.Load()), err
 }

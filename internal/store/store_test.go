@@ -1,7 +1,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -362,6 +366,173 @@ func TestVerifyCleanStore(t *testing.T) {
 	}
 	if n != 10 {
 		t.Fatalf("verified %d rows", n)
+	}
+}
+
+// TestGetSeesUnflushedPut is the read-your-writes regression test: a
+// Put buffered inside an open gzip member must be visible to an
+// immediate Get, without an intervening Flush.
+func TestGetSeesUnflushedPut(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(envelope("ryw", t0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get("ryw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 1 || h.Reports[0].AVRank != 3 {
+		t.Fatalf("Get after Put missed buffered row: %+v", h.Reports)
+	}
+	// And again mid-stream: a second Put into the already-cut member's
+	// successor must also be immediately visible.
+	if err := s.Put(envelope("ryw", t0.Add(time.Hour), 5)); err != nil {
+		t.Fatal(err)
+	}
+	h, err = s.Get("ryw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 || h.Reports[1].AVRank != 5 {
+		t.Fatalf("Get after second Put: %+v", h.Reports)
+	}
+	// All rows survive the final flush and a reopen untouched.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := s.Get("ryw"); err != nil || len(h.Reports) != 2 {
+		t.Fatalf("after flush: %v", err)
+	}
+}
+
+// TestGetStableOrder pins Get's ordering contract: reports sort by
+// AnalysisDate, and equal timestamps keep storage order — so repeated
+// Gets always return the identical sequence.
+func TestGetStableOrder(t *testing.T) {
+	s := openStore(t)
+	// Three scans at the same instant, distinguishable by rank, plus
+	// one earlier and one later.
+	at := t0.Add(time.Hour)
+	for i, env := range []report.Envelope{
+		envelope("ord", at, 1),
+		envelope("ord", at, 2),
+		envelope("ord", at, 3),
+		envelope("ord", t0, 0),
+		envelope("ord", at.Add(time.Hour), 4),
+	} {
+		if err := s.Put(env); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	wantRanks := []int{0, 1, 2, 3, 4}
+	for trial := 0; trial < 5; trial++ {
+		h, err := s.Get("ord")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Reports) != len(wantRanks) {
+			t.Fatalf("trial %d: %d reports", trial, len(h.Reports))
+		}
+		for i, r := range h.Reports {
+			if r.AVRank != wantRanks[i] {
+				t.Fatalf("trial %d: ranks %v at %d, want %v",
+					trial, r.AVRank, i, wantRanks)
+			}
+		}
+		// Vary the read path across trials: cached, uncached, indexed.
+		switch trial {
+		case 1:
+			s.cache.invalidate("ord")
+		case 2:
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			s.cache.invalidate("ord")
+		}
+	}
+}
+
+func TestIterAllCountsAndWorkerInvariance(t *testing.T) {
+	s, err := Open(t.TempDir(), WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i%3) * 31 * 24 * time.Hour)
+		if err := s.Put(envelope(fmt.Sprintf("ia%04d", i), at, i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		var mu sync.Mutex
+		perMonth := map[string]int{}
+		err := s.IterAll(workers, func(month string, r *report.ScanReport) error {
+			if err := r.Validate(); err != nil {
+				return err
+			}
+			mu.Lock()
+			perMonth[month]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		total := 0
+		for _, c := range perMonth {
+			total += c
+		}
+		if total != n || len(perMonth) != 3 {
+			t.Fatalf("workers=%d: saw %d rows in %d months", workers, total, len(perMonth))
+		}
+	}
+}
+
+func TestIterAllErrorPropagates(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 30; i++ {
+		if err := s.Put(envelope(fmt.Sprintf("ie%02d", i), t0.Add(time.Duration(i)*time.Minute), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantErr := fmt.Errorf("stop here")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := s.IterAll(workers, func(string, *report.ScanReport) error {
+			if calls.Add(1) == 5 {
+				return wantErr
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestStatsByTypeWorkersMatchesSerial(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 40; i++ {
+		env := envelope(fmt.Sprintf("tw%02d", i), t0.Add(time.Duration(i)*time.Hour), 1)
+		if i%3 == 0 {
+			env.Meta.FileType = "PDF"
+			env.Scan.FileType = "PDF"
+		}
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, err := s.StatsByTypeWorkers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := s.StatsByTypeWorkers(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("type stats diverge:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
 }
 
