@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"vtdynamics/internal/experiments"
+	"vtdynamics/internal/obs"
 )
 
 func main() {
@@ -341,6 +342,9 @@ func main() {
 	}
 	fmt.Printf("completed %d experiments in %.1fs (seed %d)\n",
 		len(selected), time.Since(start).Seconds(), *seed)
+	if s := obs.Default().Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, "vtanalyze metrics:", s)
+	}
 }
 
 func fatal(err error) {

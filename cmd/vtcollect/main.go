@@ -8,7 +8,9 @@
 //	          -from 2021-05-01 -to 2022-07-01 [-interval 1m] [-workers 8]
 //
 // On completion it prints the collection statistics and the per-month
-// store accounting (the Table 2 analogue).
+// store accounting (the Table 2 analogue). With -metrics DUR the
+// collector also dumps its live metrics (collector, client, and store
+// series from internal/obs) to stderr every DUR while running.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"vtdynamics/internal/feed"
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/store"
 	"vtdynamics/internal/vtclient"
@@ -35,6 +38,7 @@ func main() {
 		interval = flag.Duration("interval", time.Minute, "poll interval")
 		apiKey   = flag.String("apikey", "", "API key (the feed requires a premium-tier key when the server enforces auth)")
 		workers  = flag.Int("workers", 1, "concurrent feed fetches (commits stay in slice order; 1 = the paper's serial loop)")
+		metrics  = flag.Duration("metrics", 0, "dump live metrics to stderr at this period (0 disables)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *metrics > 0 {
+		go func() {
+			ticker := time.NewTicker(*metrics)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					fmt.Fprintln(os.Stderr, "vtcollect metrics:", obs.Default().Summary())
+				}
+			}
+		}()
+	}
+
 	// Checkpointed collection: an interrupted campaign resumes at the
 	// first unfetched slice on the next invocation. The store is a
 	// feed.Syncer, so the collector cuts its gzip blocks to disk
@@ -89,6 +108,9 @@ func main() {
 		ps := st.Stats(month)
 		fmt.Printf("%s  reports %8d  stored %10d B  raw %12d B  (%.2fx)\n",
 			month, ps.Reports, ps.StoredBytes, ps.RawBytes, ps.CompressionRatio())
+	}
+	if *metrics > 0 {
+		fmt.Fprintln(os.Stderr, "vtcollect metrics:", obs.Default().Summary())
 	}
 	if err != nil {
 		fatal(err)

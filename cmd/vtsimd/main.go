@@ -17,6 +17,7 @@
 //	POST /api/v3/files/{id}/analyse
 //	GET  /api/v3/feed/reports?from=&to=
 //	GET  /healthz
+//	GET  /metricsz                 (Prometheus text; ?format=json)
 package main
 
 import (
@@ -102,7 +103,7 @@ func main() {
 		Handler:           vtapi.NewServer(svc, logger, opts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("vtsimd: %d engines, window %s .. %s, listening on %s",
+	log.Printf("vtsimd: %d engines, window %s .. %s, listening on %s (metrics at /metricsz)",
 		set.Len(), start.Format("2006-01-02"), end.Format("2006-01-02"), *addr)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal("vtsimd:", err)

@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/store"
 )
 
@@ -88,6 +89,9 @@ func main() {
 
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex)", cmd))
+	}
+	if s := obs.Default().Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, "vtstore metrics:", s)
 	}
 }
 

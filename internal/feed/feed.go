@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 )
 
@@ -84,6 +85,47 @@ type Collector struct {
 	// semantics are identical to the serial run, only the fetch
 	// latency overlaps.
 	Workers int
+	// Metrics receives the collector's instrumentation (windows
+	// fetched/committed, in-flight slices, frontier, checkpoint lag,
+	// fetch latency). Nil uses the process-wide default registry.
+	Metrics *obs.Registry
+}
+
+// collectorMetrics caches the collector's series for one run so the
+// poll loop never touches the registry map.
+type collectorMetrics struct {
+	fetched   *obs.Counter
+	envelopes *obs.Counter
+	committed *obs.Counter
+	inflight  *obs.Gauge
+	frontier  *obs.Gauge
+	lag       *obs.Gauge
+	fetch     *obs.Histogram
+}
+
+func (c *Collector) metrics() collectorMetrics {
+	reg := c.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return collectorMetrics{
+		fetched:   reg.Counter("collector_fetched_windows_total"),
+		envelopes: reg.Counter("collector_envelopes_total"),
+		committed: reg.Counter("collector_committed_windows_total"),
+		inflight:  reg.Gauge("collector_inflight_slices"),
+		frontier:  reg.Gauge("collector_frontier_unix"),
+		lag:       reg.Gauge("collector_checkpoint_lag_seconds"),
+		fetch:     reg.Histogram("collector_fetch_seconds", obs.DefBuckets),
+	}
+}
+
+// committed records one window [.., to) durably stored: the commit
+// counter, the frontier, and how far the frontier still lags the end
+// of the requested window.
+func (m collectorMetrics) commitWindow(to, end time.Time) {
+	m.committed.Inc()
+	m.frontier.Set(to.Unix())
+	m.lag.Set(int64(end.Sub(to).Seconds()))
 }
 
 // NewCollector builds a collector with the paper's one-minute poll
@@ -101,7 +143,7 @@ func (c *Collector) Run(ctx context.Context, start, end time.Time) (Stats, error
 }
 
 // commitSlice stores one slice's envelopes and folds them into stats.
-func (c *Collector) commitSlice(envs []report.Envelope, seen map[string]bool, stats *Stats) error {
+func (c *Collector) commitSlice(m collectorMetrics, envs []report.Envelope, seen map[string]bool, stats *Stats) error {
 	if bs, ok := c.sink.(BatchSink); ok {
 		if err := bs.PutBatch(envs); err != nil {
 			return fmt.Errorf("feed: store: %w", err)
@@ -114,6 +156,7 @@ func (c *Collector) commitSlice(envs []report.Envelope, seen map[string]bool, st
 		}
 	}
 	stats.Envelopes += len(envs)
+	m.envelopes.Add(int64(len(envs)))
 	for _, env := range envs {
 		if !seen[env.Meta.SHA256] {
 			seen[env.Meta.SHA256] = true
@@ -143,6 +186,7 @@ func (c *Collector) collect(ctx context.Context, start, end time.Time, cursor Cu
 	if c.Workers > 1 {
 		return c.collectConcurrent(ctx, from, end, cursor)
 	}
+	m := c.metrics()
 	seen := make(map[string]bool)
 	for ; from.Before(end); from = from.Add(c.Interval) {
 		if err := ctx.Err(); err != nil {
@@ -152,12 +196,17 @@ func (c *Collector) collect(ctx context.Context, start, end time.Time, cursor Cu
 		if to.After(end) {
 			to = end
 		}
+		m.inflight.Add(1)
+		fetchStart := time.Now()
 		envs, err := c.source.FeedBetween(ctx, from, to)
+		m.fetch.ObserveDuration(time.Since(fetchStart))
+		m.inflight.Add(-1)
 		if err != nil {
 			return stats, fmt.Errorf("feed: poll [%v, %v): %w", from, to, err)
 		}
+		m.fetched.Inc()
 		stats.Polls++
-		if err := c.commitSlice(envs, seen, &stats); err != nil {
+		if err := c.commitSlice(m, envs, seen, &stats); err != nil {
 			return stats, err
 		}
 		if cursor != nil {
@@ -168,6 +217,7 @@ func (c *Collector) collect(ctx context.Context, start, end time.Time, cursor Cu
 				return stats, err
 			}
 		}
+		m.commitWindow(to, end)
 	}
 	return stats, nil
 }
@@ -202,6 +252,7 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	m := c.metrics()
 	type promise chan fetchResult
 	workers := c.Workers
 	// promises delivers per-slice result channels to the committer in
@@ -222,7 +273,12 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 					job.p <- fetchResult{from: job.from, to: job.to, err: err}
 					continue
 				}
+				fetchStart := time.Now()
 				envs, err := c.source.FeedBetween(ctx, job.from, job.to)
+				m.fetch.ObserveDuration(time.Since(fetchStart))
+				if err == nil {
+					m.fetched.Inc()
+				}
 				job.p <- fetchResult{from: job.from, to: job.to, envs: envs, err: err}
 			}
 		}()
@@ -241,6 +297,7 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 			p := make(promise, 1)
 			select {
 			case promises <- p:
+				m.inflight.Add(1)
 			case <-ctx.Done():
 				return
 			}
@@ -255,6 +312,7 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 	seen := make(map[string]bool)
 	for p := range promises {
 		res := <-p
+		m.inflight.Add(-1)
 		if res.err != nil {
 			cancel()
 			if res.err == ctx.Err() {
@@ -263,7 +321,7 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 			return stats, fmt.Errorf("feed: poll [%v, %v): %w", res.from, res.to, res.err)
 		}
 		stats.Polls++
-		if err := c.commitSlice(res.envs, seen, &stats); err != nil {
+		if err := c.commitSlice(m, res.envs, seen, &stats); err != nil {
 			cancel()
 			return stats, err
 		}
@@ -277,6 +335,7 @@ func (c *Collector) collectConcurrent(ctx context.Context, start, end time.Time,
 				return stats, err
 			}
 		}
+		m.commitWindow(res.to, end)
 	}
 	return stats, ctx.Err()
 }

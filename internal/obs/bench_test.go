@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The instrumentation budget: a counter Add must stay in the
+// tens-of-nanoseconds range so hot paths (store Put/Get, per-request
+// HTTP accounting) regress < 3% — the acceptance bar recorded in
+// EXPERIMENTS.md.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", DefBuckets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 10000.0)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", DefBuckets)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 10000.0)
+			i++
+		}
+	})
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("bench_total", "code", "200")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total", "code", "200").Inc()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := goldenRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Exposition: the Prometheus text format (scrapeable, the /metricsz
+// default) and an expvar-style JSON rendering (machine-diffable, used
+// by vtcollect's -metrics dump). Both walk the same sorted snapshot,
+// so series order is deterministic — pinned by the golden test.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every series in the Prometheus text
+// exposition format: families sorted by name with one # TYPE line
+// each, series sorted by label signature, label values escaped, and
+// histogram buckets cumulative with a closing le="+Inf".
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind)
+			lastFamily = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, promLabels(s.labels, "", 0), s.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, promLabels(s.labels, "", 0), s.gauge.Value())
+		case kindHistogram:
+			snap := s.hist.Snapshot()
+			var cum int64
+			for i, bound := range snap.Bounds {
+				cum += snap.Buckets[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, promLabels(s.labels, "le", bound), cum)
+			}
+			cum += snap.Buckets[len(snap.Bounds)]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, promLabels(s.labels, "le", math.Inf(1)), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", s.name, promLabels(s.labels, "", 0), formatFloat(snap.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.name, promLabels(s.labels, "", 0), snap.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// promLabels renders {k="v",...}, optionally appending an le bound
+// (histogram bucket lines). Returns "" for a label-free series.
+func promLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus label-value escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // le -> cumulative count
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object:
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}, keyed by
+// the full series signature. encoding/json sorts map keys, so the
+// output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]jsonHistogram{}
+	for _, s := range r.snapshot() {
+		key := s.name + promLabels(s.labels, "", 0)
+		switch s.kind {
+		case kindCounter:
+			counters[key] = s.counter.Value()
+		case kindGauge:
+			gauges[key] = s.gauge.Value()
+		case kindHistogram:
+			snap := s.hist.Snapshot()
+			jh := jsonHistogram{Count: snap.Count, Sum: snap.Sum, Buckets: map[string]int64{}}
+			var cum int64
+			for i, bound := range snap.Bounds {
+				cum += snap.Buckets[i]
+				jh.Buckets[formatFloat(bound)] = cum
+			}
+			jh.Buckets["+Inf"] = snap.Count
+			hists[key] = jh
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}
+
+// Handler serves the registry: Prometheus text by default,
+// ?format=json for the JSON rendering — the body behind /metricsz.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Summary renders non-zero counters and gauges as a single
+// "name{labels}=value ..." line — the final stats line vtstore and
+// vtanalyze print after a run.
+func (r *Registry) Summary() string {
+	var parts []string
+	for _, s := range r.snapshot() {
+		switch s.kind {
+		case kindCounter:
+			if v := s.counter.Value(); v != 0 {
+				parts = append(parts, fmt.Sprintf("%s%s=%d", s.name, promLabels(s.labels, "", 0), v))
+			}
+		case kindGauge:
+			if v := s.gauge.Value(); v != 0 {
+				parts = append(parts, fmt.Sprintf("%s%s=%d", s.name, promLabels(s.labels, "", 0), v))
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry exercising every exposition
+// feature: label-free and multi-label series, label values needing
+// every escape, interleaved family names (sorted output), and a
+// histogram whose buckets must render cumulatively.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("api_requests_total", "endpoint", "report", "code", "200").Add(42)
+	r.Counter("api_requests_total", "endpoint", "report", "code", "500").Add(3)
+	r.Counter("api_requests_total", "endpoint", "feed", "code", "200").Add(17)
+	r.Counter("zuletzt_total").Add(1)
+	r.Gauge("collector_inflight_slices").Set(4)
+	r.Counter("weird_label_total", "path", "a\\b \"quoted\"\nnewline").Inc()
+	h := r.Histogram("api_request_seconds", []float64{0.001, 0.01, 0.1, 1}, "endpoint", "report")
+	for _, v := range []float64{0.0005, 0.0005, 0.002, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden pins the text exposition byte for byte against
+// the committed fixture: series sorting, # TYPE placement, label
+// escaping, float formatting, and the histogram bucket layout are all
+// format contract, not implementation detail.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusFormatInvariants checks structural properties of the
+// rendered text independent of the fixture: every histogram's bucket
+// counts are nondecreasing in le order, end at le="+Inf", and the
+// +Inf cumulative equals the _count line.
+func TestPrometheusFormatInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		lastName    string
+		lastCum     int64
+		sawInf      bool
+		infCum      int64
+		names       []string
+		bucketCount int
+	)
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.Fields(line)[2])
+			continue
+		}
+		// Split on the final space: label values may contain spaces.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		fields := [2]string{line[:cut], line[cut+1:]}
+		if strings.Contains(fields[0], "_bucket{") {
+			bucketCount++
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", fields[1], err)
+			}
+			name := fields[0][:strings.Index(fields[0], "{")]
+			if name != lastName {
+				lastName, lastCum = name, 0
+			}
+			if v < lastCum {
+				t.Fatalf("bucket counts decreased on %q: %d < %d", line, v, lastCum)
+			}
+			lastCum = v
+			if strings.Contains(fields[0], `le="+Inf"`) {
+				sawInf, infCum = true, v
+			}
+		}
+		if strings.HasSuffix(strings.SplitN(fields[0], "{", 2)[0], "_count") {
+			v, _ := strconv.ParseInt(fields[1], 10, 64)
+			if v != infCum {
+				t.Fatalf("_count %d != +Inf cumulative %d", v, infCum)
+			}
+		}
+	}
+	if !sawInf || bucketCount == 0 {
+		t.Fatal("no histogram buckets rendered")
+	}
+	// Family names must appear in sorted order exactly once.
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("TYPE lines out of order: %v", names)
+		}
+	}
+}

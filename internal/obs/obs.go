@@ -1,0 +1,288 @@
+// Package obs is the dependency-free metrics layer: atomic counters,
+// gauges, and fixed-bucket histograms behind a named registry, with
+// Prometheus-text and expvar-style JSON exposition.
+//
+// The paper's 14-month campaign lived on operational metrics — feed
+// lag, reports/minute, storage growth (Table 2) — and the ROADMAP's
+// production-scale service needs the same numbers exported at runtime
+// rather than recomputed in tests. Every hot component (vtapi,
+// vtclient, feed.Collector, store, vtsim) instruments itself against
+// a Registry; cmd/vtsimd serves the result as GET /metricsz.
+//
+// Design constraints, in order:
+//
+//   - Instrumentation must never become the contention point the
+//     sharding work of earlier PRs removed. Counters and histograms
+//     therefore spread their increments across per-CPU cache-line-
+//     padded cells (selected by the runtime's per-thread fast
+//     random source, math/rand/v2), and reads sum the cells. An
+//     uncontended Add is one atomic add on a private cache line.
+//   - No dependencies beyond the standard library.
+//   - Metrics are facts, not decoration: the cross-cutting invariant
+//     suite in internal/concurrency asserts identities like
+//     api_requests_total == passed + injected against real runs.
+//
+// Lookup by (name, labels) takes a registry read-lock; hot paths
+// resolve their metric pointers once, at construction time, and then
+// pay only the atomic operation per event.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the three metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// series is one registered (name, labels) instance of a metric.
+type series struct {
+	name   string
+	labels []Label
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry (or Default for the shared process-wide registry).
+type Registry struct {
+	mu sync.RWMutex
+	// kinds pins each metric family name to one kind, so a counter
+	// and a gauge can never collide under the same exposition name.
+	kinds  map[string]kind
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  make(map[string]kind),
+		series: make(map[string]*series),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the shared process-wide registry, the one
+// components fall back to when no registry is injected.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating on first use) the counter series for
+// name and the given key/value label pairs.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	s := r.lookup(kindCounter, name, kv, nil)
+	return s.counter
+}
+
+// Gauge returns (creating on first use) the gauge series for name
+// and the given key/value label pairs.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	s := r.lookup(kindGauge, name, kv, nil)
+	return s.gauge
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// name with the given bucket upper bounds (strictly increasing; an
+// implicit +Inf bucket is always appended). Re-registering the same
+// series must use identical buckets.
+func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
+	s := r.lookup(kindHistogram, name, kv, buckets)
+	return s.hist
+}
+
+// lookup finds or creates a series, enforcing name validity and
+// per-name kind consistency. Misuse (bad name, kind clash, bucket
+// clash) is a programming error and panics.
+func (r *Registry) lookup(k kind, name string, kv []string, buckets []float64) *series {
+	labels := labelsFrom(kv)
+	key := seriesKey(name, labels)
+
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if ok {
+		return r.checkExisting(s, k, buckets)
+	}
+
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validMetricName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Key, name))
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		return r.checkExisting(s, k, buckets)
+	}
+	if prev, ok := r.kinds[name]; ok && prev != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, prev, k))
+	}
+	r.kinds[name] = k
+	s = &series{name: name, labels: labels, kind: k}
+	switch k {
+	case kindCounter:
+		s.counter = newCounter()
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = newHistogram(name, buckets)
+	}
+	r.series[key] = s
+	return s
+}
+
+func (r *Registry) checkExisting(s *series, k kind, buckets []float64) *series {
+	if s.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", s.name, s.kind, k))
+	}
+	if k == kindHistogram && !sameBuckets(s.hist.bounds, buckets) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", s.name))
+	}
+	return s
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsFrom turns a flat key/value list into sorted labels.
+func labelsFrom(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	for i := 1; i < len(labels); i++ {
+		if labels[i].Key == labels[i-1].Key {
+			panic(fmt.Sprintf("obs: duplicate label key %q", labels[i].Key))
+		}
+	}
+	return labels
+}
+
+// seriesKey is the registry map key: name plus the sorted labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// validMetricName enforces the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* without pulling in regexp.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot returns every series sorted by (name, label signature) —
+// the exposition order. Values are read after the sort so the text
+// output is as fresh as possible.
+func (r *Registry) snapshot() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey(out[i].name, out[i].labels) < seriesKey(out[j].name, out[j].labels)
+	})
+	return out
+}
+
+// SumCounters sums every counter series sharing a family name —
+// e.g. api_requests_total across all endpoint/code label values. It
+// returns 0 for unknown names.
+func (r *Registry) SumCounters(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, s := range r.series {
+		if s.kind == kindCounter && s.name == name {
+			total += s.counter.Value()
+		}
+	}
+	return total
+}
+
+// SumGauges sums every gauge series sharing a family name.
+func (r *Registry) SumGauges(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, s := range r.series {
+		if s.kind == kindGauge && s.name == name {
+			total += s.gauge.Value()
+		}
+	}
+	return total
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAddAndValue(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "code", "200")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	// Same (name, labels) returns the same series.
+	if r.Counter("requests_total", "code", "200") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	// Different label value is a different series.
+	if r.Counter("requests_total", "code", "404") == c {
+		t.Fatal("distinct label values shared a series")
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m_total", "b", "2", "a", "1")
+	b := r.Counter("m_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// le boundaries are inclusive: 0.1 lands in the first bucket.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if snap.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, snap.Buckets[i], n, snap.Buckets)
+		}
+	}
+	if snap.Count != 5 {
+		t.Fatalf("Count = %d, want 5", snap.Count)
+	}
+	if diff := snap.Sum - 102.65; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Sum = %v, want 102.65", snap.Sum)
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Fatalf("Count after ObserveDuration = %d", h.Count())
+	}
+}
+
+// TestHistogramCumulativityInvariant checks the le invariant the
+// exposition relies on: cumulative bucket counts are nondecreasing
+// and the +Inf bucket equals the total count.
+func TestHistogramCumulativityInvariant(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", DefBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%37) / 100.0)
+	}
+	snap := h.Snapshot()
+	var cum, prev int64
+	for _, n := range snap.Buckets {
+		if n < 0 {
+			t.Fatalf("negative bucket count %d", n)
+		}
+		cum += n
+		if cum < prev {
+			t.Fatalf("cumulative counts decreased: %d < %d", cum, prev)
+		}
+		prev = cum
+	}
+	if cum != snap.Count || cum != 1000 {
+		t.Fatalf("+Inf cumulative = %d, Count = %d, want 1000", cum, snap.Count)
+	}
+}
+
+func TestSumCountersAcrossLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("api_requests_total", "code", "200").Add(10)
+	r.Counter("api_requests_total", "code", "500").Add(3)
+	r.Counter("other_total").Add(99)
+	if got := r.SumCounters("api_requests_total"); got != 13 {
+		t.Fatalf("SumCounters = %d, want 13", got)
+	}
+	if got := r.SumCounters("missing_total"); got != 0 {
+		t.Fatalf("SumCounters(missing) = %d, want 0", got)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	r.Gauge("m_total")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1leading", "has-dash", "has space", "emojiüŸ"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestHistogramBucketClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{1, 3})
+}
+
+func TestCountBuckets(t *testing.T) {
+	got := CountBuckets(8)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("CountBuckets(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountBuckets(8) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSummaryListsNonZeroSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Counter("zero_total")
+	r.Gauge("g", "k", "v").Set(5)
+	s := r.Summary()
+	if !strings.Contains(s, "a_total=2") || !strings.Contains(s, `g{k="v"}=5`) {
+		t.Fatalf("Summary = %q", s)
+	}
+	if strings.Contains(s, "zero_total") {
+		t.Fatalf("Summary includes zero series: %q", s)
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"c_total":3`, `"counters"`, `"histograms"`, `"+Inf":1`, `"1":1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON %q missing %q", out, want)
+		}
+	}
+}

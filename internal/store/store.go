@@ -59,11 +59,51 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 )
 
 // ErrUnknownSample is returned by Get for hashes never stored.
 var ErrUnknownSample = errors.New("store: unknown sample")
+
+// storeMetrics caches the store's series so the ingest and read hot
+// paths never touch the registry map. The cache counters satisfy
+// store_cache_hits_total + store_cache_misses_total ==
+// store_gets_total — checked by the invariant suite.
+type storeMetrics struct {
+	putCalls    *obs.Counter
+	putRows     *obs.Counter
+	rawBytes    *obs.Counter
+	storedBytes *obs.Counter
+	blocksCut   *obs.Counter
+
+	gets           *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	dedup          *obs.Counter
+	indexedMonths  *obs.Counter
+	fallbackMonths *obs.Counter
+	blockDecodes   *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		putCalls:       reg.Counter("store_put_calls_total"),
+		putRows:        reg.Counter("store_put_rows_total"),
+		rawBytes:       reg.Counter("store_raw_bytes_total"),
+		storedBytes:    reg.Counter("store_stored_bytes_total"),
+		blocksCut:      reg.Counter("store_blocks_cut_total"),
+		gets:           reg.Counter("store_gets_total"),
+		cacheHits:      reg.Counter("store_cache_hits_total"),
+		cacheMisses:    reg.Counter("store_cache_misses_total"),
+		cacheEvictions: reg.Counter("store_cache_evictions_total"),
+		dedup:          reg.Counter("store_singleflight_dedup_total"),
+		indexedMonths:  reg.Counter("store_get_indexed_months_total"),
+		fallbackMonths: reg.Counter("store_get_fallback_months_total"),
+		blockDecodes:   reg.Counter("store_block_decodes_total"),
+	}
+}
 
 // indexShards is the sample-index shard count (power of two).
 const indexShards = 32
@@ -73,6 +113,10 @@ const indexShards = 32
 // locking scheme.
 type Store struct {
 	dir string
+
+	// reg receives the store's instrumentation; m caches its series.
+	reg *obs.Registry
+	m   *storeMetrics
 
 	// blockSize is the target uncompressed bytes per gzip block.
 	blockSize int
@@ -116,6 +160,14 @@ func WithBlockSize(n int) Option {
 // 0 disables caching entirely (every Get decodes from disk).
 func WithCacheSize(n int) Option {
 	return func(s *Store) { s.cacheSize = n }
+}
+
+// WithMetrics routes the store's instrumentation (puts, bytes raw and
+// compressed, cache hits/misses/evictions, singleflight dedups,
+// indexed-vs-fallback reads, block decodes) into reg instead of the
+// process-wide default registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Store) { s.reg = reg }
 }
 
 // index returns the month's block index, or nil when the month is
@@ -246,6 +298,8 @@ type partWriter struct {
 	// sidecar format (then new blocks go unindexed and the month keeps
 	// using the fallback scan until Reindex).
 	idx *partIndex
+	// m is the owning store's metrics (blocks cut, compressed bytes).
+	m *storeMetrics
 
 	// Current (pending) block; gz == nil between members.
 	gz            *gzip.Writer
@@ -295,6 +349,8 @@ func (w *partWriter) cutBlockLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	end := w.base + w.counter.n
+	w.m.blocksCut.Inc()
+	w.m.storedBytes.Add(end - w.blockStart)
 	if w.idx != nil {
 		w.idx.appendBlock(blockMeta{
 			Offset: w.blockStart,
@@ -337,7 +393,19 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	s.m = newStoreMetrics(s.reg)
 	s.cache = newHistoryCache(s.cacheSize)
+	if s.cache != nil {
+		s.cache.m = cacheMetrics{
+			hits:      s.m.cacheHits,
+			misses:    s.m.cacheMisses,
+			evictions: s.m.cacheEvictions,
+			dedup:     s.m.dedup,
+		}
+	}
 	for i := range s.shards {
 		s.shards[i].samples = make(map[string]report.SampleMeta)
 		s.shards[i].months = make(map[string]map[string]bool)
@@ -541,6 +609,7 @@ func encodeEnvelope(env report.Envelope) (encoded, error) {
 // Put stores one envelope: the scan row goes to its month partition
 // and the sample metadata snapshot is updated.
 func (s *Store) Put(env report.Envelope) error {
+	s.m.putCalls.Inc()
 	enc, err := encodeEnvelope(env)
 	if err != nil {
 		return err
@@ -558,6 +627,7 @@ func (s *Store) Put(env report.Envelope) error {
 // order, so a single-committer caller produces byte-identical
 // partitions regardless of how the batch was assembled.
 func (s *Store) PutBatch(envs []report.Envelope) error {
+	s.m.putCalls.Inc()
 	if len(envs) == 0 {
 		return nil
 	}
@@ -620,6 +690,8 @@ func (s *Store) indexEncoded(enc encoded) {
 
 // accountRows folds rows into the month's Table 2 accounting.
 func (s *Store) accountRows(month string, rows int, raw int64) {
+	s.m.putRows.Add(int64(rows))
+	s.m.rawBytes.Add(raw)
 	s.smu.Lock()
 	st, ok := s.stats[month]
 	if !ok {
@@ -682,6 +754,7 @@ func (s *Store) writer(month string) (*partWriter, error) {
 		base:        base,
 		blockSize:   s.blockSize,
 		pendingShas: make(map[string]int),
+		m:           s.m,
 	}
 	// Attach the month's block index. A fresh partition starts one; an
 	// existing partition continues its index only if that index covers
@@ -877,7 +950,11 @@ func (s *Store) snapshotSamples() map[string]report.SampleMeta {
 // Results are served through the history cache when enabled; the
 // returned history is always the caller's to mutate.
 func (s *Store) Get(sha string) (*report.History, error) {
+	s.m.gets.Inc()
 	if s.cache == nil {
+		// No cache: every Get is a miss so the hits+misses==gets
+		// identity holds regardless of configuration.
+		s.m.cacheMisses.Inc()
 		return s.getUncached(sha)
 	}
 	return s.cache.get(sha, s.getUncached)
@@ -955,10 +1032,12 @@ func (s *Store) readMonthRows(month, sha string) ([]*report.ScanReport, error) {
 	path := s.partPath(month)
 	var out []*report.ScanReport
 	if ix := s.index(month); ix != nil {
+		s.m.indexedMonths.Inc()
 		blocks := ix.blocksFor(sha)
 		if len(blocks) == 0 {
 			return nil, nil
 		}
+		s.m.blockDecodes.Add(int64(len(blocks)))
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -975,6 +1054,7 @@ func (s *Store) readMonthRows(month, sha string) ([]*report.ScanReport, error) {
 		}
 		return out, nil
 	}
+	s.m.fallbackMonths.Inc()
 	err := s.scanPartition(path, func(row scanRow, _ int) {
 		if row.SHA == sha {
 			out = append(out, rowToReport(row))

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sync"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/xrand"
 )
 
@@ -25,62 +26,59 @@ type FaultConfig struct {
 	Seed int64
 }
 
-// faultInjector decides per request whether to fail it.
+// faultInjector decides per request whether to fail it. Outcomes are
+// exported as api_faults_total{kind} — the counters tests and
+// operators read; the invariant suite checks them against
+// api_requests_total.
 type faultInjector struct {
 	cfg FaultConfig
 
 	mu  sync.Mutex
 	rng *xrand.Rand
-	// counters for observability in tests.
-	injected500 int
-	injected503 int
-	passed      int
+
+	injected500 *obs.Counter
+	injected503 *obs.Counter
+	passed      *obs.Counter
 }
 
 // WithFaults installs the fault injector. Faults fire before auth —
 // like infrastructure failing in front of the application — so a
 // failed request consumes no API-key quota.
 func WithFaults(cfg FaultConfig) Option {
-	return func(s *Server) {
-		s.faults = &faultInjector{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	return func(s *Server) { s.faultCfg = &cfg }
+}
+
+func newFaultInjector(cfg FaultConfig, reg *obs.Registry) *faultInjector {
+	return &faultInjector{
+		cfg:         cfg,
+		rng:         xrand.New(cfg.Seed),
+		injected500: reg.Counter("api_faults_total", "kind", "injected_500"),
+		injected503: reg.Counter("api_faults_total", "kind", "injected_503"),
+		passed:      reg.Counter("api_faults_total", "kind", "passed"),
 	}
 }
 
 // intercept returns true when it already wrote a failure response.
+// The caller has already filtered the exempt operational endpoints.
 func (f *faultInjector) intercept(w http.ResponseWriter, r *http.Request) bool {
-	if r.URL.Path == "/healthz" {
-		return false
-	}
 	f.mu.Lock()
 	fail500 := f.rng.Bool(f.cfg.Error500Rate)
 	fail503 := !fail500 && f.rng.Bool(f.cfg.Error503Rate)
-	switch {
-	case fail500:
-		f.injected500++
-	case fail503:
-		f.injected503++
-	default:
-		f.passed++
-	}
 	f.mu.Unlock()
 	switch {
 	case fail500:
+		f.injected500.Inc()
 		writeError(w, http.StatusInternalServerError, "TransientError",
 			"injected internal error")
 		return true
 	case fail503:
+		f.injected503.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "ServiceUnavailableError",
 			"injected load shedding")
 		return true
 	default:
+		f.passed.Inc()
 		return false
 	}
-}
-
-// Counts reports how many requests were failed vs passed (for tests).
-func (f *faultInjector) Counts() (injected500, injected503, passed int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.injected500, f.injected503, f.passed
 }

@@ -1,0 +1,84 @@
+package vtapi_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/obs"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtsim"
+)
+
+// TestMetricszEndpoint scrapes /metricsz after real traffic: the
+// text form must carry the request counters and latency histogram,
+// the JSON form must be selectable, and the scrape itself must never
+// appear in api_requests_total (it is exempt from accounting).
+func TestMetricszEndpoint(t *testing.T) {
+	set, err := engine.NewSet(engine.DefaultRoster(), 42,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	svc := vtsim.NewService(set, simclock.NewSim(simclock.CollectionStart),
+		vtsim.WithMetrics(reg))
+	srv := httptest.NewServer(vtapi.NewServer(svc, nil, vtapi.WithMetrics(reg)))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Drive one known request (a 404 report lookup) through the
+	// counted pipeline, plus several scrapes that must not count.
+	if code, _ := get("/api/v3/files/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("report lookup = %d, want 404", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code, _ := get("/metricsz"); code != http.StatusOK {
+			t.Fatalf("metricsz = %d", code)
+		}
+	}
+
+	code, text := get("/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE api_requests_total counter",
+		`api_requests_total{code="404",endpoint="report"} 1`,
+		"# TYPE api_request_seconds histogram",
+		`api_request_seconds_count{endpoint="report"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if reg.SumCounters("api_requests_total") != 1 {
+		t.Errorf("metricsz scrapes leaked into api_requests_total: %d",
+			reg.SumCounters("api_requests_total"))
+	}
+
+	code, jsonBody := get("/metricsz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz json = %d", code)
+	}
+	if !strings.Contains(jsonBody, `"counters"`) || !strings.Contains(jsonBody, "api_requests_total") {
+		t.Errorf("json exposition malformed: %s", jsonBody)
+	}
+}

@@ -6,6 +6,7 @@
 //	POST /api/v3/files/{id}/analyse    rescan an existing file
 //	GET  /api/v3/feed/reports          premium feed slice (?from=&to=, Unix seconds)
 //	GET  /healthz                      liveness
+//	GET  /metricsz                     metrics (Prometheus text; ?format=json)
 //
 // Responses use the VT-v3-style JSON envelope from internal/report;
 // errors use VT's {"error": {"code", "message"}} shape. Because the
@@ -20,8 +21,10 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/vtsim"
 )
@@ -45,11 +48,21 @@ type apiError struct {
 
 // Server wraps a vtsim.Service with the HTTP surface.
 type Server struct {
-	svc    *vtsim.Service
-	mux    *http.ServeMux
-	log    *log.Logger
-	auth   *auth
-	faults *faultInjector
+	svc      *vtsim.Service
+	mux      *http.ServeMux
+	log      *log.Logger
+	auth     *auth
+	faults   *faultInjector
+	faultCfg *FaultConfig
+	reg      *obs.Registry
+	latency  map[string]*obs.Histogram
+}
+
+// WithMetrics routes the server's instrumentation (per-endpoint
+// request counts and latency, fault-injector outcomes) into reg
+// instead of the process-wide default registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
 }
 
 // NewServer builds the HTTP surface over the service. logger may be
@@ -60,6 +73,20 @@ func NewServer(svc *vtsim.Service, logger *log.Logger, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	// The fault injector is wired after the options so WithFaults and
+	// WithMetrics compose in either order.
+	if s.faultCfg != nil {
+		s.faults = newFaultInjector(*s.faultCfg, s.reg)
+	}
+	// Latency histograms are per endpoint (no status label), so the
+	// handful of series can be resolved once, not per request.
+	s.latency = make(map[string]*obs.Histogram, len(endpoints))
+	for _, ep := range endpoints {
+		s.latency[ep] = s.reg.Histogram("api_request_seconds", obs.DefBuckets, "endpoint", ep)
+	}
 	s.mux.HandleFunc("POST /api/v3/files", s.handleUpload)
 	s.mux.HandleFunc("GET /api/v3/files/{id}", s.handleReport)
 	s.mux.HandleFunc("POST /api/v3/files/{id}/analyse", s.handleRescan)
@@ -68,21 +95,76 @@ func NewServer(svc *vtsim.Service, logger *log.Logger, opts ...Option) *Server {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.Handle("GET /metricsz", s.reg.Handler())
 	return s
 }
+
+// endpoints are the label values api_requests_total/api_request_seconds
+// partition the surface into.
+var endpoints = []string{"upload", "report", "rescan", "feed", "other"}
+
+// endpointOf maps a request onto its metrics label without consulting
+// the mux (the request may never reach it).
+func endpointOf(r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case path == "/api/v3/files" && r.Method == http.MethodPost:
+		return "upload"
+	case path == "/api/v3/feed/reports":
+		return "feed"
+	case strings.HasPrefix(path, "/api/v3/files/"):
+		if strings.HasSuffix(path, "/analyse") && r.Method == http.MethodPost {
+			return "rescan"
+		}
+		return "report"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// exempt marks the operational endpoints that bypass faults, auth,
+// and request accounting — probes and scrapes must always work, and
+// keeping them out of api_requests_total preserves the identity
+// api_requests_total == api_faults_total{passed + injected}.
+func exempt(path string) bool { return path == "/healthz" || path == "/metricsz" }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.log != nil {
 		s.log.Printf("%s %s", r.Method, r.URL.Path)
 	}
-	// Injected faults fire first, like infrastructure failing in
-	// front of the application; /healthz is exempt from both faults
-	// and auth so orchestration can always probe it.
+	if exempt(r.URL.Path) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	endpoint := endpointOf(r)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.serveCounted(sw, r)
+	s.latency[endpoint].ObserveDuration(time.Since(start))
+	s.reg.Counter("api_requests_total",
+		"endpoint", endpoint, "code", strconv.Itoa(sw.status)).Inc()
+}
+
+// serveCounted is the faults → auth → mux pipeline every counted
+// request flows through. Injected faults fire first, like
+// infrastructure failing in front of the application.
+func (s *Server) serveCounted(w http.ResponseWriter, r *http.Request) {
 	if s.faults != nil && s.faults.intercept(w, r) {
 		return
 	}
-	if s.auth != nil && r.URL.Path != "/healthz" {
+	if s.auth != nil {
 		if !s.auth.check(w, r) {
 			return
 		}

@@ -1,0 +1,104 @@
+package vtclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/obs"
+)
+
+// TestRetryAfterMetricsTable pins the 429/Retry-After contract with
+// the counters as evidence: an in-cap hint is honored (the wait lands
+// in the wait histogram and the retry counts under reason="429"), an
+// over-cap hint fails fast and counts as capped, and a missing hint
+// fails fast counting nothing.
+func TestRetryAfterMetricsTable(t *testing.T) {
+	cases := []struct {
+		name          string
+		hint          string // Retry-After header on the first response
+		maxRetryAfter time.Duration
+		wantErr       error // nil: the retried request succeeds
+		want429       int64 // client_retries_total{reason="429"}
+		wantCapped    int64 // client_retry_after_capped_total
+		wantWaits     int64 // observations in client_retry_after_wait_seconds
+		minElapsed    time.Duration
+		maxElapsed    time.Duration
+	}{
+		{
+			name: "honored", hint: "1", maxRetryAfter: 2 * time.Second,
+			want429: 1, wantWaits: 1, minElapsed: 900 * time.Millisecond,
+		},
+		{
+			name: "capped", hint: "3600", maxRetryAfter: time.Second,
+			wantErr: ErrQuotaExceeded, wantCapped: 1, maxElapsed: 500 * time.Millisecond,
+		},
+		{
+			name: "no-hint", hint: "", maxRetryAfter: time.Second,
+			wantErr: ErrQuotaExceeded, maxElapsed: 500 * time.Millisecond,
+		},
+	}
+	body := fakeEnvelope(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) == 1 {
+					if tc.hint != "" {
+						w.Header().Set("Retry-After", tc.hint)
+					}
+					http.Error(w, `{"error":{"code":"QuotaExceededError","message":"slow down"}}`, 429)
+					return
+				}
+				w.Write(body)
+			}))
+			defer srv.Close()
+
+			reg := obs.NewRegistry()
+			c := New(srv.URL,
+				WithRetries(2),
+				WithBackoff(time.Millisecond),
+				WithMaxRetryAfter(tc.maxRetryAfter),
+				WithMetrics(reg))
+			start := time.Now()
+			_, err := c.Report(context.Background(), "abc")
+			elapsed := time.Since(start)
+
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("request failed: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.minElapsed > 0 && elapsed < tc.minElapsed {
+				t.Errorf("returned in %v; hint of %ss not honored", elapsed, tc.hint)
+			}
+			if tc.maxElapsed > 0 && elapsed > tc.maxElapsed {
+				t.Errorf("took %v; should have failed fast", elapsed)
+			}
+
+			if got := reg.Counter("client_retries_total", "reason", "429").Value(); got != tc.want429 {
+				t.Errorf("client_retries_total{reason=429} = %d, want %d", got, tc.want429)
+			}
+			if got := reg.Counter("client_retry_after_capped_total").Value(); got != tc.wantCapped {
+				t.Errorf("client_retry_after_capped_total = %d, want %d", got, tc.wantCapped)
+			}
+			waits := reg.Histogram("client_retry_after_wait_seconds", obs.DefBuckets).Snapshot()
+			if waits.Count != tc.wantWaits {
+				t.Errorf("retry-after wait observations = %d, want %d", waits.Count, tc.wantWaits)
+			}
+			if tc.wantWaits > 0 && waits.Sum < 0.9 {
+				t.Errorf("retry-after wait sum = %v s, want ~1s recorded", waits.Sum)
+			}
+			// Exactly one logical request flows through, whatever its
+			// attempt count.
+			if n := reg.Histogram("client_request_attempts", obs.CountBuckets(16)).Count(); n != 1 {
+				t.Errorf("client_request_attempts observations = %d, want 1", n)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"time"
 
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/vtapi"
 )
@@ -46,6 +47,36 @@ type Client struct {
 	apiKey     string
 	// maxRetryAfter caps how long a Retry-After hint is honored.
 	maxRetryAfter time.Duration
+	reg           *obs.Registry
+	m             clientMetrics
+}
+
+// clientMetrics caches the client's series so the request path never
+// touches the registry map. client_attempts_total counts every HTTP
+// request put on the wire — the invariant suite matches it against
+// the server's api_requests_total.
+type clientMetrics struct {
+	attempts         *obs.Counter
+	retryNetwork     *obs.Counter
+	retry5xx         *obs.Counter
+	retry429         *obs.Counter
+	retryAfterCapped *obs.Counter
+	retryAfterWait   *obs.Histogram
+	backoff          *obs.Histogram
+	requestAttempts  *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		attempts:         reg.Counter("client_attempts_total"),
+		retryNetwork:     reg.Counter("client_retries_total", "reason", "network"),
+		retry5xx:         reg.Counter("client_retries_total", "reason", "5xx"),
+		retry429:         reg.Counter("client_retries_total", "reason", "429"),
+		retryAfterCapped: reg.Counter("client_retry_after_capped_total"),
+		retryAfterWait:   reg.Histogram("client_retry_after_wait_seconds", obs.DefBuckets),
+		backoff:          reg.Histogram("client_backoff_seconds", obs.DefBuckets),
+		requestAttempts:  reg.Histogram("client_request_attempts", obs.CountBuckets(16)),
+	}
 }
 
 // Option configures a Client.
@@ -77,6 +108,13 @@ func WithMaxRetryAfter(d time.Duration) Option {
 	return func(c *Client) { c.maxRetryAfter = d }
 }
 
+// WithMetrics routes the client's instrumentation (attempts, retries
+// by reason, backoff and Retry-After waits) into reg instead of the
+// process-wide default registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Client) { c.reg = reg }
+}
+
 // New builds a client for the given base URL (e.g.
 // "http://127.0.0.1:8099").
 func New(base string, opts ...Option) *Client {
@@ -90,6 +128,10 @@ func New(base string, opts ...Option) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.reg == nil {
+		c.reg = obs.Default()
+	}
+	c.m = newClientMetrics(c.reg)
 	return c
 }
 
@@ -143,9 +185,12 @@ func (c *Client) doEnvelope(ctx context.Context, method, path string, body []byt
 // do performs the request with retry on transient failures.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	var lastErr error
+	attemptsUsed := 0
+	defer func() { c.m.requestAttempts.Observe(float64(attemptsUsed)) }()
 	backoff := c.backoff
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
+			c.m.backoff.Observe(backoff.Seconds())
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -153,6 +198,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			}
 			backoff *= 2
 		}
+		attemptsUsed++
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -167,9 +213,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		if c.apiKey != "" {
 			req.Header.Set("x-apikey", c.apiKey)
 		}
+		c.m.attempts.Inc()
 		resp, err := c.httpClient.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("vtclient: %w", err)
+			c.m.retryNetwork.Inc()
 			continue // transient: retry
 		}
 		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
@@ -192,17 +240,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			// count the attempt against the retry budget.
 			wait := retryAfter(resp.Header.Get("Retry-After"))
 			if wait <= 0 || wait > c.maxRetryAfter {
+				if wait > c.maxRetryAfter {
+					c.m.retryAfterCapped.Inc()
+				}
 				return nil, fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
 			}
+			c.m.retryAfterWait.Observe(wait.Seconds())
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-time.After(wait):
 			}
 			lastErr = fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+			c.m.retry429.Inc()
 			continue
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("vtclient: server error %d: %s", resp.StatusCode, apiMessage(data))
+			c.m.retry5xx.Inc()
 			continue // transient: retry
 		default:
 			return nil, fmt.Errorf("vtclient: HTTP %d: %s", resp.StatusCode, apiMessage(data))

@@ -31,10 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"vtdynamics/internal/engine"
+	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/sampleset"
 	"vtdynamics/internal/simclock"
@@ -64,6 +66,31 @@ type Service struct {
 	// short append.
 	feedMu sync.Mutex
 	feed   []report.Envelope
+
+	m simMetrics
+}
+
+// simMetrics caches the service's series; the per-shard occupancy
+// gauges are pre-resolved so the upload path does one gauge add, not
+// a registry lookup.
+type simMetrics struct {
+	scans        *obs.Counter
+	feedAppends  *obs.Counter
+	feedLen      *obs.Gauge
+	shardSamples []*obs.Gauge
+}
+
+func newSimMetrics(reg *obs.Registry, shards int) simMetrics {
+	m := simMetrics{
+		scans:        reg.Counter("sim_scans_total"),
+		feedAppends:  reg.Counter("sim_feed_appends_total"),
+		feedLen:      reg.Gauge("sim_feed_length"),
+		shardSamples: make([]*obs.Gauge, shards),
+	}
+	for i := range m.shardSamples {
+		m.shardSamples[i] = reg.Gauge("sim_shard_samples", "shard", strconv.Itoa(i))
+	}
+	return m
 }
 
 type serviceShard struct {
@@ -82,6 +109,14 @@ type Option func(*serviceConfig)
 
 type serviceConfig struct {
 	shards int
+	reg    *obs.Registry
+}
+
+// WithMetrics routes the service's instrumentation (scans, feed
+// appends and length, per-shard sample occupancy) into reg instead of
+// the process-wide default registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *serviceConfig) { c.reg = reg }
 }
 
 // WithShards sets the sample-map shard count. Values are rounded up
@@ -107,6 +142,11 @@ func NewService(engines *engine.Set, clock simclock.Clock, opts ...Option) *Serv
 	for i := range s.shards {
 		s.shards[i].samples = make(map[string]*sampleState)
 	}
+	reg := cfg.reg
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s.m = newSimMetrics(reg, n)
 	return s
 }
 
@@ -159,12 +199,14 @@ func (s *Service) Upload(req UploadRequest) (report.Envelope, error) {
 	if req.SHA256 == "" {
 		return report.Envelope{}, ErrNoTarget
 	}
-	sh := s.shardFor(req.SHA256)
+	shard := fnv32a(req.SHA256) & s.mask
+	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	now := s.clock.Now()
 	st, ok := sh.samples[req.SHA256]
 	if !ok {
+		s.m.shardSamples[shard].Add(1)
 		st = &sampleState{
 			target: engine.Target{
 				SHA256:        req.SHA256,
@@ -291,6 +333,8 @@ func (s *Service) appendFeed(env report.Envelope) {
 	s.feed = append(s.feed, report.Envelope{})
 	copy(s.feed[i+1:], s.feed[i:])
 	s.feed[i] = env
+	s.m.feedAppends.Inc()
+	s.m.feedLen.Set(int64(len(s.feed)))
 }
 
 // analyzeLocked runs every engine, records the report, and returns
@@ -299,6 +343,7 @@ func (s *Service) appendFeed(env report.Envelope) {
 // are independent clones, so neither callers nor feed readers can
 // alias the stored history.
 func (s *Service) analyzeLocked(st *sampleState, now time.Time) report.Envelope {
+	s.m.scans.Inc()
 	results := s.engines.Scan(st.target, now)
 	scan := &report.ScanReport{
 		SHA256:       st.target.SHA256,
