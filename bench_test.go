@@ -16,7 +16,8 @@
 package vtdynamics_test
 
 import (
-	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -71,15 +72,13 @@ func BenchmarkTable1APIUpdateRules(b *testing.B) {
 func BenchmarkTable2DatasetOverview(b *testing.B) {
 	r := benchRunner(b)
 	for i := 0; i < b.N; i++ {
-		dir, err := os.MkdirTemp("", "vtbench")
-		if err != nil {
-			b.Fatal(err)
-		}
+		// b.TempDir() ties cleanup to the benchmark even on Fatal
+		// paths; per-iteration subdirectories keep runs independent.
+		dir := filepath.Join(b.TempDir(), strconv.Itoa(i))
 		res, err := r.Table2DatasetOverview(dir)
 		if err != nil {
 			b.Fatal(err)
 		}
-		os.RemoveAll(dir)
 		b.ReportMetric(res.CompressionRatio, "compressionX")
 		b.ReportMetric(float64(res.TotalReports), "reports")
 	}

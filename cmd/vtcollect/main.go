@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,37 +30,83 @@ import (
 	"vtdynamics/internal/vtclient"
 )
 
-func main() {
-	var (
-		api      = flag.String("api", "http://127.0.0.1:8099", "VT API base URL")
-		dir      = flag.String("store", "./vtdata", "store directory")
-		fromStr  = flag.String("from", "2021-05-01", "collection start (YYYY-MM-DD)")
-		toStr    = flag.String("to", "2022-07-01", "collection end (YYYY-MM-DD)")
-		interval = flag.Duration("interval", time.Minute, "poll interval")
-		apiKey   = flag.String("apikey", "", "API key (the feed requires a premium-tier key when the server enforces auth)")
-		workers  = flag.Int("workers", 1, "concurrent feed fetches (commits stay in slice order; 1 = the paper's serial loop)")
-		metrics  = flag.Duration("metrics", 0, "dump live metrics to stderr at this period (0 disables)")
-	)
-	flag.Parse()
+// options are the parsed command-line flags.
+type options struct {
+	api      string
+	dir      string
+	from, to time.Time
+	interval time.Duration
+	apiKey   string
+	workers  int
+	metrics  time.Duration
+}
 
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vtcollect", flag.ContinueOnError)
+	var (
+		api      = fs.String("api", "http://127.0.0.1:8099", "VT API base URL")
+		dir      = fs.String("store", "./vtdata", "store directory")
+		fromStr  = fs.String("from", "2021-05-01", "collection start (YYYY-MM-DD)")
+		toStr    = fs.String("to", "2022-07-01", "collection end (YYYY-MM-DD)")
+		interval = fs.Duration("interval", time.Minute, "poll interval")
+		apiKey   = fs.String("apikey", "", "API key (the feed requires a premium-tier key when the server enforces auth)")
+		workers  = fs.Int("workers", 1, "concurrent feed fetches (commits stay in slice order; 1 = the paper's serial loop)")
+		metrics  = fs.Duration("metrics", 0, "dump live metrics to stderr at this period (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 	from, err := time.Parse("2006-01-02", *fromStr)
 	if err != nil {
-		fatal(fmt.Errorf("bad -from: %w", err))
+		return nil, fmt.Errorf("bad -from: %w", err)
 	}
 	to, err := time.Parse("2006-01-02", *toStr)
 	if err != nil {
-		fatal(fmt.Errorf("bad -to: %w", err))
+		return nil, fmt.Errorf("bad -to: %w", err)
+	}
+	if !from.Before(to) {
+		return nil, fmt.Errorf("-from %s is not before -to %s", *fromStr, *toStr)
+	}
+	if *interval <= 0 {
+		return nil, fmt.Errorf("bad -interval %v: want > 0", *interval)
+	}
+	if *workers < 1 {
+		return nil, fmt.Errorf("bad -workers %d: want >= 1", *workers)
+	}
+	return &options{
+		api:      *api,
+		dir:      *dir,
+		from:     from.UTC(),
+		to:       to.UTC(),
+		interval: *interval,
+		apiKey:   *apiKey,
+		workers:  *workers,
+		metrics:  *metrics,
+	}, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fatal(err)
 	}
 
-	st, err := store.Open(*dir)
+	st, err := store.Open(opts.dir)
 	if err != nil {
 		fatal(err)
 	}
 	var copts []vtclient.Option
-	if *apiKey != "" {
-		copts = append(copts, vtclient.WithAPIKey(*apiKey))
+	if opts.apiKey != "" {
+		copts = append(copts, vtclient.WithAPIKey(opts.apiKey))
 	}
-	client := vtclient.New(*api, copts...)
+	client := vtclient.New(opts.api, copts...)
 
 	// The store commits whole slices at once (BatchSink); -workers
 	// overlaps the HTTP fetch latency while commits and checkpoints
@@ -70,15 +117,15 @@ func main() {
 		}),
 		st,
 	)
-	collector.Interval = *interval
-	collector.Workers = *workers
+	collector.Interval = opts.interval
+	collector.Workers = opts.workers
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *metrics > 0 {
+	if opts.metrics > 0 {
 		go func() {
-			ticker := time.NewTicker(*metrics)
+			ticker := time.NewTicker(opts.metrics)
 			defer ticker.Stop()
 			for {
 				select {
@@ -97,8 +144,8 @@ func main() {
 	// before each checkpoint advances — the cursor never claims
 	// slices that could be lost in a crash, and unlike a full Flush
 	// the partition writers stay open across checkpoints.
-	cursor := &feed.FileCursor{Path: filepath.Join(*dir, "collect.cursor")}
-	stats, err := collector.RunResumable(ctx, from.UTC(), to.UTC(), cursor)
+	cursor := &feed.FileCursor{Path: filepath.Join(opts.dir, "collect.cursor")}
+	stats, err := collector.RunResumable(ctx, opts.from, opts.to, cursor)
 	if cerr := st.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -109,7 +156,7 @@ func main() {
 		fmt.Printf("%s  reports %8d  stored %10d B  raw %12d B  (%.2fx)\n",
 			month, ps.Reports, ps.StoredBytes, ps.RawBytes, ps.CompressionRatio())
 	}
-	if *metrics > 0 {
+	if opts.metrics > 0 {
 		fmt.Fprintln(os.Stderr, "vtcollect metrics:", obs.Default().Summary())
 	}
 	if err != nil {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		check   func(t *testing.T, o *options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.api != "http://127.0.0.1:8099" || o.dir != "./vtdata" {
+					t.Errorf("defaults = %+v", o)
+				}
+				if o.interval != time.Minute || o.workers != 1 || o.metrics != 0 {
+					t.Errorf("defaults = %+v", o)
+				}
+				if !o.from.Equal(time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)) {
+					t.Errorf("default from = %v", o.from)
+				}
+				if !o.to.Equal(time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)) {
+					t.Errorf("default to = %v", o.to)
+				}
+			},
+		},
+		{
+			name: "everything set",
+			args: []string{"-api", "http://x:1", "-store", "/tmp/s", "-from", "2021-06-01",
+				"-to", "2021-07-01", "-interval", "5m", "-apikey", "k", "-workers", "8", "-metrics", "10s"},
+			check: func(t *testing.T, o *options) {
+				if o.api != "http://x:1" || o.dir != "/tmp/s" || o.apiKey != "k" {
+					t.Errorf("parsed = %+v", o)
+				}
+				if o.interval != 5*time.Minute || o.workers != 8 || o.metrics != 10*time.Second {
+					t.Errorf("parsed = %+v", o)
+				}
+			},
+		},
+		{name: "bad from", args: []string{"-from", "yesterday"}, wantErr: true},
+		{name: "bad to", args: []string{"-to", "2022-13-01"}, wantErr: true},
+		{name: "from after to", args: []string{"-from", "2022-07-01", "-to", "2021-05-01"}, wantErr: true},
+		{name: "zero interval", args: []string{"-interval", "0s"}, wantErr: true},
+		{name: "zero workers", args: []string{"-workers", "0"}, wantErr: true},
+		{name: "stray positional", args: []string{"extra"}, wantErr: true},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := parseFlags(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parse accepted %v: %+v", c.args, opts)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.check(t, opts)
+		})
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

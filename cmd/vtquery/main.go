@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,31 +28,60 @@ import (
 	"vtdynamics/internal/store"
 )
 
-func main() {
+// options are the parsed command-line flags.
+type options struct {
+	dir    string
+	sha    string
+	t      int
+	timing bool
+}
+
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vtquery", flag.ContinueOnError)
 	var (
-		dir    = flag.String("store", "./vtdata", "store directory")
-		sha    = flag.String("sha", "", "sample sha256 (required)")
-		t      = flag.Int("t", 5, "labeling threshold for the category/stabilization summary")
-		timing = flag.Bool("timing", false, "report cold (disk) and hot (cached) lookup latency")
+		dir    = fs.String("store", "./vtdata", "store directory")
+		sha    = fs.String("sha", "", "sample sha256 (required)")
+		t      = fs.Int("t", 5, "labeling threshold for the category/stabilization summary")
+		timing = fs.Bool("timing", false, "report cold (disk) and hot (cached) lookup latency")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 	if *sha == "" {
-		fatal(fmt.Errorf("-sha is required"))
+		return nil, fmt.Errorf("-sha is required")
+	}
+	if *t < 1 {
+		return nil, fmt.Errorf("bad -t %d: want >= 1", *t)
+	}
+	return &options{dir: *dir, sha: *sha, t: *t, timing: *timing}, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fatal(err)
 	}
 
-	st, err := store.Open(*dir)
+	st, err := store.Open(opts.dir)
 	if err != nil {
 		fatal(err)
 	}
 	coldStart := time.Now()
-	h, err := st.Get(*sha)
+	h, err := st.Get(opts.sha)
 	cold := time.Since(coldStart)
 	if err != nil {
 		fatal(err)
 	}
-	if *timing {
+	if opts.timing {
 		hotStart := time.Now()
-		if _, err := st.Get(*sha); err != nil {
+		if _, err := st.Get(opts.sha); err != nil {
 			fatal(err)
 		}
 		hot := time.Since(hotStart)
@@ -89,11 +119,11 @@ func main() {
 		fmt.Println("  family: (none / singleton)")
 	}
 
-	sum := core.Summarize(h, *t)
+	sum := core.Summarize(h, opts.t)
 	fmt.Printf("  class: %s (Δ = %d, final rank %d, span %.1f d)\n",
 		sum.Class, sum.Delta, sum.FinalRank, sum.Span.Hours()/24)
 	if series.Len() >= 2 {
-		fmt.Printf("  category at t=%d: %s\n", *t, sum.Category)
+		fmt.Printf("  category at t=%d: %s\n", opts.t, sum.Category)
 		if sum.RankStable.Stable {
 			fmt.Printf("  AV-Rank stabilized at scan %d (%.1f days after first scan)\n",
 				sum.RankStable.Index+1, sum.RankStable.TimeToStability.Hours()/24)
@@ -101,9 +131,9 @@ func main() {
 			fmt.Println("  AV-Rank not yet stable")
 		}
 		if sum.LabelStable.Stable {
-			fmt.Printf("  label (t=%d) stabilized at scan %d\n", *t, sum.LabelStable.Index+1)
+			fmt.Printf("  label (t=%d) stabilized at scan %d\n", opts.t, sum.LabelStable.Index+1)
 		} else {
-			fmt.Printf("  label (t=%d) not yet stable\n", *t)
+			fmt.Printf("  label (t=%d) not yet stable\n", opts.t)
 		}
 		fmt.Printf("  engine flips: %d up, %d down across %d engines\n",
 			sum.Flips.Up, sum.Flips.Down, sum.FlippingEngines)

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		want    options
+	}{
+		{
+			name: "minimal",
+			args: []string{"-sha", "abc"},
+			want: options{dir: "./vtdata", sha: "abc", t: 5},
+		},
+		{
+			name: "everything set",
+			args: []string{"-store", "/tmp/s", "-sha", "abc", "-t", "10", "-timing"},
+			want: options{dir: "/tmp/s", sha: "abc", t: 10, timing: true},
+		},
+		{name: "missing sha", args: nil, wantErr: true},
+		{name: "zero threshold", args: []string{"-sha", "abc", "-t", "0"}, wantErr: true},
+		{name: "stray positional", args: []string{"-sha", "abc", "extra"}, wantErr: true},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := parseFlags(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parse accepted %v: %+v", c.args, opts)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *opts != c.want {
+				t.Fatalf("parsed %+v, want %+v", *opts, c.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,23 +35,76 @@ import (
 	"vtdynamics/internal/vtsim"
 )
 
-func main() {
+// options are the parsed command-line flags.
+type options struct {
+	addr       string
+	seed       int64
+	shards     int
+	accel      float64
+	quiet      bool
+	publicKey  string
+	premiumKey string
+	fault500   float64
+	fault503   float64
+}
+
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vtsimd", flag.ContinueOnError)
 	var (
-		addr       = flag.String("addr", ":8099", "listen address")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		shards     = flag.Int("shards", vtsim.DefaultShards, "sample-state shard count (rounded up to a power of two)")
-		accel      = flag.Float64("accel", 0, "virtual-clock acceleration (0 = real clock)")
-		quiet      = flag.Bool("quiet", false, "disable request logging")
-		publicKey  = flag.String("public-key", "", "enable auth: API key on the public tier (4 req/min, 500/day, no feed)")
-		premiumKey = flag.String("premium-key", "", "enable auth: API key on the premium tier (unlimited, feed access)")
-		fault500   = flag.Float64("fault-500", 0, "inject 500s at this rate (chaos testing for clients)")
-		fault503   = flag.Float64("fault-503", 0, "inject 503s with Retry-After at this rate")
+		addr       = fs.String("addr", ":8099", "listen address")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		shards     = fs.Int("shards", vtsim.DefaultShards, "sample-state shard count (rounded up to a power of two)")
+		accel      = fs.Float64("accel", 0, "virtual-clock acceleration (0 = real clock)")
+		quiet      = fs.Bool("quiet", false, "disable request logging")
+		publicKey  = fs.String("public-key", "", "enable auth: API key on the public tier (4 req/min, 500/day, no feed)")
+		premiumKey = fs.String("premium-key", "", "enable auth: API key on the premium tier (unlimited, feed access)")
+		fault500   = fs.Float64("fault-500", 0, "inject 500s at this rate (chaos testing for clients)")
+		fault503   = fs.Float64("fault-503", 0, "inject 503s with Retry-After at this rate")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *shards < 1 {
+		return nil, fmt.Errorf("bad -shards %d: want >= 1", *shards)
+	}
+	if *accel < 0 {
+		return nil, fmt.Errorf("bad -accel %v: want >= 0", *accel)
+	}
+	for name, rate := range map[string]float64{"-fault-500": *fault500, "-fault-503": *fault503} {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("bad %s %v: want a probability in [0, 1]", name, rate)
+		}
+	}
+	return &options{
+		addr:       *addr,
+		seed:       *seed,
+		shards:     *shards,
+		accel:      *accel,
+		quiet:      *quiet,
+		publicKey:  *publicKey,
+		premiumKey: *premiumKey,
+		fault500:   *fault500,
+		fault503:   *fault503,
+	}, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "vtsimd:", err)
+		os.Exit(1)
+	}
 
 	var clock simclock.Clock
 	var start, end time.Time
-	if *accel > 0 {
+	if opts.accel > 0 {
 		start, end = simclock.CollectionStart, simclock.CollectionEnd
 		sim := simclock.NewSim(start)
 		clock = sim
@@ -58,7 +112,7 @@ func main() {
 			ticker := time.NewTicker(100 * time.Millisecond)
 			defer ticker.Stop()
 			for range ticker.C {
-				sim.Advance(time.Duration(*accel * float64(100*time.Millisecond)))
+				sim.Advance(time.Duration(opts.accel * float64(100*time.Millisecond)))
 			}
 		}()
 	} else {
@@ -67,44 +121,44 @@ func main() {
 		clock = simclock.Real{}
 	}
 
-	set, err := engine.NewSet(engine.DefaultRoster(), *seed, start, end)
+	set, err := engine.NewSet(engine.DefaultRoster(), opts.seed, start, end)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vtsimd:", err)
 		os.Exit(1)
 	}
-	svc := vtsim.NewService(set, clock, vtsim.WithShards(*shards))
+	svc := vtsim.NewService(set, clock, vtsim.WithShards(opts.shards))
 
 	var logger *log.Logger
-	if !*quiet {
+	if !opts.quiet {
 		logger = log.New(os.Stderr, "vtsimd ", log.LstdFlags)
 	}
-	var opts []vtapi.Option
-	if *fault500 > 0 || *fault503 > 0 {
-		opts = append(opts, vtapi.WithFaults(vtapi.FaultConfig{
-			Error500Rate: *fault500,
-			Error503Rate: *fault503,
-			Seed:         *seed,
+	var apiOpts []vtapi.Option
+	if opts.fault500 > 0 || opts.fault503 > 0 {
+		apiOpts = append(apiOpts, vtapi.WithFaults(vtapi.FaultConfig{
+			Error500Rate: opts.fault500,
+			Error503Rate: opts.fault503,
+			Seed:         opts.seed,
 		}))
-		log.Printf("vtsimd: fault injection enabled (500: %.2f, 503: %.2f)", *fault500, *fault503)
+		log.Printf("vtsimd: fault injection enabled (500: %.2f, 503: %.2f)", opts.fault500, opts.fault503)
 	}
-	if *publicKey != "" || *premiumKey != "" {
+	if opts.publicKey != "" || opts.premiumKey != "" {
 		keys := map[string]vtapi.Tier{}
-		if *publicKey != "" {
-			keys[*publicKey] = vtapi.PublicTier
+		if opts.publicKey != "" {
+			keys[opts.publicKey] = vtapi.PublicTier
 		}
-		if *premiumKey != "" {
-			keys[*premiumKey] = vtapi.PremiumTier
+		if opts.premiumKey != "" {
+			keys[opts.premiumKey] = vtapi.PremiumTier
 		}
-		opts = append(opts, vtapi.WithAuth(clock, keys))
+		apiOpts = append(apiOpts, vtapi.WithAuth(clock, keys))
 		log.Printf("vtsimd: auth enabled (%d keys)", len(keys))
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           vtapi.NewServer(svc, logger, opts...),
+		Addr:              opts.addr,
+		Handler:           vtapi.NewServer(svc, logger, apiOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("vtsimd: %d engines, window %s .. %s, listening on %s (metrics at /metricsz)",
-		set.Len(), start.Format("2006-01-02"), end.Format("2006-01-02"), *addr)
+		set.Len(), start.Format("2006-01-02"), end.Format("2006-01-02"), opts.addr)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal("vtsimd:", err)
 	}

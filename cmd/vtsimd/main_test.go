@@ -1,0 +1,61 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"vtdynamics/internal/vtsim"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		want    options
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: options{addr: ":8099", seed: 1, shards: vtsim.DefaultShards},
+		},
+		{
+			name: "everything set",
+			args: []string{"-addr", "127.0.0.1:0", "-seed", "9", "-shards", "8", "-accel", "600",
+				"-quiet", "-public-key", "pub", "-premium-key", "prem",
+				"-fault-500", "0.1", "-fault-503", "0.2"},
+			want: options{addr: "127.0.0.1:0", seed: 9, shards: 8, accel: 600, quiet: true,
+				publicKey: "pub", premiumKey: "prem", fault500: 0.1, fault503: 0.2},
+		},
+		{name: "zero shards", args: []string{"-shards", "0"}, wantErr: true},
+		{name: "negative accel", args: []string{"-accel", "-1"}, wantErr: true},
+		{name: "fault rate over 1", args: []string{"-fault-500", "1.5"}, wantErr: true},
+		{name: "negative fault rate", args: []string{"-fault-503", "-0.1"}, wantErr: true},
+		{name: "stray positional", args: []string{"extra"}, wantErr: true},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := parseFlags(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parse accepted %v: %+v", c.args, opts)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *opts != c.want {
+				t.Fatalf("parsed %+v, want %+v", *opts, c.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,21 +24,54 @@ import (
 	"vtdynamics/internal/store"
 )
 
-func main() {
-	dir := flag.String("store", "./vtdata", "store directory")
-	workers := flag.Int("workers", 0, "parallel partition readers for stats/verify (0 = all cores)")
-	flag.Parse()
-	cmd := flag.Arg(0)
+// options are the parsed command-line flags and subcommand.
+type options struct {
+	dir     string
+	workers int
+	cmd     string
+}
+
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("vtstore", flag.ContinueOnError)
+	dir := fs.String("store", "./vtdata", "store directory")
+	workers := fs.Int("workers", 0, "parallel partition readers for stats/verify (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	cmd := fs.Arg(0)
 	if cmd == "" {
 		cmd = "stats"
 	}
+	switch cmd {
+	case "stats", "verify", "list", "reindex":
+	default:
+		return nil, fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex)", cmd)
+	}
+	if fs.NArg() > 1 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(1))
+	}
+	if *workers < 0 {
+		return nil, fmt.Errorf("bad -workers %d: want >= 0", *workers)
+	}
+	return &options{dir: *dir, workers: *workers, cmd: cmd}, nil
+}
 
-	st, err := store.Open(*dir)
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fatal(err)
+	}
+
+	st, err := store.Open(opts.dir)
 	if err != nil {
 		fatal(err)
 	}
 
-	switch cmd {
+	switch opts.cmd {
 	case "stats":
 		fmt.Printf("samples: %d\n", st.NumSamples())
 		fmt.Printf("%-10s %10s %14s %14s %8s\n", "month", "reports", "stored", "raw", "ratio")
@@ -50,7 +84,7 @@ func main() {
 		fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
 			"total", total.Reports, total.StoredBytes, total.RawBytes, total.CompressionRatio())
 
-		byType, err := st.StatsByTypeWorkers(*workers)
+		byType, err := st.StatsByTypeWorkers(opts.workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -68,7 +102,7 @@ func main() {
 		}
 
 	case "verify":
-		n, err := st.VerifyWorkers(*workers)
+		n, err := st.VerifyWorkers(opts.workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vtstore: verification FAILED after %d rows: %v\n", n, err)
 			os.Exit(1)
@@ -86,9 +120,6 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("reindexed %d partitions: block-index sidecars written\n", len(st.Months()))
-
-	default:
-		fatal(fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex)", cmd))
 	}
 	if s := obs.Default().Summary(); s != "" {
 		fmt.Fprintln(os.Stderr, "vtstore metrics:", s)

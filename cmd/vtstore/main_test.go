@@ -1,0 +1,64 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		want    options
+	}{
+		{
+			name: "default subcommand is stats",
+			args: nil,
+			want: options{dir: "./vtdata", workers: 0, cmd: "stats"},
+		},
+		{
+			name: "explicit subcommand and flags",
+			args: []string{"-store", "/tmp/s", "-workers", "4", "verify"},
+			want: options{dir: "/tmp/s", workers: 4, cmd: "verify"},
+		},
+		{
+			name: "list",
+			args: []string{"list"},
+			want: options{dir: "./vtdata", cmd: "list"},
+		},
+		{
+			name: "reindex",
+			args: []string{"reindex"},
+			want: options{dir: "./vtdata", cmd: "reindex"},
+		},
+		{name: "unknown subcommand", args: []string{"frobnicate"}, wantErr: true},
+		{name: "two subcommands", args: []string{"stats", "verify"}, wantErr: true},
+		{name: "negative workers", args: []string{"-workers", "-1"}, wantErr: true},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := parseFlags(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parse accepted %v: %+v", c.args, opts)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *opts != c.want {
+				t.Fatalf("parsed %+v, want %+v", *opts, c.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

@@ -1,0 +1,85 @@
+package benchkit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Profile sizes a benchmark run. The smoke profile is small enough to
+// gate every PR in CI; full reproduces the EXPERIMENTS.md scale on a
+// workstation.
+type Profile struct {
+	Name string
+	// Samples is the synthetic population collected by the ingest
+	// pipeline (and backing the read/scan store).
+	Samples int
+	// Workers sizes the collector fetch pool and the scan worker
+	// count.
+	Workers int
+	// Reps is the number of measured repetitions; Warmup repetitions
+	// run first and are discarded.
+	Reps   int
+	Warmup int
+	// Gets is the number of distinct cold lookups per read-cold rep.
+	Gets int
+	// HotSet is the number of distinct hashes cycled by read-hot; it
+	// must fit the history cache so steady state is all hits.
+	HotSet int
+	// HotGets is the number of cache-served lookups per read-hot rep.
+	HotGets int
+	// APIRequests is the number of upload+report round-trip pairs per
+	// api rep (split across the clean and the faulty server).
+	APIRequests int
+	// Interval is the collector poll step over the campaign window.
+	// The paper polled every minute; benchmarks use coarser steps so
+	// the poll count stays proportional to profile size.
+	Interval time.Duration
+}
+
+// Profiles are the named run sizes vtbench accepts.
+var Profiles = map[string]Profile{
+	"smoke": {
+		Name:        "smoke",
+		Samples:     1500,
+		Workers:     8,
+		Reps:        3,
+		Warmup:      1,
+		Gets:        256,
+		HotSet:      16,
+		HotGets:     8192,
+		APIRequests: 120,
+		Interval:    6 * time.Hour,
+	},
+	"full": {
+		Name:        "full",
+		Samples:     20000,
+		Workers:     8,
+		Reps:        7,
+		Warmup:      2,
+		Gets:        1024,
+		HotSet:      16,
+		HotGets:     65536,
+		APIRequests: 1000,
+		Interval:    time.Hour,
+	},
+}
+
+// ProfileByName resolves a profile, erroring with the known names.
+func ProfileByName(name string) (Profile, error) {
+	p, ok := Profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("benchkit: unknown profile %q (have %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// ProfileNames lists the registered profiles, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

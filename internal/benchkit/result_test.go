@@ -1,0 +1,210 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeResult builds a valid record with three reps centered on median.
+func fakeResult(scenario string, seed int64, median int64) *Result {
+	repNS := []int64{median - median/100, median, median + median/100}
+	repOps := []int64{100, 100, 100}
+	return &Result{
+		Schema:   SchemaVersion,
+		Scenario: scenario,
+		Profile:  "smoke",
+		Seed:     seed,
+		Params:   map[string]any{"samples": 1500, "workers": 8},
+		Warmup:   1,
+		RepNS:    repNS,
+		RepOps:   repOps,
+		Stats:    computeStats(repNS, repOps),
+	}
+}
+
+func TestFileNameRoundTrip(t *testing.T) {
+	name := FileName("read-cold")
+	if name != "BENCH_read-cold.json" {
+		t.Fatalf("FileName = %q", name)
+	}
+	sc, ok := ScenarioOf("/some/dir/" + name)
+	if !ok || sc != "read-cold" {
+		t.Fatalf("ScenarioOf = %q, %v", sc, ok)
+	}
+	if _, ok := ScenarioOf("README.md"); ok {
+		t.Fatal("ScenarioOf accepted a non-BENCH file")
+	}
+	if _, ok := ScenarioOf("BENCH_x.txt"); ok {
+		t.Fatal("ScenarioOf accepted a non-json file")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := fakeResult("ingest", 42, 5_000_000)
+	want.Obs = map[string]int64{`store_put_rows_total`: 12345}
+	path, err := want.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != want.Scenario || got.Seed != want.Seed ||
+		got.Stats.MedianNS != want.Stats.MedianNS ||
+		got.Obs["store_put_rows_total"] != 12345 {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+}
+
+func TestValidateRejectsBrokenRecords(t *testing.T) {
+	break_ := func(f func(*Result)) *Result {
+		r := fakeResult("ingest", 1, 1000)
+		f(r)
+		return r
+	}
+	cases := map[string]*Result{
+		"wrong schema": break_(func(r *Result) { r.Schema = "vtbench/0" }),
+		"no scenario":  break_(func(r *Result) { r.Scenario = "" }),
+		"no reps":      break_(func(r *Result) { r.RepNS = nil; r.RepOps = nil }),
+		"ragged reps":  break_(func(r *Result) { r.RepOps = r.RepOps[:1] }),
+		"zero median":  break_(func(r *Result) { r.Stats.MedianNS = 0 }),
+		"negative rep": break_(func(r *Result) { r.RepNS[1] = -5 }),
+	}
+	for name, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the record", name)
+		}
+	}
+	if err := fakeResult("ingest", 1, 1000).Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	old := fakeResult("ingest", 42, 10_000_000)
+
+	// Same median: ok, neither regressed nor improved.
+	c, err := Compare(old, fakeResult("ingest", 42, 10_000_000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed || c.Improved {
+		t.Fatalf("flat comparison misjudged: %+v", c)
+	}
+
+	// The acceptance case: a 2x slowdown must trip a 10%% threshold.
+	c, err = Compare(old, fakeResult("ingest", 42, 20_000_000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed {
+		t.Fatalf("2x slowdown not flagged: %+v", c)
+	}
+	if !strings.Contains(c.String(), "REGRESSED") {
+		t.Fatalf("String() hides the verdict: %s", c.String())
+	}
+
+	// A 2x speedup is reported as improved, not regressed.
+	c, err = Compare(old, fakeResult("ingest", 42, 5_000_000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed || !c.Improved {
+		t.Fatalf("2x speedup misjudged: %+v", c)
+	}
+
+	// Within threshold: a 5%% drift at threshold 10 passes.
+	c, err = Compare(old, fakeResult("ingest", 42, 10_500_000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed {
+		t.Fatalf("5%% drift flagged at 10%% threshold: %+v", c)
+	}
+}
+
+func TestCompareToleranceWidensWithCV(t *testing.T) {
+	// A noisy baseline (CV ~0.5) absorbs a slowdown that a tight
+	// threshold alone would flag.
+	old := fakeResult("ingest", 42, 10_000_000)
+	old.RepNS = []int64{5_000_000, 10_000_000, 15_000_000}
+	old.Stats = computeStats(old.RepNS, old.RepOps)
+	c, err := Compare(old, fakeResult("ingest", 42, 13_000_000), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed {
+		t.Fatalf("noise-band slowdown flagged: delta=%v allowed=%v", c.Delta, c.Allowed)
+	}
+	if c.Allowed <= 0.10 {
+		t.Fatalf("allowed %v did not widen beyond the threshold", c.Allowed)
+	}
+}
+
+func TestCompareRejectsIncomparableRecords(t *testing.T) {
+	old := fakeResult("ingest", 42, 10_000_000)
+
+	if _, err := Compare(old, fakeResult("scan", 42, 10_000_000), 10); err == nil {
+		t.Fatal("scenario mismatch accepted")
+	}
+	if _, err := Compare(old, fakeResult("ingest", 7, 10_000_000), 10); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	diffParams := fakeResult("ingest", 42, 10_000_000)
+	diffParams.Params["samples"] = 9999
+	if _, err := Compare(old, diffParams, 10); err == nil {
+		t.Fatal("params mismatch accepted")
+	}
+}
+
+func TestCompareDirs(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	for _, sc := range []string{"ingest", "scan"} {
+		if _, err := fakeResult(sc, 42, 10_000_000).WriteFile(oldDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fakeResult("ingest", 42, 10_000_000).WriteFile(newDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fakeResult("scan", 42, 30_000_000).WriteFile(newDir); err != nil {
+		t.Fatal(err)
+	}
+	// An extra scenario in the new run is fine.
+	if _, err := fakeResult("api", 42, 1_000_000).WriteFile(newDir); err != nil {
+		t.Fatal(err)
+	}
+
+	comps, err := CompareDirs(oldDir, newDir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("compared %d scenarios, want 2", len(comps))
+	}
+	byName := map[string]Comparison{}
+	for _, c := range comps {
+		byName[c.Scenario] = c
+	}
+	if byName["ingest"].Regressed {
+		t.Fatal("flat ingest flagged")
+	}
+	if !byName["scan"].Regressed {
+		t.Fatal("3x scan slowdown not flagged")
+	}
+}
+
+func TestCompareDirsMissingScenarioIsAnError(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	if _, err := fakeResult("ingest", 42, 10_000_000).WriteFile(oldDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareDirs(oldDir, newDir, 10); err == nil {
+		t.Fatal("missing new-run scenario did not error")
+	}
+	if _, err := CompareDirs(newDir, oldDir, 10); err == nil {
+		t.Fatal("empty baseline dir did not error")
+	}
+}

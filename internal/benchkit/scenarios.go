@@ -1,0 +1,475 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/feed"
+	"vtdynamics/internal/obs"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/sampleset"
+	"vtdynamics/internal/simclock"
+	"vtdynamics/internal/store"
+	"vtdynamics/internal/vtapi"
+	"vtdynamics/internal/vtclient"
+	"vtdynamics/internal/vtsim"
+)
+
+// Scenarios are the standardized end-to-end benchmarks, in run order.
+var Scenarios = []Scenario{
+	ingestScenario,
+	readColdScenario,
+	readHotScenario,
+	scanScenario,
+	apiScenario,
+}
+
+// ScenarioByName resolves one scenario by name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("benchkit: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// ScenarioNames lists the scenarios in run order.
+func ScenarioNames() []string {
+	names := make([]string, len(Scenarios))
+	for i, sc := range Scenarios {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// newCampaign replays one deterministic campaign into a fresh
+// in-memory service: population from the seed, every scan applied in
+// time order. Every scenario starts from this, so their workloads
+// agree with each other and with the recorded params.
+func newCampaign(p Profile, seed int64) (*vtsim.Service, error) {
+	set, err := engine.NewSet(engine.DefaultRoster(), seed,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := sampleset.Generate(sampleset.Config{Seed: seed, NumSamples: p.Samples})
+	if err != nil {
+		return nil, err
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	svc := vtsim.NewService(set, clock)
+	if err := vtsim.RunWorkload(svc, clock, samples); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// collectInto runs the feed→store pipeline over the service's whole
+// feed span and verifies nothing was dropped on the floor.
+func collectInto(svc *vtsim.Service, st *store.Store, p Profile, reg *obs.Registry) (int, error) {
+	first, last, ok := svc.FeedSpan()
+	if !ok {
+		return 0, fmt.Errorf("campaign produced an empty feed")
+	}
+	src := feed.SourceFunc(func(_ context.Context, from, to time.Time) ([]report.Envelope, error) {
+		return svc.FeedBetween(from, to), nil
+	})
+	coll := feed.NewCollector(src, st)
+	coll.Interval = p.Interval
+	coll.Workers = p.Workers
+	coll.Metrics = reg
+	stats, err := coll.Run(context.Background(), first, last.Add(time.Second))
+	if err != nil {
+		return 0, err
+	}
+	if want := svc.NumReports(); stats.Envelopes != want {
+		return 0, fmt.Errorf("collected %d envelopes, service generated %d", stats.Envelopes, want)
+	}
+	return stats.Envelopes, nil
+}
+
+// buildStore materializes the campaign into an on-disk store at dir —
+// the shared fixture behind the read and scan scenarios.
+func buildStore(p Profile, seed int64, dir string) (*vtsim.Service, error) {
+	svc, err := newCampaign(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(dir, store.WithMetrics(obs.NewRegistry()))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := collectInto(svc, st, p, obs.NewRegistry()); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// pickHashes deterministically strides n hashes out of the store's
+// sorted sample set so runs with equal seeds look up equal samples.
+func pickHashes(st *store.Store, n int) ([]string, error) {
+	shas := st.SampleHashes()
+	if len(shas) == 0 {
+		return nil, fmt.Errorf("store holds no samples")
+	}
+	sort.Strings(shas)
+	if n > len(shas) {
+		n = len(shas)
+	}
+	out := make([]string, n)
+	stride := len(shas) / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i++ {
+		out[i] = shas[(i*stride)%len(shas)]
+	}
+	return out, nil
+}
+
+// ingestScenario measures the full collection pipeline — feed polls
+// over the campaign window fanned across Workers fetchers, batch
+// commits into a fresh compressed store, flush and close — exactly
+// the path cmd/vtcollect drives.
+var ingestScenario = Scenario{
+	Name: "ingest",
+	Desc: "vtsim feed -> concurrent collector -> compressed store, fresh store per rep",
+	Params: func(p Profile, seed int64) map[string]any {
+		return map[string]any{
+			"samples":     p.Samples,
+			"workers":     p.Workers,
+			"interval_ns": p.Interval.Nanoseconds(),
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		// The campaign is replayed once; reps only read its feed.
+		svc, err := newCampaign(p, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep := 0
+		return func() (Rep, error) {
+			rep++
+			dir := filepath.Join(workDir, fmt.Sprintf("ingest-%d", rep))
+			reg := obs.NewRegistry()
+			st, err := store.Open(dir, store.WithMetrics(reg))
+			if err != nil {
+				return Rep{}, err
+			}
+			start := time.Now()
+			n, err := collectInto(svc, st, p, reg)
+			if err != nil {
+				st.Close()
+				return Rep{}, err
+			}
+			// Close is part of the measured region: ingest is not done
+			// until the blocks and index sidecars are durable.
+			if err := st.Close(); err != nil {
+				return Rep{}, err
+			}
+			ns := time.Since(start).Nanoseconds()
+			os.RemoveAll(dir)
+			return Rep{NS: ns, Ops: int64(n), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// readColdScenario measures indexed history lookups against a store
+// opened fresh for every rep: no history cache, every Get pays the
+// sidecar-index + block-decode path.
+var readColdScenario = Scenario{
+	Name: "read-cold",
+	Desc: "store.Get over a fresh open: index lookup + block decode per history",
+	Params: func(p Profile, seed int64) map[string]any {
+		return map[string]any{
+			"samples": p.Samples,
+			"gets":    p.Gets,
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		dir := filepath.Join(workDir, "store")
+		if _, err := buildStore(p, seed, dir); err != nil {
+			return nil, err
+		}
+		// Fix the lookup set and its expected row count once, so every
+		// rep (and every run at this seed) does provably equal work.
+		st, err := store.Open(dir, store.WithMetrics(obs.NewRegistry()))
+		if err != nil {
+			return nil, err
+		}
+		shas, err := pickHashes(st, p.Gets)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		wantRows := 0
+		for _, sha := range shas {
+			h, err := st.Get(sha)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			wantRows += len(h.Reports)
+		}
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			// Reopening per rep is what makes the rep cold: the history
+			// cache starts empty and the partition indexes reload from
+			// their sidecars.
+			st, err := store.Open(dir, store.WithMetrics(reg), store.WithCacheSize(0))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer st.Close()
+			start := time.Now()
+			rows := 0
+			for _, sha := range shas {
+				h, err := st.Get(sha)
+				if err != nil {
+					return Rep{}, err
+				}
+				rows += len(h.Reports)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if rows != wantRows {
+				return Rep{}, fmt.Errorf("cold reads returned %d rows, want %d", rows, wantRows)
+			}
+			return Rep{NS: ns, Ops: int64(len(shas)), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// readHotScenario measures the LRU history cache: a small hot set is
+// warmed once, then hammered; steady state must be all cache hits.
+var readHotScenario = Scenario{
+	Name: "read-hot",
+	Desc: "store.Get over a warmed LRU history cache (steady-state hits)",
+	Params: func(p Profile, seed int64) map[string]any {
+		return map[string]any{
+			"samples":  p.Samples,
+			"hot_set":  p.HotSet,
+			"hot_gets": p.HotGets,
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		dir := filepath.Join(workDir, "store")
+		if _, err := buildStore(p, seed, dir); err != nil {
+			return nil, err
+		}
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			st, err := store.Open(dir, store.WithMetrics(reg), store.WithCacheSize(p.HotSet))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer st.Close()
+			hot, err := pickHashes(st, p.HotSet)
+			if err != nil {
+				return Rep{}, err
+			}
+			for _, sha := range hot {
+				if _, err := st.Get(sha); err != nil {
+					return Rep{}, err
+				}
+			}
+			start := time.Now()
+			for i := 0; i < p.HotGets; i++ {
+				if _, err := st.Get(hot[i%len(hot)]); err != nil {
+					return Rep{}, err
+				}
+			}
+			ns := time.Since(start).Nanoseconds()
+			// The timed region must have been served by the cache, or
+			// this scenario silently degrades into read-cold.
+			if hits := reg.SumCounters("store_cache_hits_total"); hits < int64(p.HotGets) {
+				return Rep{}, fmt.Errorf("only %d cache hits for %d hot gets", hits, p.HotGets)
+			}
+			return Rep{NS: ns, Ops: int64(p.HotGets), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// scanScenario measures the analytical full-store pass vtanalyze and
+// vtquery lean on: parallel IterAll plus the by-type tally.
+var scanScenario = Scenario{
+	Name: "scan",
+	Desc: "parallel IterAll + StatsByType over every partition",
+	Params: func(p Profile, seed int64) map[string]any {
+		return map[string]any{
+			"samples": p.Samples,
+			"workers": p.Workers,
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		dir := filepath.Join(workDir, "store")
+		svc, err := buildStore(p, seed, dir)
+		if err != nil {
+			return nil, err
+		}
+		wantRows := svc.NumReports()
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			st, err := store.Open(dir, store.WithMetrics(reg))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer st.Close()
+			start := time.Now()
+			var rowCount atomic.Int64 // the IterAll callback runs on p.Workers goroutines
+			err = st.IterAll(p.Workers, func(month string, r *report.ScanReport) error {
+				rowCount.Add(1)
+				return nil
+			})
+			if err != nil {
+				return Rep{}, err
+			}
+			byType, err := st.StatsByTypeWorkers(p.Workers)
+			if err != nil {
+				return Rep{}, err
+			}
+			ns := time.Since(start).Nanoseconds()
+			rows := int(rowCount.Load())
+			if rows != wantRows {
+				return Rep{}, fmt.Errorf("IterAll saw %d rows, campaign generated %d", rows, wantRows)
+			}
+			typeRows := 0
+			for _, ts := range byType {
+				typeRows += ts.Reports
+			}
+			if typeRows != wantRows {
+				return Rep{}, fmt.Errorf("StatsByType tallied %d rows, campaign generated %d", typeRows, wantRows)
+			}
+			return Rep{NS: ns, Ops: int64(rows), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// apiScenario measures HTTP round trips through the retrying client
+// against two real servers on loopback: one clean and one injecting
+// 500/503 faults, so the measured path covers both the happy case and
+// the retry/backoff machinery the collection campaign depends on.
+var apiScenario = Scenario{
+	Name: "api",
+	Desc: "vtclient upload+report round trips vs clean and fault-injecting vtsimd",
+	Params: func(p Profile, seed int64) map[string]any {
+		return map[string]any{
+			"requests":   p.APIRequests,
+			"rate_500":   faultRate500,
+			"rate_503":   faultRate503,
+			"retries":    apiRetries,
+			"backoff_ns": apiBackoff.Nanoseconds(),
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		set, err := engine.NewSet(engine.DefaultRoster(), seed,
+			simclock.CollectionStart, simclock.CollectionEnd)
+		if err != nil {
+			return nil, err
+		}
+		n := p.APIRequests / 2
+		if n < 1 {
+			n = 1
+		}
+		samples, err := sampleset.Generate(sampleset.Config{Seed: seed, NumSamples: n})
+		if err != nil {
+			return nil, err
+		}
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			// Fresh service per rep so times_submitted and report counts
+			// do not drift across repetitions.
+			svc := vtsim.NewService(set, simclock.NewSim(simclock.CollectionStart))
+			clean, cleanURL, err := serveLoopback(vtapi.NewServer(svc, nil, vtapi.WithMetrics(reg)))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer clean.Close()
+			faulty, faultyURL, err := serveLoopback(vtapi.NewServer(svc, nil,
+				vtapi.WithMetrics(reg),
+				vtapi.WithFaults(vtapi.FaultConfig{
+					Error500Rate: faultRate500,
+					Error503Rate: faultRate503,
+					Seed:         seed,
+				})))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer faulty.Close()
+			clients := []*vtclient.Client{
+				vtclient.New(cleanURL, vtclient.WithMetrics(reg),
+					vtclient.WithRetries(apiRetries), vtclient.WithBackoff(apiBackoff)),
+				vtclient.New(faultyURL, vtclient.WithMetrics(reg),
+					vtclient.WithRetries(apiRetries), vtclient.WithBackoff(apiBackoff)),
+			}
+			ctx := context.Background()
+			start := time.Now()
+			calls := 0
+			for i := 0; i < p.APIRequests; i++ {
+				s := samples[i%len(samples)]
+				cl := clients[i%2]
+				desc := vtapi.UploadDescriptor{
+					SHA256:        s.SHA256,
+					FileType:      s.FileType,
+					Size:          s.Size,
+					Malicious:     s.Malicious,
+					Detectability: s.Detectability,
+				}
+				if _, err := cl.Upload(ctx, desc); err != nil {
+					return Rep{}, fmt.Errorf("upload %d: %w", i, err)
+				}
+				if _, err := cl.Report(ctx, s.SHA256); err != nil {
+					return Rep{}, fmt.Errorf("report %d: %w", i, err)
+				}
+				calls += 2
+			}
+			ns := time.Since(start).Nanoseconds()
+			// Wire-level invariant: every client attempt (including
+			// retries of injected faults) must show up as a server
+			// request — both ends share the registry.
+			attempts := reg.SumCounters("client_attempts_total")
+			served := reg.SumCounters("api_requests_total")
+			if attempts != served {
+				return Rep{}, fmt.Errorf("client sent %d attempts, servers counted %d", attempts, served)
+			}
+			if attempts < int64(calls) {
+				return Rep{}, fmt.Errorf("%d attempts for %d logical calls", attempts, calls)
+			}
+			return Rep{NS: ns, Ops: int64(calls), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+const (
+	faultRate500 = 0.05
+	faultRate503 = 0.05
+	apiRetries   = 8
+	apiBackoff   = time.Millisecond
+)
+
+// serveLoopback binds an OS-assigned loopback port (never a fixed
+// one, so parallel runs cannot collide) and serves h until Close.
+func serveLoopback(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("benchkit: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}

@@ -1,0 +1,81 @@
+package benchkit
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats are the derived statistics over one scenario's repetitions.
+// Medians drive the regression gate because a single descheduled rep
+// should not fail a PR; CV (stddev / mean) is recorded so the
+// comparer can widen its tolerance on scenarios that are inherently
+// noisy on the measuring machine.
+type Stats struct {
+	MedianNS  float64 `json:"median_ns"`
+	P90NS     float64 `json:"p90_ns"`
+	MeanNS    float64 `json:"mean_ns"`
+	StddevNS  float64 `json:"stddev_ns"`
+	CV        float64 `json:"cv"`
+	MinNS     int64   `json:"min_ns"`
+	MaxNS     int64   `json:"max_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// computeStats derives Stats from per-rep wall times and work counts.
+// Empty input returns the zero Stats.
+func computeStats(repNS, repOps []int64) Stats {
+	if len(repNS) == 0 {
+		return Stats{}
+	}
+	sorted := append([]int64(nil), repNS...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var st Stats
+	st.MinNS = sorted[0]
+	st.MaxNS = sorted[len(sorted)-1]
+	st.MedianNS = quantile(sorted, 0.5)
+	st.P90NS = quantile(sorted, 0.9)
+
+	var sum float64
+	for _, ns := range repNS {
+		sum += float64(ns)
+	}
+	st.MeanNS = sum / float64(len(repNS))
+	if len(repNS) > 1 {
+		var sq float64
+		for _, ns := range repNS {
+			d := float64(ns) - st.MeanNS
+			sq += d * d
+		}
+		st.StddevNS = math.Sqrt(sq / float64(len(repNS)-1))
+	}
+	if st.MeanNS > 0 {
+		st.CV = st.StddevNS / st.MeanNS
+	}
+
+	var totalOps int64
+	for _, ops := range repOps {
+		totalOps += ops
+	}
+	if sum > 0 {
+		st.OpsPerSec = float64(totalOps) / (sum / 1e9)
+	}
+	return st
+}
+
+// quantile returns the q-quantile of sorted values by linear
+// interpolation between closest ranks, so median of [a, b] is their
+// midpoint rather than either endpoint.
+func quantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 1 {
+		return float64(sorted[0])
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}

@@ -1,0 +1,70 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantileInterpolates(t *testing.T) {
+	cases := []struct {
+		sorted []int64
+		q      float64
+		want   float64
+	}{
+		{[]int64{10}, 0.5, 10},
+		{[]int64{10, 20}, 0.5, 15},
+		{[]int64{10, 20, 30}, 0.5, 20},
+		{[]int64{10, 20, 30, 40}, 0.5, 25},
+		{[]int64{10, 20, 30, 40, 50}, 0.9, 46},
+		{[]int64{10, 20, 30}, 0, 10},
+		{[]int64{10, 20, 30}, 1, 30},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, c.q); !almost(got, c.want) {
+			t.Errorf("quantile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Order must not matter: the median comes from a sorted copy.
+	st := computeStats([]int64{30, 10, 20}, []int64{100, 100, 100})
+	if !almost(st.MedianNS, 20) {
+		t.Errorf("median = %v, want 20", st.MedianNS)
+	}
+	if !almost(st.MeanNS, 20) {
+		t.Errorf("mean = %v, want 20", st.MeanNS)
+	}
+	if st.MinNS != 10 || st.MaxNS != 30 {
+		t.Errorf("min/max = %d/%d, want 10/30", st.MinNS, st.MaxNS)
+	}
+	// Sample stddev of {10,20,30} is 10; CV is 10/20.
+	if !almost(st.StddevNS, 10) {
+		t.Errorf("stddev = %v, want 10", st.StddevNS)
+	}
+	if !almost(st.CV, 0.5) {
+		t.Errorf("cv = %v, want 0.5", st.CV)
+	}
+	// 300 ops over 60ns = 5e9 ops/sec.
+	if !almost(st.OpsPerSec, 5e9) {
+		t.Errorf("ops/sec = %v, want 5e9", st.OpsPerSec)
+	}
+}
+
+func TestComputeStatsSingleRep(t *testing.T) {
+	st := computeStats([]int64{1000}, []int64{1})
+	if st.StddevNS != 0 || st.CV != 0 {
+		t.Errorf("single rep must have zero spread, got stddev=%v cv=%v", st.StddevNS, st.CV)
+	}
+	if !almost(st.MedianNS, 1000) || !almost(st.P90NS, 1000) {
+		t.Errorf("single rep quantiles = %v/%v, want 1000", st.MedianNS, st.P90NS)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	if st := computeStats(nil, nil); st != (Stats{}) {
+		t.Errorf("empty input gave %+v", st)
+	}
+}

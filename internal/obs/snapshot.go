@@ -1,0 +1,27 @@
+// Snapshot: a point-in-time, machine-readable read of every scalar
+// series. The benchmark harness (internal/benchkit) embeds one per
+// run in BENCH_*.json so a perf record carries the counters that
+// explain it (rows put, blocks decoded, faults injected, retries), not
+// just wall-clock numbers.
+package obs
+
+// Snapshot returns the current value of every counter and gauge
+// series, keyed by the full series signature — the metric name plus
+// its {label="value"} rendering in sorted label order, exactly as the
+// Prometheus exposition prints it. Histograms are omitted: their
+// per-bucket state is exposition detail, while Snapshot feeds
+// machine-diffed records where scalar identities (hits + misses ==
+// gets) are what downstream checks consume.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range r.snapshot() {
+		key := s.name + promLabels(s.labels, "", 0)
+		switch s.kind {
+		case kindCounter:
+			out[key] = s.counter.Value()
+		case kindGauge:
+			out[key] = s.gauge.Value()
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "testing"
+
+func TestSnapshotKeysAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "code", "200").Add(7)
+	r.Counter("requests_total", "code", "500").Add(2)
+	r.Counter("plain_total").Inc()
+	r.Gauge("inflight").Set(3)
+	r.Histogram("latency_seconds", DefBuckets).Observe(0.1)
+
+	snap := r.Snapshot()
+	want := map[string]int64{
+		`requests_total{code="200"}`: 7,
+		`requests_total{code="500"}`: 2,
+		`plain_total`:                1,
+		`inflight`:                   3,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot has %d series, want %d (histograms excluded): %v", len(snap), len(want), snap)
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Fatalf("Snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+}
+
+func TestSnapshotIsAPointInTimeCopy(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total")
+	c.Inc()
+	snap := r.Snapshot()
+	c.Add(10)
+	if snap["ticks_total"] != 1 {
+		t.Fatalf("snapshot moved with the counter: %d", snap["ticks_total"])
+	}
+}

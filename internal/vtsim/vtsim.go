@@ -295,6 +295,21 @@ func (s *Service) NumReports() int {
 	return len(s.feed)
 }
 
+// FeedSpan returns the analysis dates of the first and last envelopes
+// in the report log, and ok == false while the log is empty. A feed
+// consumer that wants to drain exactly the generated reports — the
+// benchmark harness's ingest scenario, a backfill job — can derive its
+// poll window from the span instead of assuming the collection
+// calendar.
+func (s *Service) FeedSpan() (first, last time.Time, ok bool) {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	if len(s.feed) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return s.feed[0].Scan.AnalysisDate, s.feed[len(s.feed)-1].Scan.AnalysisDate, true
+}
+
 // FeedBetween returns the envelopes generated in [from, to), ordered
 // by analysis date — the premium-feed slice the collector fetches
 // every virtual minute. The result is a fresh deep copy: callers may

@@ -173,6 +173,30 @@ func TestFeedBetween(t *testing.T) {
 	}
 }
 
+func TestFeedSpan(t *testing.T) {
+	svc, clock := newTestService(t)
+	if _, _, ok := svc.FeedSpan(); ok {
+		t.Fatal("empty service reported a feed span")
+	}
+	t0 := clock.Now()
+	svc.Upload(exeUpload("f1"))
+	clock.Advance(10 * time.Minute)
+	svc.Upload(exeUpload("f2"))
+	t1 := clock.Now()
+
+	first, last, ok := svc.FeedSpan()
+	if !ok {
+		t.Fatal("populated service reported no feed span")
+	}
+	if !first.Equal(t0) || !last.Equal(t1) {
+		t.Fatalf("FeedSpan = [%v, %v], want [%v, %v]", first, last, t0, t1)
+	}
+	// The span bounds exactly the envelopes FeedBetween serves.
+	if got := svc.FeedBetween(first, last.Add(time.Second)); len(got) != 2 {
+		t.Fatalf("span window returned %d envelopes, want 2", len(got))
+	}
+}
+
 func TestScanSamplePureAndDeterministic(t *testing.T) {
 	set, err := engine.NewSet(engine.DefaultRoster(), 99,
 		simclock.CollectionStart, simclock.CollectionEnd)
