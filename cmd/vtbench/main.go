@@ -4,12 +4,16 @@
 // Usage:
 //
 //	vtbench run [-scenario all] [-profile smoke] [-seed 1] [-out .]
-//	            [-handicap name=factor,...]
+//	            [-handicap name=factor,...] [-cpuprofile f] [-memprofile f]
 //	vtbench compare OLD NEW [-threshold 10]
 //	vtbench list
 //
 // `run` executes each scenario (warmup + repetitions), prints a
 // summary line, and writes BENCH_<scenario>.json records into -out.
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// run (CPU for the duration, heap at exit) — the CI perf-smoke job
+// attaches them as artifacts so a regression can be diagnosed from
+// the run that caught it.
 // `compare` diffs two records or two directories of records and exits
 // 1 when any scenario's median slowed beyond threshold% plus the
 // noisier run's CV — the CI perf gate. -handicap artificially
@@ -26,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -37,7 +43,7 @@ func main() {
 }
 
 const usageText = `usage:
-  vtbench run [-scenario all] [-profile smoke] [-seed 1] [-out .] [-handicap name=factor,...]
+  vtbench run [-scenario all] [-profile smoke] [-seed 1] [-out .] [-handicap name=factor,...] [-cpuprofile f] [-memprofile f]
   vtbench compare OLD NEW [-threshold 10]
   vtbench list
 `
@@ -65,22 +71,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runOptions are the parsed `vtbench run` flags.
 type runOptions struct {
-	scenarios []string
-	profile   benchkit.Profile
-	seed      int64
-	out       string
-	handicaps map[string]float64
+	scenarios  []string
+	profile    benchkit.Profile
+	seed       int64
+	out        string
+	handicaps  map[string]float64
+	cpuprofile string
+	memprofile string
 }
 
 func parseRunFlags(args []string, stderr io.Writer) (*runOptions, error) {
 	fs := flag.NewFlagSet("vtbench run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario = fs.String("scenario", "all", "scenario to run: all or a comma-separated subset of "+strings.Join(benchkit.ScenarioNames(), ","))
-		profile  = fs.String("profile", "smoke", "workload size: "+strings.Join(benchkit.ProfileNames(), " or "))
-		seed     = fs.Int64("seed", 1, "campaign seed (records with different seeds never compare)")
-		out      = fs.String("out", ".", "directory receiving BENCH_<scenario>.json")
-		handicap = fs.String("handicap", "", "inflate named scenarios' measured times, e.g. ingest=2 (gate self-test)")
+		scenario   = fs.String("scenario", "all", "scenario to run: all or a comma-separated subset of "+strings.Join(benchkit.ScenarioNames(), ","))
+		profile    = fs.String("profile", "smoke", "workload size: "+strings.Join(benchkit.ProfileNames(), " or "))
+		seed       = fs.Int64("seed", 1, "campaign seed (records with different seeds never compare)")
+		out        = fs.String("out", ".", "directory receiving BENCH_<scenario>.json")
+		handicap   = fs.String("handicap", "", "inflate named scenarios' measured times, e.g. ingest=2 (gate self-test)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU pprof profile covering the whole run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap pprof profile at run exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -88,7 +98,8 @@ func parseRunFlags(args []string, stderr io.Writer) (*runOptions, error) {
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
-	opts := &runOptions{seed: *seed, out: *out, handicaps: map[string]float64{}}
+	opts := &runOptions{seed: *seed, out: *out, handicaps: map[string]float64{},
+		cpuprofile: *cpuprofile, memprofile: *memprofile}
 	var err error
 	if opts.profile, err = benchkit.ProfileByName(*profile); err != nil {
 		return nil, err
@@ -136,6 +147,36 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vtbench:", err)
 		return 2
 	}
+	if opts.cpuprofile != "" {
+		f, err := os.Create(opts.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vtbench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "vtbench:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if opts.memprofile != "" {
+		defer func() {
+			f, err := os.Create(opts.memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "vtbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "vtbench:", err)
+			}
+		}()
+	}
 	for _, name := range opts.scenarios {
 		sc, err := benchkit.ScenarioByName(name)
 		if err != nil {
@@ -156,9 +197,10 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "vtbench:", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "%-10s median %10.2fms  p90 %10.2fms  cv %5.1f%%  %12.0f ops/s  -> %s\n",
+		fmt.Fprintf(stdout, "%-10s median %10.2fms  p90 %10.2fms  cv %5.1f%%  %12.0f ops/s  %8.0f allocs/op  %9.0f B/op  -> %s\n",
 			res.Scenario, res.Stats.MedianNS/1e6, res.Stats.P90NS/1e6,
-			res.Stats.CV*100, res.Stats.OpsPerSec, path)
+			res.Stats.CV*100, res.Stats.OpsPerSec,
+			res.Stats.AllocsPerOp, res.Stats.BytesPerOp, path)
 	}
 	return 0
 }

@@ -45,6 +45,15 @@ func TestParseRunFlags(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "profile outputs",
+			args: []string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"},
+			check: func(t *testing.T, o *runOptions) {
+				if o.cpuprofile != "cpu.out" || o.memprofile != "mem.out" {
+					t.Errorf("profile paths = %q/%q", o.cpuprofile, o.memprofile)
+				}
+			},
+		},
 		{name: "unknown scenario", args: []string{"-scenario", "nope"}, wantErr: true},
 		{name: "unknown profile", args: []string{"-profile", "nope"}, wantErr: true},
 		{name: "bad handicap spec", args: []string{"-handicap", "ingest"}, wantErr: true},
@@ -188,9 +197,17 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	installTestProfile(t)
 	baseDir, newDir := t.TempDir(), t.TempDir()
 
+	cpuOut := filepath.Join(baseDir, "cpu.pprof")
+	memOut := filepath.Join(baseDir, "mem.pprof")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"run", "-scenario", "all", "-out", baseDir}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"run", "-scenario", "all", "-out", baseDir,
+		"-cpuprofile", cpuOut, "-memprofile", memOut}, &stdout, &stderr); code != 0 {
 		t.Fatalf("baseline run exited %d: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpuOut, memOut} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 	for _, name := range benchkit.ScenarioNames() {
 		path := filepath.Join(baseDir, benchkit.FileName(name))

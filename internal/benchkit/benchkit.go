@@ -114,19 +114,31 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 		UnixTime:   time.Now().Unix(),
 		Warmup:     p.Warmup,
 	}
+	var before, after runtime.MemStats
 	for i := 0; i < p.Reps; i++ {
+		// Mallocs and TotalAlloc are monotonic, so the delta needs no
+		// GC fence. The process runs one scenario at a time, so the
+		// process-wide delta is the scenario's allocation (per-rep
+		// setup outside the timed region is included — the record is
+		// honest about what a whole rep costs).
+		runtime.ReadMemStats(&before)
 		r, err := rep()
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s: rep %d: %w", sc.Name, i, err)
 		}
+		runtime.ReadMemStats(&after)
 		ns := r.NS
 		if cfg.Handicap > 1 {
 			ns = int64(float64(ns) * cfg.Handicap)
 		}
 		res.RepNS = append(res.RepNS, ns)
 		res.RepOps = append(res.RepOps, r.Ops)
+		res.RepAllocs = append(res.RepAllocs, int64(after.Mallocs-before.Mallocs))
+		res.RepBytes = append(res.RepBytes, int64(after.TotalAlloc-before.TotalAlloc))
 		res.Obs = r.Obs
 	}
 	res.Stats = computeStats(res.RepNS, res.RepOps)
+	res.Stats.AllocsPerOp = perOp(res.RepAllocs, res.RepOps)
+	res.Stats.BytesPerOp = perOp(res.RepBytes, res.RepOps)
 	return res, nil
 }

@@ -10,9 +10,15 @@ import (
 	"strings"
 )
 
-// SchemaVersion identifies the BENCH_*.json layout. Bump it on any
-// incompatible change; the comparer refuses to diff across versions.
-const SchemaVersion = "vtbench/1"
+// SchemaVersion identifies the BENCH_*.json layout. vtbench/2 added
+// the per-rep allocation record (rep_allocs, rep_bytes and the
+// allocs_per_op/bytes_per_op stats); vtbench/1 records remain
+// readable and comparable — the time gate never needed the alloc
+// columns — so old baselines keep gating until they are refreshed.
+const (
+	SchemaVersion = "vtbench/2"
+	schemaV1      = "vtbench/1"
+)
 
 // Result is one scenario's measured record — the unit written as
 // BENCH_<scenario>.json. Everything needed to judge whether two runs
@@ -21,21 +27,27 @@ const SchemaVersion = "vtbench/1"
 // carries the counters that explain the numbers (rows put, blocks
 // decoded, faults injected, retries).
 type Result struct {
-	Schema     string           `json:"schema"`
-	Scenario   string           `json:"scenario"`
-	Profile    string           `json:"profile"`
-	Seed       int64            `json:"seed"`
-	Params     map[string]any   `json:"params"`
-	GoVersion  string           `json:"go_version"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	UnixTime   int64            `json:"unix_time"`
-	Warmup     int              `json:"warmup"`
-	RepNS      []int64          `json:"rep_ns"`
-	RepOps     []int64          `json:"rep_ops"`
-	Stats      Stats            `json:"stats"`
-	Obs        map[string]int64 `json:"obs"`
+	Schema     string         `json:"schema"`
+	Scenario   string         `json:"scenario"`
+	Profile    string         `json:"profile"`
+	Seed       int64          `json:"seed"`
+	Params     map[string]any `json:"params"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	UnixTime   int64          `json:"unix_time"`
+	Warmup     int            `json:"warmup"`
+	RepNS      []int64        `json:"rep_ns"`
+	RepOps     []int64        `json:"rep_ops"`
+	// RepAllocs and RepBytes are the per-rep heap allocation deltas
+	// (mallocs and bytes) over the whole process, from
+	// runtime.ReadMemStats around the measured region. vtbench/2;
+	// absent from vtbench/1 records.
+	RepAllocs []int64          `json:"rep_allocs,omitempty"`
+	RepBytes  []int64          `json:"rep_bytes,omitempty"`
+	Stats     Stats            `json:"stats"`
+	Obs       map[string]int64 `json:"obs"`
 }
 
 // FileName returns the canonical file name for a scenario's record.
@@ -83,8 +95,8 @@ func ReadFile(path string) (*Result, error) {
 // before it can gate anything.
 func (r *Result) Validate() error {
 	switch {
-	case r.Schema != SchemaVersion:
-		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaVersion)
+	case r.Schema != SchemaVersion && r.Schema != schemaV1:
+		return fmt.Errorf("schema %q, want %q or %q", r.Schema, SchemaVersion, schemaV1)
 	case r.Scenario == "":
 		return fmt.Errorf("missing scenario name")
 	case len(r.RepNS) == 0:
@@ -93,6 +105,14 @@ func (r *Result) Validate() error {
 		return fmt.Errorf("%d rep_ns vs %d rep_ops", len(r.RepNS), len(r.RepOps))
 	case r.Stats.MedianNS <= 0:
 		return fmt.Errorf("non-positive median")
+	}
+	// Alloc columns are optional (vtbench/1 has none), but when
+	// present they must be per-rep like the time columns.
+	if n := len(r.RepAllocs); n != 0 && n != len(r.RepNS) {
+		return fmt.Errorf("%d rep_allocs vs %d rep_ns", n, len(r.RepNS))
+	}
+	if n := len(r.RepBytes); n != 0 && n != len(r.RepNS) {
+		return fmt.Errorf("%d rep_bytes vs %d rep_ns", n, len(r.RepNS))
 	}
 	for i, ns := range r.RepNS {
 		if ns <= 0 {
@@ -126,7 +146,17 @@ type Comparison struct {
 	Allowed   float64
 	Regressed bool
 	Improved  bool
+	// OldProcs/NewProcs record the GOMAXPROCS each run measured under.
+	// A mismatch makes the comparison apples-to-oranges for the
+	// parallel paths, but it is a property of the measuring machine,
+	// not the code under test, so it warns instead of failing the gate.
+	OldProcs int
+	NewProcs int
 }
+
+// ProcsMismatch reports whether the two runs used different
+// GOMAXPROCS values.
+func (c Comparison) ProcsMismatch() bool { return c.OldProcs != c.NewProcs }
 
 func (c Comparison) String() string {
 	verdict := "ok"
@@ -135,8 +165,12 @@ func (c Comparison) String() string {
 	} else if c.Improved {
 		verdict = "improved"
 	}
-	return fmt.Sprintf("%-10s %12.2fms -> %12.2fms  %+7.1f%% (allowed ±%.1f%%)  %s",
+	s := fmt.Sprintf("%-10s %12.2fms -> %12.2fms  %+7.1f%% (allowed ±%.1f%%)  %s",
 		c.Scenario, c.OldMedian/1e6, c.NewMedian/1e6, c.Delta*100, c.Allowed*100, verdict)
+	if c.ProcsMismatch() {
+		s += fmt.Sprintf("  [warning: GOMAXPROCS %d vs %d]", c.OldProcs, c.NewProcs)
+	}
+	return s
 }
 
 // Compare judges new against old at a threshold given in percent. The
@@ -164,6 +198,8 @@ func Compare(old, new *Result, thresholdPct float64) (Comparison, error) {
 			old.Scenario, old.paramsKey(), new.paramsKey())
 	}
 	c.Scenario = old.Scenario
+	c.OldProcs = old.GOMAXPROCS
+	c.NewProcs = new.GOMAXPROCS
 	c.OldMedian = old.Stats.MedianNS
 	c.NewMedian = new.Stats.MedianNS
 	c.Delta = (c.NewMedian - c.OldMedian) / c.OldMedian

@@ -208,3 +208,74 @@ func TestCompareDirsMissingScenarioIsAnError(t *testing.T) {
 		t.Fatal("empty baseline dir did not error")
 	}
 }
+
+// TestValidateAcceptsV1Records pins backward compatibility: vtbench/1
+// baselines (no alloc columns) must keep reading and gating.
+func TestValidateAcceptsV1Records(t *testing.T) {
+	r := fakeResult("ingest", 1, 1000)
+	r.Schema = schemaV1
+	if err := r.Validate(); err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	// Ragged alloc columns are still structural errors on either schema.
+	r = fakeResult("ingest", 1, 1000)
+	r.RepAllocs = []int64{5}
+	if err := r.Validate(); err == nil {
+		t.Fatal("ragged rep_allocs accepted")
+	}
+	r = fakeResult("ingest", 1, 1000)
+	r.RepBytes = []int64{5, 6}
+	if err := r.Validate(); err == nil {
+		t.Fatal("ragged rep_bytes accepted")
+	}
+}
+
+// TestCompareWarnsOnGOMAXPROCSMismatch pins the gate's stance: a
+// GOMAXPROCS difference between runs is surfaced as a warning in the
+// comparison, never an error or a verdict.
+func TestCompareWarnsOnGOMAXPROCSMismatch(t *testing.T) {
+	old := fakeResult("ingest", 42, 10_000_000)
+	old.GOMAXPROCS = 8
+	new_ := fakeResult("ingest", 42, 10_000_000)
+	new_.GOMAXPROCS = 1
+	c, err := Compare(old, new_, 10)
+	if err != nil {
+		t.Fatalf("mismatched GOMAXPROCS failed the compare: %v", err)
+	}
+	if c.Regressed || c.Improved {
+		t.Fatalf("flat comparison misjudged: %+v", c)
+	}
+	if !c.ProcsMismatch() || c.OldProcs != 8 || c.NewProcs != 1 {
+		t.Fatalf("mismatch not recorded: %+v", c)
+	}
+	if !strings.Contains(c.String(), "GOMAXPROCS 8 vs 1") {
+		t.Fatalf("String() hides the warning: %s", c.String())
+	}
+	// Matching runs stay quiet.
+	new_.GOMAXPROCS = 8
+	c, err = Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ProcsMismatch() || strings.Contains(c.String(), "GOMAXPROCS") {
+		t.Fatalf("spurious warning: %s", c.String())
+	}
+}
+
+// TestCompareAcrossSchemas pins that a vtbench/1 baseline gates a
+// vtbench/2 run: the time columns are shared, the alloc columns are
+// informational.
+func TestCompareAcrossSchemas(t *testing.T) {
+	old := fakeResult("ingest", 42, 10_000_000)
+	old.Schema = schemaV1
+	new_ := fakeResult("ingest", 42, 20_000_000)
+	new_.RepAllocs = []int64{100, 100, 100}
+	new_.RepBytes = []int64{4096, 4096, 4096}
+	c, err := Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed {
+		t.Fatalf("cross-schema slowdown not flagged: %+v", c)
+	}
+}

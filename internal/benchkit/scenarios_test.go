@@ -48,6 +48,14 @@ func TestAllScenariosProduceValidResults(t *testing.T) {
 					t.Fatalf("rep %d did no work", i)
 				}
 			}
+			// vtbench/2: every rep carries its allocation record, and
+			// real scenarios always allocate something.
+			if len(res.RepAllocs) != testProfile.Reps || len(res.RepBytes) != testProfile.Reps {
+				t.Fatalf("alloc columns ragged: %d/%d", len(res.RepAllocs), len(res.RepBytes))
+			}
+			if res.Stats.AllocsPerOp <= 0 || res.Stats.BytesPerOp <= 0 {
+				t.Fatalf("alloc stats missing: %+v", res.Stats)
+			}
 			if len(res.Obs) == 0 {
 				t.Fatal("no obs snapshot recorded")
 			}

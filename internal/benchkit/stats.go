@@ -19,6 +19,28 @@ type Stats struct {
 	MinNS     int64   `json:"min_ns"`
 	MaxNS     int64   `json:"max_ns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp and BytesPerOp divide the total heap allocation
+	// across reps by the total work units — the end-to-end analogue of
+	// testing.B's allocs/op. Zero on vtbench/1 records, which did not
+	// measure allocation.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+// perOp divides summed per-rep totals by summed ops, 0 when either
+// side is missing.
+func perOp(totals, ops []int64) float64 {
+	var sum, n int64
+	for _, t := range totals {
+		sum += t
+	}
+	for _, o := range ops {
+		n += o
+	}
+	if sum <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
 }
 
 // computeStats derives Stats from per-rep wall times and work counts.

@@ -68,3 +68,15 @@ func TestComputeStatsEmpty(t *testing.T) {
 		t.Errorf("empty input gave %+v", st)
 	}
 }
+
+func TestPerOp(t *testing.T) {
+	if got := perOp([]int64{300, 100}, []int64{100, 100}); !almost(got, 2) {
+		t.Errorf("perOp = %v, want 2", got)
+	}
+	if got := perOp(nil, []int64{100}); got != 0 {
+		t.Errorf("perOp with no totals = %v, want 0", got)
+	}
+	if got := perOp([]int64{100}, nil); got != 0 {
+		t.Errorf("perOp with no ops = %v, want 0", got)
+	}
+}

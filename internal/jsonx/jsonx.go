@@ -1,0 +1,462 @@
+// Package jsonx provides the allocation-lean JSON primitives behind
+// the hand-rolled codecs in internal/report and internal/store.
+//
+// The encoder side (AppendString, AppendInt) is byte-identical to
+// encoding/json with its default escapeHTML=true behavior, so the
+// hand-rolled marshalers produce exactly the bytes the reflective
+// ones did — on-disk partitions and golden fixtures are unchanged.
+//
+// The decoder side is a strict scanning Cursor whose accepted grammar
+// is a strict subset of encoding/json's: exact-case keys, plain
+// integers, strings with stdlib unquote semantics. Anything outside
+// that subset (case-folded keys, floats, nulls, bad escapes) reports
+// ErrFallback and the caller reruns the reflective decoder on the
+// whole input, so observable behavior — including error cases — is
+// exactly encoding/json's.
+package jsonx
+
+import (
+	"errors"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// ErrFallback is returned by Cursor methods for any input the strict
+// fast path does not handle bit-identically to encoding/json. Callers
+// must treat it (and every other Cursor error) as "rerun the slow
+// reflective decoder", never as a user-visible error.
+var ErrFallback = errors.New("jsonx: input outside fast-path subset")
+
+const hexDigits = "0123456789abcdef"
+
+// htmlSafe mirrors encoding/json's htmlSafeSet: ASCII bytes that pass
+// through a JSON string unescaped when escapeHTML is on.
+var htmlSafe = [utf8.RuneSelf]bool{}
+
+func init() {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		htmlSafe[b] = true
+	}
+	for _, b := range []byte{'"', '\\', '<', '>', '&'} {
+		htmlSafe[b] = false
+	}
+}
+
+// AppendString appends s as a JSON string literal (quotes included),
+// byte-identical to encoding/json's encoding with escapeHTML on.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if htmlSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control bytes below 0x20 without a named escape,
+				// plus <, >, & (escapeHTML).
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// AppendInt appends the base-10 representation of v.
+func AppendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// Cursor scans a JSON document left to right. Buf is the full input;
+// Pos advances as tokens are consumed.
+type Cursor struct {
+	Buf []byte
+	Pos int
+}
+
+// SkipSpace advances past JSON insignificant whitespace.
+func (c *Cursor) SkipSpace() {
+	for c.Pos < len(c.Buf) {
+		switch c.Buf[c.Pos] {
+		case ' ', '\t', '\n', '\r':
+			c.Pos++
+		default:
+			return
+		}
+	}
+}
+
+// Byte skips whitespace and consumes the single byte want.
+func (c *Cursor) Byte(want byte) error {
+	c.SkipSpace()
+	if c.Pos >= len(c.Buf) || c.Buf[c.Pos] != want {
+		return ErrFallback
+	}
+	c.Pos++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it.
+func (c *Cursor) peek() (byte, error) {
+	c.SkipSpace()
+	if c.Pos >= len(c.Buf) {
+		return 0, ErrFallback
+	}
+	return c.Buf[c.Pos], nil
+}
+
+// ObjectStart consumes '{' and reports whether the object is empty
+// (the '}' of an empty object is consumed too).
+func (c *Cursor) ObjectStart() (empty bool, err error) {
+	if err := c.Byte('{'); err != nil {
+		return false, err
+	}
+	b, err := c.peek()
+	if err != nil {
+		return false, err
+	}
+	if b == '}' {
+		c.Pos++
+		return true, nil
+	}
+	return false, nil
+}
+
+// ObjectNext is called after each member value: it consumes ',' and
+// reports done=false, or consumes '}' and reports done=true.
+func (c *Cursor) ObjectNext() (done bool, err error) {
+	b, err := c.peek()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case ',':
+		c.Pos++
+		return false, nil
+	case '}':
+		c.Pos++
+		return true, nil
+	}
+	return false, ErrFallback
+}
+
+// ArrayStart consumes '[' and reports whether the array is empty
+// (the ']' of an empty array is consumed too).
+func (c *Cursor) ArrayStart() (empty bool, err error) {
+	if err := c.Byte('['); err != nil {
+		return false, err
+	}
+	b, err := c.peek()
+	if err != nil {
+		return false, err
+	}
+	if b == ']' {
+		c.Pos++
+		return true, nil
+	}
+	return false, nil
+}
+
+// ArrayNext is called after each element: it consumes ',' and reports
+// done=false, or consumes ']' and reports done=true.
+func (c *Cursor) ArrayNext() (done bool, err error) {
+	b, err := c.peek()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case ',':
+		c.Pos++
+		return false, nil
+	case ']':
+		c.Pos++
+		return true, nil
+	}
+	return false, ErrFallback
+}
+
+// Key reads an object key and its ':' separator. The returned bytes
+// follow ReadString's aliasing rules.
+func (c *Cursor) Key() ([]byte, error) {
+	k, err := c.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Byte(':'); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// ReadString reads a JSON string literal and returns its decoded
+// value with encoding/json's exact unquote semantics (named escapes,
+// \uXXXX with surrogate-pair handling and lone-surrogate U+FFFD
+// replacement, invalid UTF-8 coerced rune by rune). The result
+// aliases Buf when the literal needs no decoding and is freshly
+// allocated otherwise; callers retaining it past the life of Buf must
+// copy or intern it.
+func (c *Cursor) ReadString() ([]byte, error) {
+	c.SkipSpace()
+	if c.Pos >= len(c.Buf) || c.Buf[c.Pos] != '"' {
+		return nil, ErrFallback
+	}
+	s := c.Buf[c.Pos+1:]
+	// Fast scan: if the literal closes with no escapes, control bytes,
+	// or invalid UTF-8, alias the input directly.
+	r := 0
+	for r < len(s) {
+		b := s[r]
+		if b == '"' {
+			c.Pos += r + 2
+			return s[:r:r], nil
+		}
+		if b == '\\' || b < ' ' {
+			break
+		}
+		if b < utf8.RuneSelf {
+			r++
+			continue
+		}
+		rr, size := utf8.DecodeRune(s[r:])
+		if rr == utf8.RuneError && size == 1 {
+			break
+		}
+		r += size
+	}
+	if r >= len(s) {
+		return nil, ErrFallback // unterminated
+	}
+	out := make([]byte, r, len(s)+2*utf8.UTFMax)
+	copy(out, s[:r])
+	for r < len(s) {
+		if len(out) >= cap(out)-2*utf8.UTFMax {
+			grown := make([]byte, len(out), (cap(out)+utf8.UTFMax)*2)
+			copy(grown, out)
+			out = grown
+		}
+		switch b := s[r]; {
+		case b == '"':
+			c.Pos += r + 2
+			return out, nil
+		case b == '\\':
+			r++
+			if r >= len(s) {
+				return nil, ErrFallback
+			}
+			switch s[r] {
+			default:
+				return nil, ErrFallback
+			// No backslash-quote escape for ': unquote would take
+			// it, but the stdlib scanner rejects it first, so
+			// Unmarshal errors — fall back so it still does.
+			case '"', '\\', '/':
+				out = append(out, s[r])
+				r++
+			case 'b':
+				out = append(out, '\b')
+				r++
+			case 'f':
+				out = append(out, '\f')
+				r++
+			case 'n':
+				out = append(out, '\n')
+				r++
+			case 'r':
+				out = append(out, '\r')
+				r++
+			case 't':
+				out = append(out, '\t')
+				r++
+			case 'u':
+				r--
+				rr := getu4(s[r:])
+				if rr < 0 {
+					return nil, ErrFallback
+				}
+				r += 6
+				if utf16.IsSurrogate(rr) {
+					rr1 := getu4(s[r:])
+					if dec := utf16.DecodeRune(rr, rr1); dec != utf8.RuneError {
+						r += 6
+						out = utf8.AppendRune(out, dec)
+						break
+					}
+					rr = utf8.RuneError
+				}
+				out = utf8.AppendRune(out, rr)
+			}
+		case b < ' ':
+			return nil, ErrFallback // raw control byte: syntax error upstream
+		case b < utf8.RuneSelf:
+			out = append(out, b)
+			r++
+		default:
+			rr, size := utf8.DecodeRune(s[r:])
+			r += size
+			out = utf8.AppendRune(out, rr)
+		}
+	}
+	return nil, ErrFallback // unterminated
+}
+
+// getu4 decodes \uXXXX from the start of s, returning -1 on malformed
+// input; it mirrors encoding/json's helper.
+func getu4(s []byte) rune {
+	if len(s) < 6 || s[0] != '\\' || s[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for _, b := range s[2:6] {
+		switch {
+		case '0' <= b && b <= '9':
+			b -= '0'
+		case 'a' <= b && b <= 'f':
+			b = b - 'a' + 10
+		case 'A' <= b && b <= 'F':
+			b = b - 'A' + 10
+		default:
+			return -1
+		}
+		r = r*16 + rune(b)
+	}
+	return r
+}
+
+// ReadInt64 reads a plain integer number token. Anything outside the
+// strict JSON integer grammar — leading zeros, floats, exponents,
+// overflow, a non-delimiter suffix — reports ErrFallback so the
+// reflective decoder produces the canonical result or error.
+func (c *Cursor) ReadInt64() (int64, error) {
+	c.SkipSpace()
+	start := c.Pos
+	i := c.Pos
+	if i < len(c.Buf) && c.Buf[i] == '-' {
+		i++
+	}
+	digits := i
+	for i < len(c.Buf) && c.Buf[i] >= '0' && c.Buf[i] <= '9' {
+		i++
+	}
+	if i == digits {
+		return 0, ErrFallback // no digits
+	}
+	if c.Buf[digits] == '0' && i-digits > 1 {
+		return 0, ErrFallback // leading zero is a JSON syntax error
+	}
+	if i < len(c.Buf) {
+		switch c.Buf[i] {
+		case ',', '}', ']', ' ', '\t', '\n', '\r':
+		default:
+			return 0, ErrFallback // float, exponent, or junk suffix
+		}
+	}
+	v, err := strconv.ParseInt(string(c.Buf[start:i]), 10, 64)
+	if err != nil {
+		return 0, ErrFallback
+	}
+	c.Pos = i
+	return v, nil
+}
+
+// SkipValue advances past one JSON value without decoding it,
+// tracking only string/escape state and container depth. It is a
+// span finder, not a validator: callers must re-parse the skipped
+// bytes (e.g. hand them to a full decoder) before trusting them, and
+// must fall back on any error.
+func (c *Cursor) SkipValue() error {
+	c.SkipSpace()
+	depth := 0
+	inStr := false
+	esc := false
+	for c.Pos < len(c.Buf) {
+		b := c.Buf[c.Pos]
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case b == '\\':
+				esc = true
+			case b == '"':
+				inStr = false
+			}
+			c.Pos++
+			continue
+		}
+		switch b {
+		case '"':
+			inStr = true
+			c.Pos++
+		case '{', '[':
+			depth++
+			c.Pos++
+		case '}', ']':
+			if depth == 0 {
+				return nil // enclosing container's close: value ended
+			}
+			depth--
+			c.Pos++
+			if depth == 0 {
+				return nil
+			}
+		case ',', ' ', '\t', '\n', '\r':
+			if depth == 0 {
+				return nil
+			}
+			c.Pos++
+		default:
+			c.Pos++
+		}
+	}
+	if depth != 0 || inStr {
+		return ErrFallback // unterminated container or string
+	}
+	return nil // primitive running to end of input
+}
+
+// AtEOF reports nil when only whitespace remains; data after the
+// top-level value is a syntax error in encoding/json, so anything
+// else reports ErrFallback.
+func (c *Cursor) AtEOF() error {
+	c.SkipSpace()
+	if c.Pos != len(c.Buf) {
+		return ErrFallback
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package jsonx
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// stringSeeds exercises every escape class: HTML escaping, named
+// escapes, low controls, invalid UTF-8 (single bytes and runs),
+// U+2028/29, multibyte runes, and DEL.
+var stringSeeds = []string{
+	"",
+	"BitDefender",
+	"Trojan.GenericKD/41",
+	`quote " backslash \ slash /`,
+	"tab\tnewline\ncr\rbackspace\bformfeed\f",
+	"html <script> & friends",
+	"ctrl \x00 \x01 \x1f",
+	"bad utf8 \xff\xfe run",
+	"truncated rune \xc3",
+	"overlong \xe2\x28\xa1 seq",
+	"line sep   para sep  ",
+	"emoji 🎛 and accents éü",
+	"del \x7f char",
+}
+
+func TestAppendStringMatchesStdlib(t *testing.T) {
+	for _, s := range stringSeeds {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendString(%q) = %s, stdlib %s", s, got, want)
+		}
+	}
+}
+
+func FuzzAppendStringDifferential(f *testing.F) {
+	for _, s := range stringSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendString(%q) = %s, stdlib %s", s, got, want)
+		}
+	})
+}
+
+// FuzzReadStringDifferential feeds arbitrary bytes as a candidate
+// string literal. Whenever the cursor accepts, encoding/json must
+// accept with the identical value; cursor rejections are fine (they
+// mean fallback), stdlib-accepts-cursor-rejects is the allowed
+// asymmetry, cursor-accepts-stdlib-rejects is a bug.
+func FuzzReadStringDifferential(f *testing.F) {
+	for _, s := range stringSeeds {
+		b, _ := json.Marshal(s)
+		f.Add(b)
+	}
+	f.Add([]byte(`"A"`))
+	f.Add([]byte(`"😀"`))           // surrogate pair
+	f.Add([]byte(`"\ud83d"`))      // lone high surrogate
+	f.Add([]byte(`"\udc00 tail"`)) // lone low surrogate
+	f.Add([]byte(`"\ud83dxx"`))    // high surrogate, junk follower
+	f.Add([]byte(`"\'"`))          // scanner rejects, unquote would not
+	f.Add([]byte(`"unterminated`))
+	f.Add([]byte(`"raw ctrl ` + "\x01" + `"`))
+	f.Add([]byte(`"bad esc \x"`))
+	f.Add([]byte("\"bad utf8 \xff in literal\""))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c := Cursor{Buf: raw}
+		got, err := c.ReadString()
+		if err != nil {
+			return // fallback path: stdlib behavior governs
+		}
+		if err := c.AtEOF(); err != nil {
+			return // trailing data: full-document decode would fall back
+		}
+		var want string
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("cursor accepted %q as %q but stdlib rejects: %v", raw, got, err)
+		}
+		if string(got) != want {
+			t.Fatalf("ReadString(%q) = %q, stdlib %q", raw, got, want)
+		}
+	})
+}
+
+func FuzzReadInt64Differential(f *testing.F) {
+	seeds := []string{"0", "-1", "1620000600", "9223372036854775807",
+		"-9223372036854775808", "9223372036854775808", "01", "-", "1e3",
+		"3.5", "  42  ", "0x1f", "12junk", "--4", "+7", ""}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c := Cursor{Buf: raw}
+		got, err := c.ReadInt64()
+		if err != nil {
+			return
+		}
+		if err := c.AtEOF(); err != nil {
+			return
+		}
+		var want int64
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("cursor accepted %q as %d but stdlib rejects: %v", raw, got, err)
+		}
+		if got != want {
+			t.Fatalf("ReadInt64(%q) = %d, stdlib %d", raw, got, want)
+		}
+	})
+}
+
+func TestCursorObjectWalk(t *testing.T) {
+	doc := []byte(` { "a" : 1 , "b" : "two" } `)
+	c := Cursor{Buf: doc}
+	empty, err := c.ObjectStart()
+	if err != nil || empty {
+		t.Fatalf("ObjectStart: empty=%v err=%v", empty, err)
+	}
+	k, err := c.Key()
+	if err != nil || string(k) != "a" {
+		t.Fatalf("key 1: %q %v", k, err)
+	}
+	if v, err := c.ReadInt64(); err != nil || v != 1 {
+		t.Fatalf("value 1: %d %v", v, err)
+	}
+	if done, err := c.ObjectNext(); err != nil || done {
+		t.Fatalf("next 1: done=%v err=%v", done, err)
+	}
+	k, err = c.Key()
+	if err != nil || string(k) != "b" {
+		t.Fatalf("key 2: %q %v", k, err)
+	}
+	if v, err := c.ReadString(); err != nil || string(v) != "two" {
+		t.Fatalf("value 2: %q %v", v, err)
+	}
+	if done, err := c.ObjectNext(); err != nil || !done {
+		t.Fatalf("next 2: done=%v err=%v", done, err)
+	}
+	if err := c.AtEOF(); err != nil {
+		t.Fatalf("AtEOF: %v", err)
+	}
+}
+
+func TestCursorEmptyObject(t *testing.T) {
+	c := Cursor{Buf: []byte(`{}`)}
+	empty, err := c.ObjectStart()
+	if err != nil || !empty {
+		t.Fatalf("empty=%v err=%v", empty, err)
+	}
+	if err := c.AtEOF(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorRejectsTrailingComma(t *testing.T) {
+	c := Cursor{Buf: []byte(`{"a":1,}`)}
+	if _, err := c.ObjectStart(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Key(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadInt64(); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := c.ObjectNext(); err != nil || done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	// Next token should be a key; a '}' here must not parse as one.
+	if _, err := c.Key(); err == nil {
+		t.Fatal("trailing comma accepted")
+	}
+}
+
+func TestSkipValueSpans(t *testing.T) {
+	cases := []struct {
+		in   string // value followed by a ']' delimiter
+		want string // the span SkipValue should cover
+	}{
+		{`{"a":1}]`, `{"a":1}`},
+		{`[1,[2,{"x":"]"}]]]`, `[1,[2,{"x":"]"}]]`},
+		{`"br\"ack]et"]`, `"br\"ack]et"`},
+		{`123]`, `123`},
+		{`true]`, `true`},
+		{`null ]`, `null`},
+		{`{"nested":{"deep":[1,2]}}]`, `{"nested":{"deep":[1,2]}}`},
+	}
+	for _, tc := range cases {
+		c := Cursor{Buf: []byte(tc.in)}
+		if err := c.SkipValue(); err != nil {
+			t.Errorf("SkipValue(%q): %v", tc.in, err)
+			continue
+		}
+		if got := tc.in[:c.Pos]; got != tc.want {
+			t.Errorf("SkipValue(%q) spanned %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSkipValueUnterminated(t *testing.T) {
+	for _, in := range []string{`{"a":1`, `[1,2`, `"open`, `{"a":"\`} {
+		c := Cursor{Buf: []byte(in)}
+		if err := c.SkipValue(); err == nil {
+			t.Errorf("SkipValue(%q) accepted an unterminated value", in)
+		}
+	}
+}

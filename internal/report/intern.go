@@ -1,0 +1,58 @@
+package report
+
+import "sync"
+
+// The decode hot paths see the same small vocabulary millions of
+// times: ~70 engine display names, the handful of verdict categories,
+// the file-type labels, and the malware-family label strings. Without
+// interning, every decoded row re-allocates each of them; with it,
+// all rows share one string header (and one backing array) per
+// distinct value, which is most of the decode-side allocation win.
+
+// internCap bounds the table so an adversarial vocabulary (arbitrary
+// label strings from a hostile feed) cannot grow it without bound.
+// Past the cap, lookups still hit existing entries and misses simply
+// return an uninterned copy.
+const internCap = 8192
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 256)
+)
+
+// Intern returns the canonical instance of s, registering it if the
+// table has room. The returned string is equal to s.
+func Intern(s string) string {
+	internMu.RLock()
+	v, ok := internTab[s]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	return internPut(s)
+}
+
+// InternBytes returns the canonical string equal to b. When b is
+// already interned the lookup allocates nothing (the string(b)
+// conversion used only as a map key does not copy).
+func InternBytes(b []byte) string {
+	internMu.RLock()
+	v, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	return internPut(string(b))
+}
+
+func internPut(s string) string {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if v, ok := internTab[s]; ok {
+		return v
+	}
+	if len(internTab) < internCap {
+		internTab[s] = s
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func sameBacking(a, b string) bool {
+	return unsafe.StringData(a) == unsafe.StringData(b)
+}
+
+func TestInternSharesBacking(t *testing.T) {
+	a := Intern(string([]byte("TestEngine-Alpha")))
+	b := Intern(string([]byte("TestEngine-Alpha")))
+	if a != b {
+		t.Fatalf("interned values differ: %q %q", a, b)
+	}
+	if !sameBacking(a, b) {
+		t.Fatal("interned strings do not share a backing array")
+	}
+}
+
+func TestInternBytesHitsWithoutCopy(t *testing.T) {
+	canon := Intern("TestEngine-Beta")
+	got := InternBytes([]byte("TestEngine-Beta"))
+	if !sameBacking(canon, got) {
+		t.Fatal("InternBytes did not return the canonical instance")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		InternBytes([]byte{'T', 'e', 's', 't', 'E', 'n', 'g', 'i', 'n', 'e', '-', 'B', 'e', 't', 'a'})
+	})
+	// One alloc is the []byte literal itself; the lookup must add none.
+	if allocs > 1 {
+		t.Fatalf("InternBytes hit allocates %.1f times per call", allocs)
+	}
+}
+
+func TestInternCapBounded(t *testing.T) {
+	// Drain the flood afterwards so a full table doesn't starve the
+	// real vocabulary in tests that run later in this package.
+	defer func() {
+		internMu.Lock()
+		for i := 0; i < internCap+100; i++ {
+			delete(internTab, fmt.Sprintf("flood-%d", i))
+		}
+		internMu.Unlock()
+	}()
+	for i := 0; i < internCap+100; i++ {
+		Intern(fmt.Sprintf("flood-%d", i))
+	}
+	internMu.RLock()
+	n := len(internTab)
+	internMu.RUnlock()
+	if n > internCap {
+		t.Fatalf("intern table grew to %d entries, cap %d", n, internCap)
+	}
+	// Past the cap, Intern still returns a correct (uninterned) value.
+	if got := Intern("past-cap-value"); got != "past-cap-value" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := fmt.Sprintf("conc-%d", i%17)
+				if got := Intern(v); got != v {
+					t.Errorf("Intern(%q) = %q", v, got)
+					return
+				}
+				if got := InternBytes([]byte(v)); got != v {
+					t.Errorf("InternBytes(%q) = %q", v, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"vtdynamics/internal/jsonx"
 )
 
 // VirusTotal-v3-style wire format. The API serves and the collector
@@ -30,6 +32,14 @@ import (
 //	}
 //
 // Dates are Unix seconds, matching VT.
+//
+// Encoding and decoding both have a hand-rolled hot path (AppendJSON
+// and the cursor-based section of UnmarshalJSON) plus a reflective
+// slow path over the wire* structs below. The hot path is pinned
+// byte-compatible with the slow one by differential fuzzers in
+// jsonfast_test.go; the decoder falls back to the reflective path on
+// any input outside its strict subset, so observable behavior is
+// exactly encoding/json's.
 
 type wireEnvelope struct {
 	Data wireData `json:"data"`
@@ -72,8 +82,116 @@ type Envelope struct {
 	Scan ScanReport
 }
 
+// AppendJSON appends the envelope's VT v3 encoding to dst and returns
+// the extended slice. The bytes are identical to what MarshalJSON
+// produced via the reflective path (engine map keys sorted byte-wise,
+// duplicate engine names collapsed last-wins, stats counted per
+// Results entry), so partitions and fixtures written before this
+// encoder existed compare equal.
+func (e *Envelope) AppendJSON(dst []byte) []byte {
+	var mal, harm, und int
+	for i := range e.Scan.Results {
+		switch e.Scan.Results[i].Verdict {
+		case Malicious:
+			mal++
+		case Benign:
+			harm++
+		default:
+			und++
+		}
+	}
+	dst = append(dst, `{"data":{"id":`...)
+	dst = jsonx.AppendString(dst, e.Meta.SHA256)
+	dst = append(dst, `,"type":"file","attributes":{"type_description":`...)
+	dst = jsonx.AppendString(dst, e.Meta.FileType)
+	dst = append(dst, `,"size":`...)
+	dst = jsonx.AppendInt(dst, e.Meta.Size)
+	dst = append(dst, `,"first_submission_date":`...)
+	dst = jsonx.AppendInt(dst, unix(e.Meta.FirstSubmissionDate))
+	dst = append(dst, `,"last_analysis_date":`...)
+	dst = jsonx.AppendInt(dst, unix(e.Meta.LastAnalysisDate))
+	dst = append(dst, `,"last_submission_date":`...)
+	dst = jsonx.AppendInt(dst, unix(e.Meta.LastSubmissionDate))
+	dst = append(dst, `,"times_submitted":`...)
+	dst = jsonx.AppendInt(dst, int64(e.Meta.TimesSubmitted))
+	dst = append(dst, `,"last_analysis_stats":{"malicious":`...)
+	dst = jsonx.AppendInt(dst, int64(mal))
+	dst = append(dst, `,"harmless":`...)
+	dst = jsonx.AppendInt(dst, int64(harm))
+	dst = append(dst, `,"undetected":`...)
+	dst = jsonx.AppendInt(dst, int64(und))
+	dst = append(dst, `},"last_analysis_results":{`...)
+	dst = e.appendResults(dst)
+	dst = append(dst, `}}}}`...)
+	return dst
+}
+
+// appendResults emits the engine-result map members in sorted key
+// order with duplicate names collapsed last-wins, matching
+// encoding/json's map encoding of the old implementation.
+func (e *Envelope) appendResults(dst []byte) []byte {
+	rs := e.Scan.Results
+	sorted := true
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Engine <= rs[i-1].Engine {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		for i := range rs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendEngineResult(dst, &rs[i])
+		}
+		return dst
+	}
+	idx := make([]int, len(rs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return rs[idx[a]].Engine < rs[idx[b]].Engine
+	})
+	first := true
+	for k := 0; k < len(idx); k++ {
+		// Skip all but the last entry of an equal-name run: the old
+		// encoder built a map, so later duplicates overwrote earlier.
+		if k+1 < len(idx) && rs[idx[k+1]].Engine == rs[idx[k]].Engine {
+			continue
+		}
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = appendEngineResult(dst, &rs[idx[k]])
+	}
+	return dst
+}
+
+func appendEngineResult(dst []byte, er *EngineResult) []byte {
+	dst = jsonx.AppendString(dst, er.Engine)
+	dst = append(dst, `:{"category":`...)
+	dst = jsonx.AppendString(dst, er.Verdict.String())
+	if er.Label != "" {
+		dst = append(dst, `,"result":`...)
+		dst = jsonx.AppendString(dst, er.Label)
+	}
+	dst = append(dst, `,"engine_version":"`...)
+	dst = jsonx.AppendInt(dst, int64(er.SignatureVersion))
+	dst = append(dst, '"', '}')
+	return dst
+}
+
 // MarshalJSON encodes the envelope in the VT v3 shape above.
 func (e Envelope) MarshalJSON() ([]byte, error) {
+	return e.AppendJSON(nil), nil
+}
+
+// marshalSlow is the original reflective encoder, kept as the oracle
+// the differential tests compare AppendJSON against.
+func (e *Envelope) marshalSlow() ([]byte, error) {
 	attrs := wireAttributes{
 		TypeDescription:     e.Meta.FileType,
 		Size:                e.Meta.Size,
@@ -105,9 +223,365 @@ func (e Envelope) MarshalJSON() ([]byte, error) {
 	}})
 }
 
+// fastEntry is one parsed engine member before map-order
+// normalization.
+type fastEntry struct {
+	name    string
+	verdict Verdict
+	label   string
+	version int
+}
+
 // UnmarshalJSON decodes the VT v3 shape. Engine results are sorted by
-// engine name so decoding is deterministic.
+// engine name so decoding is deterministic. A strict cursor-based
+// fast path handles well-formed producer output; anything outside its
+// subset falls back to the reflective decoder so accepted inputs and
+// errors match encoding/json exactly.
 func (e *Envelope) UnmarshalJSON(b []byte) error {
+	if ok, err := e.unmarshalFast(b); ok {
+		return err
+	}
+	return e.unmarshalSlow(b)
+}
+
+func (e *Envelope) unmarshalFast(b []byte) (ok bool, err error) {
+	c := jsonx.Cursor{Buf: b}
+	var (
+		id, typ, fileType string
+		size              int64
+		firstSub, lastAn  int64
+		lastSub           int64
+		timesSub          int64
+		entries           []fastEntry
+	)
+	empty, cerr := c.ObjectStart()
+	if cerr != nil {
+		return false, nil
+	}
+	if !empty {
+		for {
+			key, kerr := c.Key()
+			if kerr != nil {
+				return false, nil
+			}
+			// Any key that is not an exact-case match could still bind
+			// case-insensitively in encoding/json, so bail out rather
+			// than guess.
+			if string(key) != "data" {
+				return false, nil
+			}
+			if !e.fastData(&c, &id, &typ, &fileType, &size, &firstSub, &lastAn, &lastSub, &timesSub, &entries) {
+				return false, nil
+			}
+			done, nerr := c.ObjectNext()
+			if nerr != nil {
+				return false, nil
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if c.AtEOF() != nil {
+		return false, nil
+	}
+	if typ != "file" {
+		return true, fmt.Errorf("report: unexpected data type %q", typ)
+	}
+	// Normalize map-iteration semantics: sort by name, and for
+	// duplicate names keep the last occurrence (map overwrite).
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+	results := make([]EngineResult, 0, len(entries))
+	for i := range entries {
+		if i+1 < len(entries) && entries[i+1].name == entries[i].name {
+			continue
+		}
+		results = append(results, EngineResult{
+			Engine:           entries[i].name,
+			Verdict:          entries[i].verdict,
+			Label:            entries[i].label,
+			SignatureVersion: entries[i].version,
+		})
+	}
+	e.Meta = SampleMeta{
+		SHA256:              id,
+		FileType:            fileType,
+		Size:                size,
+		FirstSubmissionDate: fromUnix(firstSub),
+		LastAnalysisDate:    fromUnix(lastAn),
+		LastSubmissionDate:  fromUnix(lastSub),
+		TimesSubmitted:      int(timesSub),
+	}
+	e.Scan = ScanReport{
+		SHA256:       id,
+		FileType:     fileType,
+		AnalysisDate: fromUnix(lastAn),
+		Results:      results,
+		AVRank:       ComputeAVRank(results),
+		EnginesTotal: CountActive(results),
+	}
+	return true, nil
+}
+
+func (e *Envelope) fastData(c *jsonx.Cursor, id, typ, fileType *string, size, firstSub, lastAn, lastSub, timesSub *int64, entries *[]fastEntry) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		key, err := c.Key()
+		if err != nil {
+			return false
+		}
+		switch string(key) {
+		case "id":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			*id = string(v)
+		case "type":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			*typ = string(v)
+		case "attributes":
+			if !e.fastAttributes(c, fileType, size, firstSub, lastAn, lastSub, timesSub, entries) {
+				return false
+			}
+		default:
+			return false
+		}
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+func (e *Envelope) fastAttributes(c *jsonx.Cursor, fileType *string, size, firstSub, lastAn, lastSub, timesSub *int64, entries *[]fastEntry) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		key, err := c.Key()
+		if err != nil {
+			return false
+		}
+		switch string(key) {
+		case "type_description":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			*fileType = InternBytes(v)
+		case "size":
+			if *size, err = c.ReadInt64(); err != nil {
+				return false
+			}
+		case "first_submission_date":
+			if *firstSub, err = c.ReadInt64(); err != nil {
+				return false
+			}
+		case "last_analysis_date":
+			if *lastAn, err = c.ReadInt64(); err != nil {
+				return false
+			}
+		case "last_submission_date":
+			if *lastSub, err = c.ReadInt64(); err != nil {
+				return false
+			}
+		case "times_submitted":
+			if *timesSub, err = c.ReadInt64(); err != nil {
+				return false
+			}
+		case "last_analysis_stats":
+			// Parsed for syntax, discarded: the decoder recomputes
+			// stats from the results, as the reflective path does.
+			if !fastStats(c) {
+				return false
+			}
+		case "last_analysis_results":
+			if !fastResults(c, entries) {
+				return false
+			}
+		default:
+			return false
+		}
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+func fastStats(c *jsonx.Cursor) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		key, err := c.Key()
+		if err != nil {
+			return false
+		}
+		switch string(key) {
+		case "malicious", "harmless", "undetected":
+			if _, err := c.ReadInt64(); err != nil {
+				return false
+			}
+		default:
+			return false
+		}
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+func fastResults(c *jsonx.Cursor, entries *[]fastEntry) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		name, err := c.Key()
+		if err != nil {
+			return false
+		}
+		// Undetected is what ParseVerdict maps a missing or unknown
+		// category to; the struct zero value would be Benign.
+		ent := fastEntry{verdict: Undetected}
+		ent.name = InternBytes(name)
+		if !fastEngineResult(c, &ent) {
+			return false
+		}
+		*entries = append(*entries, ent)
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+func fastEngineResult(c *jsonx.Cursor, ent *fastEntry) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		key, err := c.Key()
+		if err != nil {
+			return false
+		}
+		switch string(key) {
+		case "category":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			ent.verdict = verdictFromBytes(v)
+		case "result":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			ent.label = InternBytes(v)
+		case "engine_version":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			ent.version = parseVersion(v)
+		default:
+			return false
+		}
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+// verdictFromBytes is ParseVerdict without the string conversion.
+func verdictFromBytes(b []byte) Verdict {
+	switch string(b) {
+	case "malicious":
+		return Malicious
+	case "harmless", "benign", "clean":
+		return Benign
+	default:
+		return Undetected
+	}
+}
+
+// parseVersion mirrors the reflective path's
+// fmt.Sscanf(s, "%d", &ver): a failed or partial scan leaves 0. The
+// manual branch covers canonical encoder output (plain base-10, no
+// overflow possible at ≤18 digits); everything else goes through the
+// identical Sscanf call.
+func parseVersion(b []byte) int {
+	i, neg := 0, false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		i = 1
+	}
+	if n := len(b) - i; n >= 1 && n <= 18 {
+		v := int64(0)
+		for ; i < len(b); i++ {
+			d := b[i]
+			if d < '0' || d > '9' {
+				goto slow
+			}
+			v = v*10 + int64(d-'0')
+		}
+		if neg {
+			v = -v
+		}
+		return int(v)
+	}
+slow:
+	var ver int
+	fmt.Sscanf(string(b), "%d", &ver)
+	return ver
+}
+
+// unmarshalSlow is the original reflective decoder; the fast path
+// defers to it on any input outside its strict subset.
+func (e *Envelope) unmarshalSlow(b []byte) error {
 	var w wireEnvelope
 	if err := json.Unmarshal(b, &w); err != nil {
 		return err

@@ -1,0 +1,253 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzEnvelope builds an Envelope from fuzz primitives, including the
+// degenerate shapes the encoder must normalize (unsorted results,
+// duplicate engine names, invalid UTF-8, zero times, odd verdicts).
+func fuzzEnvelope(sha, ftype string, size, t1, t2, t3 int64, times int,
+	eng1, lab1 string, ver1 int, v1 int8,
+	eng2, lab2 string, ver2 int, v2 int8) Envelope {
+	return Envelope{
+		Meta: SampleMeta{
+			SHA256:              sha,
+			FileType:            ftype,
+			Size:                size,
+			FirstSubmissionDate: fromUnix(t1),
+			LastAnalysisDate:    fromUnix(t2),
+			LastSubmissionDate:  fromUnix(t3),
+			TimesSubmitted:      times,
+		},
+		Scan: ScanReport{
+			SHA256:       sha,
+			FileType:     ftype,
+			AnalysisDate: fromUnix(t2),
+			Results: []EngineResult{
+				{Engine: eng1, Verdict: Verdict(v1), Label: lab1, SignatureVersion: ver1},
+				{Engine: eng2, Verdict: Verdict(v2), Label: lab2, SignatureVersion: ver2},
+			},
+		},
+	}
+}
+
+var encodeSeeds = []Envelope{
+	{},
+	fuzzEnvelope("aa11", "Win32 EXE", 1234, 1620000000, 1620000600, 1620000000, 2,
+		"BitDefender", "Trojan.GenericKD", 41, 1, "Avast", "", 7, 0),
+	// Unsorted names: map-order normalization must sort them.
+	fuzzEnvelope("bb22", "PDF", 9, 0, 0, 0, 0,
+		"ZoneAlarm", "W97M/Dropper", -3, 1, "AVG", "", 0, -1),
+	// Duplicate engine: last occurrence must win, stats count both.
+	fuzzEnvelope("cc33", "ELF", 1, 1, 1, 1, 1,
+		"Dup", "first", 1, 1, "Dup", "second", 2, 0),
+	// Hostile strings and an out-of-range verdict.
+	fuzzEnvelope("sha\xffbad", "type<&>\u2028", -5, -1, 9e9, 0, -2,
+		"Eng\xc3", "lab\xe2\x28el", 1<<40, 5, "b\"q\\s", "tab\tnl\n", -1<<40, -9),
+}
+
+func TestAppendJSONMatchesReflectiveEncoder(t *testing.T) {
+	for i, env := range encodeSeeds {
+		want, err := env.marshalSlow()
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		got := env.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("seed %d:\n fast %s\n slow %s", i, got, want)
+		}
+		// json.Marshal routes through MarshalJSON and must agree too.
+		viaMarshal, err := json.Marshal(env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if !bytes.Equal(viaMarshal, want) {
+			t.Errorf("seed %d: json.Marshal diverges:\n got %s\nwant %s", i, viaMarshal, want)
+		}
+	}
+}
+
+func FuzzEnvelopeEncodeDifferential(f *testing.F) {
+	f.Add("aa11", "Win32 EXE", int64(1234), int64(1620000000), int64(1620000600), int64(0), 2,
+		"BitDefender", "Trojan.GenericKD", 41, int8(1), "Avast", "", 7, int8(0))
+	f.Add("sha\xffbad", "t<&>", int64(-5), int64(-1), int64(0), int64(1), -2,
+		"Dup", "a", 1, int8(5), "Dup", "b", -2, int8(-9))
+	f.Fuzz(func(t *testing.T, sha, ftype string, size, t1, t2, t3 int64, times int,
+		eng1, lab1 string, ver1 int, v1 int8,
+		eng2, lab2 string, ver2 int, v2 int8) {
+		env := fuzzEnvelope(sha, ftype, size, t1, t2, t3, times, eng1, lab1, ver1, v1, eng2, lab2, ver2, v2)
+		want, err := env.marshalSlow()
+		if err != nil {
+			t.Skip()
+		}
+		got := env.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fast %s\nslow %s", got, want)
+		}
+	})
+}
+
+// FuzzEnvelopeDecodeDifferential feeds arbitrary bytes to the
+// fast-path-with-fallback UnmarshalJSON and to the reflective decoder
+// alone; results and errors must be indistinguishable.
+func FuzzEnvelopeDecodeDifferential(f *testing.F) {
+	for _, env := range encodeSeeds {
+		f.Add(env.AppendJSON(nil))
+	}
+	f.Add([]byte(`{"data":{"id":"x","type":"file","attributes":{}}}`))
+	f.Add([]byte(`{"Data":{"ID":"x","TYPE":"file"}}`))                            // case-insensitive match
+	f.Add([]byte(`{"data":{"type":"url"}}`))                                      // wrong type error
+	f.Add([]byte(`{"data":null}`))                                                // null handling
+	f.Add([]byte(`{"data":{"attributes":{"size":1e3}}}`))                         // float into int64
+	f.Add([]byte(`{"data":{"attributes":{"last_analysis_results":{"E":null}}}}`)) // null member
+	f.Add([]byte(`{"data":{"attributes":{"last_analysis_results":{"E":{"engine_version":" 41x"}}}}}`))
+	f.Add([]byte(`{"data":{"id":"a"},"data":{"id":"b"}}`))       // duplicate keys, last wins
+	f.Add([]byte(`{"data":{"attributes":{"unknown_field":3}}}`)) // unknown key skip
+	f.Add([]byte(`{"data":{"id":"x"}} trailing`))                // trailing junk error
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var fast, slow Envelope
+		errFast := fast.UnmarshalJSON(raw)
+		errSlow := slow.unmarshalSlow(raw)
+		if (errFast == nil) != (errSlow == nil) {
+			t.Fatalf("error mismatch on %q:\n fast: %v\n slow: %v", raw, errFast, errSlow)
+		}
+		if errFast != nil {
+			if errFast.Error() != errSlow.Error() {
+				t.Fatalf("error text mismatch on %q:\n fast: %v\n slow: %v", raw, errFast, errSlow)
+			}
+			return
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("decode mismatch on %q:\n fast: %+v\n slow: %+v", raw, fast, slow)
+		}
+	})
+}
+
+// FuzzEnvelopeRoundTrip pins encode→decode→encode byte stability for
+// valid envelopes, the property the store's read-modify-write paths
+// rely on.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, env := range encodeSeeds {
+		f.Add(env.AppendJSON(nil))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var env Envelope
+		if err := env.UnmarshalJSON(raw); err != nil {
+			t.Skip()
+		}
+		first := env.AppendJSON(nil)
+		var env2 Envelope
+		if err := env2.UnmarshalJSON(first); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\n%s", err, first)
+		}
+		second := env2.AppendJSON(nil)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("unstable round trip:\n first %s\nsecond %s", first, second)
+		}
+	})
+}
+
+func TestUnmarshalWrongTypeError(t *testing.T) {
+	var env Envelope
+	err := env.UnmarshalJSON([]byte(`{"data":{"id":"x","type":"url","attributes":{}}}`))
+	if err == nil || err.Error() != `report: unexpected data type "url"` {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnmarshalInternsVocabulary(t *testing.T) {
+	doc := []byte(`{"data":{"id":"deadbeef","type":"file","attributes":{` +
+		`"type_description":"Win32 EXE","size":10,` +
+		`"last_analysis_results":{"InternProbe":{"category":"malicious","result":"Fam.X","engine_version":"3"}}}}}`)
+	var a, b Envelope
+	if err := a.UnmarshalJSON(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnmarshalJSON(append([]byte(nil), doc...)); err != nil {
+		t.Fatal(err)
+	}
+	if !sameBacking(a.Scan.Results[0].Engine, b.Scan.Results[0].Engine) {
+		t.Error("engine names not interned across decodes")
+	}
+	if !sameBacking(a.Scan.Results[0].Label, b.Scan.Results[0].Label) {
+		t.Error("labels not interned across decodes")
+	}
+	if !sameBacking(a.Meta.FileType, b.Meta.FileType) {
+		t.Error("file types not interned across decodes")
+	}
+}
+
+// TestUnmarshalDoesNotAliasInput proves decoded strings survive the
+// caller recycling the input buffer — required now that vtclient
+// decodes from pooled body buffers.
+func TestUnmarshalDoesNotAliasInput(t *testing.T) {
+	doc := []byte(`{"data":{"id":"feedface","type":"file","attributes":{` +
+		`"type_description":"Alias Probe Type","size":1,` +
+		`"last_analysis_results":{"AliasProbeEngine":{"category":"malicious","result":"Alias.Label","engine_version":"1"}}}}}`)
+	var env Envelope
+	if err := env.UnmarshalJSON(doc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range doc {
+		doc[i] = 'X'
+	}
+	if env.Meta.SHA256 != "feedface" || env.Meta.FileType != "Alias Probe Type" {
+		t.Fatalf("meta aliases input: %+v", env.Meta)
+	}
+	r := env.Scan.Results[0]
+	if r.Engine != "AliasProbeEngine" || r.Label != "Alias.Label" {
+		t.Fatalf("result aliases input: %+v", r)
+	}
+}
+
+func BenchmarkEnvelopeAppendJSON(b *testing.B) {
+	env := encodeSeeds[1]
+	buf := env.AppendJSON(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = env.AppendJSON(buf[:0])
+	}
+}
+
+func BenchmarkEnvelopeMarshalReflect(b *testing.B) {
+	env := encodeSeeds[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.marshalSlow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeUnmarshal(b *testing.B) {
+	raw := encodeSeeds[1].AppendJSON(nil)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var env Envelope
+		if err := env.UnmarshalJSON(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeUnmarshalReflect(b *testing.B) {
+	raw := encodeSeeds[1].AppendJSON(nil)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var env Envelope
+		if err := env.unmarshalSlow(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = time.Time{}

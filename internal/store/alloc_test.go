@@ -1,0 +1,39 @@
+package store
+
+import "testing"
+
+// Allocation budgets for the row codec hot path, enforced by the CI
+// alloc-smoke step. Raising a budget is a deliberate act: it means a
+// change re-introduced per-row garbage into a path that runs once per
+// ingested and once per scanned row.
+const (
+	// Encoding into a reused buffer must not allocate at all.
+	rowEncodeAllocBudget = 0
+	// Decoding into a reused row pays exactly one allocation: the SHA
+	// string clone (engines, file types, and labels are interned; the
+	// Res slice is reused).
+	rowDecodeAllocBudget = 1
+)
+
+func TestRowCodecAllocBudget(t *testing.T) {
+	scan := rowCodecSeeds[1]
+	buf := appendScanRow(nil, scan)
+	if got := testing.AllocsPerRun(200, func() {
+		buf = appendScanRow(buf[:0], scan)
+	}); got > rowEncodeAllocBudget {
+		t.Errorf("appendScanRow allocs/op = %v, budget %d", got, rowEncodeAllocBudget)
+	}
+
+	raw := appendScanRow(nil, scan)
+	var row scanRow
+	if err := decodeScanRow(raw, &row); err != nil { // settle Res capacity and the intern table
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := decodeScanRow(raw, &row); err != nil {
+			t.Fatal(err)
+		}
+	}); got > rowDecodeAllocBudget {
+		t.Errorf("decodeScanRow allocs/op = %v, budget %d", got, rowDecodeAllocBudget)
+	}
+}

@@ -1,8 +1,12 @@
 // Read cache: a size-bounded LRU of decoded histories with
 // singleflight-style in-flight deduplication. Concurrent Gets of a
-// hot sample decode its blocks once; every caller receives a deep
-// copy, mirroring FeedBetween's aliasing rule — callers can never
-// observe or corrupt cached state.
+// hot sample decode its blocks once; every caller receives a fresh
+// History (meta copied by value, fresh Reports slice) whose
+// *ScanReport elements are shared with the cache and treated as
+// immutable — see Store.Get for the contract. Sharing the reports
+// removes the dominant allocation on cache hits (a deep Clone of
+// every report, per caller); TestGetSharedReportsImmutableUnderRace
+// holds the contract under the race detector.
 package store
 
 import (
@@ -80,7 +84,8 @@ func newHistoryCache(capacity int) *historyCache {
 
 // get returns the sample's history, loading via load on a miss. Only
 // one goroutine runs load per sha at a time; the rest wait for its
-// result. The returned history is always a private deep copy.
+// result. The returned History and its Reports slice are private to
+// the caller; the *ScanReport elements are shared and immutable.
 func (c *historyCache) get(sha string, load func(string) (*report.History, error)) (*report.History, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[sha]; ok {
@@ -88,7 +93,7 @@ func (c *historyCache) get(sha string, load func(string) (*report.History, error
 		h := el.Value.(*cacheEntry).h
 		c.mu.Unlock()
 		c.m.hits.Inc()
-		return cloneHistory(h), nil
+		return shareHistory(h), nil
 	}
 	if fl, ok := c.flights[sha]; ok {
 		c.mu.Unlock()
@@ -98,7 +103,7 @@ func (c *historyCache) get(sha string, load func(string) (*report.History, error
 		if fl.err != nil {
 			return nil, fl.err
 		}
-		return cloneHistory(fl.h), nil
+		return shareHistory(fl.h), nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.flights[sha] = fl
@@ -118,7 +123,7 @@ func (c *historyCache) get(sha string, load func(string) (*report.History, error
 	if err != nil {
 		return nil, err
 	}
-	return cloneHistory(h), nil
+	return shareHistory(h), nil
 }
 
 // insertLocked adds an entry and evicts past capacity. Caller holds mu.
@@ -165,12 +170,14 @@ func (c *historyCache) len() int {
 	return len(c.entries)
 }
 
-// cloneHistory deep-copies a history: the meta by value, each report
-// via its Clone.
-func cloneHistory(h *report.History) *report.History {
-	out := &report.History{Meta: h.Meta, Reports: make([]*report.ScanReport, len(h.Reports))}
-	for i, r := range h.Reports {
-		out.Reports[i] = r.Clone()
+// shareHistory hands out a cached history: the meta by value and a
+// fresh Reports slice over the same *ScanReport elements. The shared
+// reports are never mutated after decode — invalidation replaces
+// whole histories, never edits one — so concurrent readers are safe
+// as long as callers honor Store.Get's read-only contract.
+func shareHistory(h *report.History) *report.History {
+	return &report.History{
+		Meta:    h.Meta,
+		Reports: append([]*report.ScanReport(nil), h.Reports...),
 	}
-	return out
 }

@@ -48,10 +48,18 @@ func TestCacheSingleflight(t *testing.T) {
 	if n := loads.Load(); n != 1 {
 		t.Fatalf("load ran %d times for one sha", n)
 	}
-	// Every caller got a private deep copy.
+	// Every caller got a private History and Reports slice over the
+	// same shared (immutable) report elements.
 	for i := 1; i < readers; i++ {
-		if results[i] == results[0] || results[i].Reports[0] == results[0].Reports[0] {
-			t.Fatal("callers share history memory")
+		if results[i] == results[0] {
+			t.Fatal("callers share the History struct")
+		}
+		if results[i].Reports[0] != results[0].Reports[0] {
+			t.Fatal("followers did not share the cached reports")
+		}
+		results[i].Reports = results[i].Reports[:0] // private slice: no cross-talk
+		if len(results[0].Reports) == 0 {
+			t.Fatal("callers share the Reports slice")
 		}
 	}
 	if c.len() != 1 {
@@ -130,7 +138,11 @@ func TestCacheInvalidatePoisonsFlight(t *testing.T) {
 	}
 }
 
-func TestGetReturnsDeepCopies(t *testing.T) {
+// TestGetOwnedSliceSharedReports pins Get's contract: the History and
+// Reports slice are caller-owned, while the report elements are
+// shared — a caller who follows the contract (Clone before mutating a
+// report) can never corrupt cached state.
+func TestGetOwnedSliceSharedReports(t *testing.T) {
 	s := openStore(t)
 	if err := s.Put(envelope("deep", t0, 4)); err != nil {
 		t.Fatal(err)
@@ -139,10 +151,12 @@ func TestGetReturnsDeepCopies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Scribble over everything the caller can reach.
+	// Everything the contract says is the caller's: meta (a value
+	// copy), the slice itself, and a Clone of a shared report.
 	h1.Meta.FileType = "mutated"
-	h1.Reports[0].AVRank = 999
-	h1.Reports[0].Results[0].Engine = "mutated"
+	own := h1.Reports[0].Clone()
+	own.AVRank = 999
+	own.Results[0].Engine = "mutated"
 	h1.Reports = h1.Reports[:0]
 
 	h2, err := s.Get("deep")
@@ -153,6 +167,67 @@ func TestGetReturnsDeepCopies(t *testing.T) {
 		h2.Reports[0].AVRank != 4 || h2.Reports[0].Results[0].Engine != "Avast" {
 		t.Fatalf("cached state leaked caller mutations: %+v", h2)
 	}
+	// Two hits share the underlying report storage (the point of the
+	// contract: hits stop deep-copying).
+	h3, err := s.Get("deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Reports[0] != h3.Reports[0] {
+		t.Fatal("cache hits did not share report elements")
+	}
+}
+
+// TestGetSharedReportsImmutableUnderRace drives concurrent Gets and
+// deep reads of every shared field while Puts of other samples churn
+// the cache. Under -race this proves nothing writes a published
+// report; without -race it still exercises the slice-privacy rules.
+func TestGetSharedReportsImmutableUnderRace(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(envelope("shared", t0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(100*time.Millisecond, func() { close(stop) })
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := s.Get("shared")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Deep read of shared state.
+				for _, r := range h.Reports {
+					if r.SHA256 != "shared" || len(r.Results) == 0 {
+						t.Errorf("goroutine %d saw torn report: %+v", g, r)
+						return
+					}
+					for _, er := range r.Results {
+						_ = er.Engine
+						_ = er.Label
+					}
+				}
+				// Exercise caller-owned mutations only.
+				h.Reports = append(h.Reports, h.Reports...)
+				if i%7 == 0 {
+					if err := s.Put(envelope(fmt.Sprintf("churn-%d-%d", g, i), t0, 1)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestPutInvalidatesCachedHistory(t *testing.T) {

@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"vtdynamics/internal/bufpool"
 )
 
 // blockSizeDefault is the target uncompressed size of one block. Big
@@ -265,17 +267,23 @@ func indexPartitionFile(path string) (*partIndex, error) {
 			shas = make(map[string]int)
 		)
 		sc := bufio.NewScanner(zr)
-		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		sbuf := bufpool.GetScanBuf()
+		sc.Buffer(sbuf, 16<<20)
+		var row scanRow
 		for sc.Scan() {
-			var row scanRow
-			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			// Full decode (not just the hash): Reindex is the repair
+			// path, so malformed rows must keep surfacing as errors.
+			if err := decodeScanRow(sc.Bytes(), &row); err != nil {
+				bufpool.PutScanBuf(sbuf)
 				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
 			rows++
 			raw += int64(len(sc.Bytes()))
 			shas[row.SHA]++
 		}
-		if err := sc.Err(); err != nil {
+		err := sc.Err()
+		bufpool.PutScanBuf(sbuf)
+		if err != nil {
 			return nil, fmt.Errorf("store: %s: %w", path, err)
 		}
 		end := cr.n
@@ -305,22 +313,44 @@ func scanBlock(path string, bm blockMeta, fn func(row scanRow)) error {
 }
 
 // scanBlockAt is scanBlock over an already open partition file, so a
-// multi-block Get opens the file once.
+// multi-block Get opens the file once. The row passed to fn is reused
+// between calls (its strings are owned, only the Res backing array is
+// recycled), so fn must copy what it keeps — every caller goes
+// through rowToReport, which does.
 func scanBlockAt(f *os.File, path string, bm blockMeta, fn func(row scanRow)) error {
+	var row scanRow
+	return scanBlockLinesAt(f, path, bm, func(line []byte) error {
+		if err := decodeScanRow(line, &row); err != nil {
+			return err
+		}
+		fn(row)
+		return nil
+	})
+}
+
+// scanBlockLinesAt streams one block's raw lines through fn, drawing
+// the buffered reader, gzip state, and scanner buffer from the shared
+// pools. The line aliases the scanner's buffer and is only valid
+// during the call. An fn error stops the scan and is returned
+// verbatim (wrapped with the block's position).
+func scanBlockLinesAt(f *os.File, path string, bm blockMeta, fn func(line []byte) error) error {
 	sec := io.NewSectionReader(f, bm.Offset, bm.Len)
-	zr, err := gzip.NewReader(bufio.NewReaderSize(sec, 64<<10))
+	br := bufpool.GetBufioReader(sec)
+	defer bufpool.PutBufioReader(br)
+	zr, err := bufpool.GetGzipReader(br)
 	if err != nil {
 		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
 	}
+	defer bufpool.PutGzipReader(zr)
 	defer zr.Close()
 	sc := bufio.NewScanner(zr)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	sbuf := bufpool.GetScanBuf()
+	defer bufpool.PutScanBuf(sbuf)
+	sc.Buffer(sbuf, 16<<20)
 	for sc.Scan() {
-		var row scanRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+		if err := fn(sc.Bytes()); err != nil {
 			return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
 		}
-		fn(row)
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)

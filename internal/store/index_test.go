@@ -17,7 +17,7 @@ import (
 // external tool would leave behind.
 func appendRawMember(t *testing.T, dir, month string, env report.Envelope) error {
 	t.Helper()
-	enc, err := encodeEnvelope(env)
+	enc, _, err := encodeEnvelope(&env, nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,239 @@
+// Hand-rolled codec for the compact on-disk row encoding. The encoder
+// writes bytes identical to json.Marshal(rowFromScan(scan)) — pinned
+// by FuzzRowCodecDifferential — so partitions written by either
+// implementation hash equal. The decoder is a strict fast path over
+// the jsonx cursor that falls back to encoding/json on any input
+// outside its subset, and interns the engine/label/file-type
+// vocabulary so millions of rows share one string per distinct value.
+package store
+
+import (
+	"encoding/json"
+
+	"vtdynamics/internal/jsonx"
+	"vtdynamics/internal/report"
+)
+
+// appendScanRow appends the compact row encoding of scan directly
+// from the report, skipping the scanRow intermediate: same UTF-8
+// normalization, same zero-preserving timestamps, same omitempty
+// label handling.
+func appendScanRow(dst []byte, scan *report.ScanReport) []byte {
+	dst = append(dst, `{"s":`...)
+	dst = jsonx.AppendString(dst, validUTF8(scan.SHA256))
+	dst = append(dst, `,"f":`...)
+	dst = jsonx.AppendString(dst, validUTF8(scan.FileType))
+	dst = append(dst, `,"t":`...)
+	dst = jsonx.AppendInt(dst, unix(scan.AnalysisDate))
+	dst = append(dst, `,"p":`...)
+	dst = jsonx.AppendInt(dst, int64(scan.AVRank))
+	dst = append(dst, `,"n":`...)
+	dst = jsonx.AppendInt(dst, int64(scan.EnginesTotal))
+	dst = append(dst, `,"r":[`...)
+	for i := range scan.Results {
+		er := &scan.Results[i]
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"e":`...)
+		dst = jsonx.AppendString(dst, validUTF8(er.Engine))
+		dst = append(dst, `,"v":`...)
+		dst = jsonx.AppendInt(dst, int64(er.Verdict))
+		dst = append(dst, `,"s":`...)
+		dst = jsonx.AppendInt(dst, int64(er.SignatureVersion))
+		if lab := validUTF8(er.Label); lab != "" {
+			dst = append(dst, `,"l":`...)
+			dst = jsonx.AppendString(dst, lab)
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']', '}')
+	return dst
+}
+
+// decodeScanRow parses one partition line into row, reusing row.Res
+// capacity. All strings in the result are owned (cloned or interned),
+// never aliases of line, so callers may recycle the line buffer. On
+// inputs outside the fast path's subset it defers to encoding/json,
+// reproducing its exact accept/reject behavior.
+func decodeScanRow(line []byte, row *scanRow) error {
+	if decodeScanRowFast(line, row) {
+		return nil
+	}
+	// Full reset: the fast attempt may have partially filled the row,
+	// and json.Unmarshal merges into existing values.
+	*row = scanRow{}
+	return json.Unmarshal(line, row)
+}
+
+func decodeScanRowFast(line []byte, row *scanRow) bool {
+	c := jsonx.Cursor{Buf: line}
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	row.SHA, row.FT = "", ""
+	row.At, row.Rank, row.Tot = 0, 0, 0
+	row.Res = row.Res[:0]
+	seenRes := false
+	if !empty {
+		for {
+			key, kerr := c.Key()
+			if kerr != nil {
+				return false
+			}
+			switch string(key) {
+			case "s":
+				v, err := c.ReadString()
+				if err != nil {
+					return false
+				}
+				row.SHA = string(v)
+			case "f":
+				v, err := c.ReadString()
+				if err != nil {
+					return false
+				}
+				row.FT = report.InternBytes(v)
+			case "t":
+				if row.At, err = c.ReadInt64(); err != nil {
+					return false
+				}
+			case "p":
+				v, err := c.ReadInt64()
+				if err != nil {
+					return false
+				}
+				row.Rank = int(v)
+			case "n":
+				v, err := c.ReadInt64()
+				if err != nil {
+					return false
+				}
+				row.Tot = int(v)
+			case "r":
+				// A repeated "r" key makes encoding/json merge the
+				// arrays element-wise; punt rather than replicate that.
+				if seenRes {
+					return false
+				}
+				seenRes = true
+				if !decodeRowResults(&c, &row.Res) {
+					return false
+				}
+			default:
+				return false
+			}
+			done, nerr := c.ObjectNext()
+			if nerr != nil {
+				return false
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if c.AtEOF() != nil {
+		return false
+	}
+	if !seenRes {
+		row.Res = nil // match the zero scanRow json.Unmarshal leaves
+	}
+	return true
+}
+
+func decodeRowResults(c *jsonx.Cursor, res *[]rowRes) bool {
+	empty, err := c.ArrayStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		var rr rowRes
+		if !decodeRowRes(c, &rr) {
+			return false
+		}
+		*res = append(*res, rr)
+		done, err := c.ArrayNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+func decodeRowRes(c *jsonx.Cursor, rr *rowRes) bool {
+	empty, err := c.ObjectStart()
+	if err != nil {
+		return false
+	}
+	if empty {
+		return true
+	}
+	for {
+		key, err := c.Key()
+		if err != nil {
+			return false
+		}
+		switch string(key) {
+		case "e":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			rr.E = report.InternBytes(v)
+		case "v":
+			v, err := c.ReadInt64()
+			if err != nil || v < -128 || v > 127 {
+				return false // int8 overflow is an encoding/json error
+			}
+			rr.V = int8(v)
+		case "s":
+			v, err := c.ReadInt64()
+			if err != nil {
+				return false
+			}
+			rr.S = int(v)
+		case "l":
+			v, err := c.ReadString()
+			if err != nil {
+				return false
+			}
+			rr.L = report.InternBytes(v)
+		default:
+			return false
+		}
+		done, err := c.ObjectNext()
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+// rowSHA extracts just the sample hash from a row line, allocation
+// free for canonical encoder output (the "s" field leads and needs no
+// unescaping). ok=false means the caller must fall back to a full
+// decode.
+func rowSHA(line []byte) (sha []byte, ok bool) {
+	c := jsonx.Cursor{Buf: line}
+	empty, err := c.ObjectStart()
+	if err != nil || empty {
+		return nil, false
+	}
+	key, err := c.Key()
+	if err != nil || string(key) != "s" {
+		return nil, false
+	}
+	v, err := c.ReadString()
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vtdynamics/internal/report"
+)
+
+// rowScanReport builds a ScanReport from fuzz primitives, covering the
+// shapes the row codec must normalize: invalid UTF-8, empty labels,
+// zero times, out-of-range verdict ints.
+func rowScanReport(sha, ftype string, at int64, rank, tot int,
+	eng1, lab1 string, v1 int8, sv1 int,
+	eng2, lab2 string, v2 int8, sv2 int) *report.ScanReport {
+	return &report.ScanReport{
+		SHA256:       sha,
+		FileType:     ftype,
+		AnalysisDate: fromUnix(at),
+		AVRank:       rank,
+		EnginesTotal: tot,
+		Results: []report.EngineResult{
+			{Engine: eng1, Verdict: report.Verdict(v1), Label: lab1, SignatureVersion: sv1},
+			{Engine: eng2, Verdict: report.Verdict(v2), Label: lab2, SignatureVersion: sv2},
+		},
+	}
+}
+
+var rowCodecSeeds = []*report.ScanReport{
+	{},
+	rowScanReport("aa11", "Win32 EXE", 1620000000, 3, 70,
+		"BitDefender", "Trojan.GenericKD", 1, 41, "Avast", "", 0, 7),
+	rowScanReport("sha\xffbad", "pdf<&>\u2028", 0, -1, 0,
+		"Eng\xc3", "lab\xe2\x28el", 5, 1<<40, "b\"q\\s", "tab\tnl\n", -9, -1<<40),
+}
+
+// TestAppendScanRowMatchesReflect pins the tentpole's byte-identity
+// claim for the row encoder on fixed seeds (the fuzzer widens it).
+func TestAppendScanRowMatchesReflect(t *testing.T) {
+	for i, scan := range rowCodecSeeds {
+		want, err := json.Marshal(rowFromScan(scan))
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		got := appendScanRow(nil, scan)
+		if !bytes.Equal(got, want) {
+			t.Errorf("seed %d:\n fast %s\n slow %s", i, got, want)
+		}
+	}
+}
+
+// FuzzRowCodecDifferential asserts the hand-rolled row encoder and
+// decoder round-trip byte-equal with encoding/json on arbitrary rows,
+// including invalid-UTF-8 and zero-time edge cases from PR 1.
+func FuzzRowCodecDifferential(f *testing.F) {
+	f.Add("aa11", "Win32 EXE", int64(1620000000), 3, 70,
+		"BitDefender", "Trojan.GenericKD", int8(1), 41, "Avast", "", int8(0), 7)
+	f.Add("sha\xffbad", "pdf<&>\u2028", int64(0), -1, 0,
+		"Eng\xc3", "lab\xe2\x28el", int8(5), 1<<40, "b\"q\\s", "tab\tnl\n", int8(-9), -1<<40)
+	f.Fuzz(func(t *testing.T, sha, ftype string, at int64, rank, tot int,
+		eng1, lab1 string, v1 int8, sv1 int,
+		eng2, lab2 string, v2 int8, sv2 int) {
+		scan := rowScanReport(sha, ftype, at, rank, tot, eng1, lab1, v1, sv1, eng2, lab2, v2, sv2)
+		want, err := json.Marshal(rowFromScan(scan))
+		if err != nil {
+			t.Skip()
+		}
+		got := appendScanRow(nil, scan)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encode mismatch:\n fast %s\n slow %s", got, want)
+		}
+		var fast, slow scanRow
+		if err := decodeScanRow(got, &fast); err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, got)
+		}
+		if err := json.Unmarshal(want, &slow); err != nil {
+			t.Fatalf("reflective decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("decode mismatch on %s:\n fast %+v\n slow %+v", got, fast, slow)
+		}
+	})
+}
+
+// FuzzDecodeScanRowDifferential feeds arbitrary bytes to the
+// fast-path-with-fallback decoder and to encoding/json alone; accept
+// or reject and the decoded value must match, including when the fast
+// attempt partially fills a reused row before bailing out.
+func FuzzDecodeScanRowDifferential(f *testing.F) {
+	for _, scan := range rowCodecSeeds {
+		f.Add(appendScanRow(nil, scan))
+	}
+	f.Add([]byte(`{"s":"a","S":"b"}`))                 // case-variant key
+	f.Add([]byte(`{"t":1e3}`))                         // float into int64
+	f.Add([]byte(`{"r":[{"v":200}]}`))                 // int8 overflow
+	f.Add([]byte(`{"r":[{"e":"a"}],"r":[{"l":"x"}]}`)) // duplicate r: element merge
+	f.Add([]byte(`{"s":"a","s":"b"}`))                 // duplicate scalar, last wins
+	f.Add([]byte(`{"r":[{"e":null}]}`))                // null member
+	f.Add([]byte(`{"s":"a"} junk`))                    // trailing junk
+	f.Add([]byte(`{"r":[{"e":"\ud800"}]}`))            // lone surrogate
+	f.Add([]byte("{\"s\":\"caf\xc3\"}"))               // truncated UTF-8 in string
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Pre-dirty the reused row to prove reset correctness.
+		fast := scanRow{SHA: "stale", Res: []rowRes{{E: "stale", V: 9, S: 9, L: "stale"}}}
+		errFast := decodeScanRow(raw, &fast)
+		var slow scanRow
+		errSlow := json.Unmarshal(raw, &slow)
+		if (errFast == nil) != (errSlow == nil) {
+			t.Fatalf("error mismatch on %q:\n fast: %v\n slow: %v", raw, errFast, errSlow)
+		}
+		if errFast != nil {
+			return
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("decode mismatch on %q:\n fast %+v\n slow %+v", raw, fast, slow)
+		}
+	})
+}
+
+func TestRowSHAPreFilter(t *testing.T) {
+	line := appendScanRow(nil, rowCodecSeeds[1])
+	sha, ok := rowSHA(line)
+	if !ok || string(sha) != "aa11" {
+		t.Fatalf("rowSHA = %q, %v", sha, ok)
+	}
+	if _, ok := rowSHA([]byte(`{"f":"x","s":"a"}`)); ok {
+		t.Fatal("rowSHA accepted a line not led by the s key")
+	}
+	if _, ok := rowSHA([]byte(`not json`)); ok {
+		t.Fatal("rowSHA accepted junk")
+	}
+}
+
+func BenchmarkRowEncode(b *testing.B) {
+	scan := rowCodecSeeds[1]
+	buf := appendScanRow(nil, scan)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendScanRow(buf[:0], scan)
+	}
+}
+
+func BenchmarkRowEncodeReflect(b *testing.B) {
+	scan := rowCodecSeeds[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(rowFromScan(scan)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowDecode(b *testing.B) {
+	raw := appendScanRow(nil, rowCodecSeeds[1])
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	var row scanRow
+	for i := 0; i < b.N; i++ {
+		if err := decodeScanRow(raw, &row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowDecodeReflect(b *testing.B) {
+	raw := appendScanRow(nil, rowCodecSeeds[1])
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var row scanRow
+		if err := json.Unmarshal(raw, &row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -38,14 +38,15 @@
 // the members holding its sample (concurrently across months),
 // falling back to the streaming scan for unindexed months; decoded
 // histories are served from an LRU cache with singleflight decode
-// deduplication, and every caller gets a deep copy. IterAll fans
-// blocks across a worker pool for full-store passes (Verify,
-// StatsByType).
+// deduplication. Every caller gets a private History and Reports
+// slice over shared, immutable *ScanReport elements (see Get).
+// IterAll fans blocks across a worker pool for full-store passes
+// (Verify, StatsByType).
 package store
 
 import (
 	"bufio"
-	"compress/gzip"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vtdynamics/internal/bufpool"
 	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 )
@@ -140,6 +142,10 @@ type Store struct {
 	// smu guards the per-month accounting.
 	smu   sync.Mutex
 	stats map[string]*PartitionStats
+
+	// compressSem bounds concurrent block compression across all
+	// partition writers.
+	compressSem chan struct{}
 }
 
 // Option tunes a Store at Open time.
@@ -283,8 +289,13 @@ func rowFromScan(scan *report.ScanReport) scanRow {
 }
 
 // partWriter appends rows to one monthly partition as a sequence of
-// block-sized gzip members. Members start lazily on the first row
-// after a cut, so flush/sync cycles never emit empty members.
+// block-sized gzip members. Rows accumulate uncompressed; a cut hands
+// the raw block to a pooled gzip codec on the store's compression
+// workers, and finished blocks are committed to the file strictly in
+// cut order, so the partition bytes are identical to compressing each
+// block inline (flate output depends only on the member's input
+// bytes). Members start lazily on the first row after a cut, so
+// flush/sync cycles never emit empty members.
 type partWriter struct {
 	mu      sync.Mutex
 	closed  bool
@@ -300,69 +311,175 @@ type partWriter struct {
 	idx *partIndex
 	// m is the owning store's metrics (blocks cut, compressed bytes).
 	m *storeMetrics
+	// sem is the store-wide compression-concurrency bound.
+	sem chan struct{}
 
-	// Current (pending) block; gz == nil between members.
-	gz            *gzip.Writer
-	buf           *bufio.Writer
-	blockStart    int64
-	pendingRows   int
-	pendingRaw    int64
-	pendingUncomp int
-	pendingShas   map[string]int
+	// Current (pending) block; pendingBuf == nil between members.
+	pendingBuf  []byte
+	pendingRows int
+	pendingRaw  int64
+	pendingShas map[string]int
+	// queue holds cut blocks whose compression may still be running,
+	// in cut order.
+	queue []*pendingBlock
 }
+
+// pendingBlock is one cut block travelling through the compression
+// pool. done is closed once comp and err are final.
+type pendingBlock struct {
+	raw      []byte
+	rows     int
+	rawBytes int64
+	shas     map[string]int
+	done     chan struct{}
+	comp     *bytes.Buffer
+	err      error
+}
+
+// maxInflightBlocks bounds cut-but-uncommitted blocks per partition;
+// past it the writer waits for the oldest, keeping memory flat when
+// encoding outruns compression.
+const maxInflightBlocks = 4
 
 // writeRowLocked appends one row, cutting a block when the pending
 // member reaches the block-size target. Caller holds w.mu.
 func (w *partWriter) writeRowLocked(row encRow) error {
-	if w.gz == nil {
-		w.blockStart = w.base + w.counter.n
-		w.gz = gzip.NewWriter(w.counter)
-		w.buf = bufio.NewWriterSize(w.gz, 64<<10)
+	if w.pendingBuf == nil {
+		w.pendingBuf = bufpool.GetBlockBuf()
 	}
-	if _, err := w.buf.Write(row.line); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := w.buf.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
+	w.pendingBuf = append(w.pendingBuf, row.line...)
+	w.pendingBuf = append(w.pendingBuf, '\n')
 	w.pendingRows++
 	w.pendingRaw += int64(len(row.line))
-	w.pendingUncomp += len(row.line) + 1
 	w.pendingShas[row.sha]++
-	if w.pendingUncomp >= w.blockSize {
+	if len(w.pendingBuf) >= w.blockSize {
 		return w.cutBlockLocked()
 	}
 	return nil
 }
 
-// cutBlockLocked closes the pending gzip member, making its rows
-// readable on disk, and records it in the month's index. Caller
-// holds w.mu. A nil pending member is a no-op.
+// cutBlockLocked seals the pending block and hands it to the
+// compression pool, then commits whatever earlier blocks have already
+// finished. Caller holds w.mu. A nil pending block is a no-op.
 func (w *partWriter) cutBlockLocked() error {
-	if w.gz == nil {
+	if w.pendingBuf == nil {
 		return nil
 	}
-	if err := w.buf.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	pb := &pendingBlock{
+		raw:      w.pendingBuf,
+		rows:     w.pendingRows,
+		rawBytes: w.pendingRaw,
+		shas:     w.pendingShas,
+		done:     make(chan struct{}),
 	}
-	if err := w.gz.Close(); err != nil {
+	w.pendingBuf = nil
+	w.pendingRows, w.pendingRaw = 0, 0
+	w.pendingShas = make(map[string]int)
+	w.queue = append(w.queue, pb)
+	go compressBlock(pb, w.sem)
+	return w.commitLocked(maxInflightBlocks)
+}
+
+// compressBlock gzips one cut block off the writer lock. It touches
+// only pb and the semaphore, never w, so commits can proceed under
+// w.mu while later blocks compress.
+func compressBlock(pb *pendingBlock, sem chan struct{}) {
+	sem <- struct{}{}
+	buf := bufpool.GetBuffer()
+	zw := bufpool.GetGzipWriter(buf)
+	_, werr := zw.Write(pb.raw)
+	cerr := zw.Close()
+	bufpool.PutGzipWriter(zw)
+	bufpool.PutBlockBuf(pb.raw)
+	pb.raw = nil
+	pb.comp = buf
+	if werr != nil {
+		pb.err = werr
+	} else {
+		pb.err = cerr
+	}
+	<-sem
+	close(pb.done)
+}
+
+// commitLocked appends finished blocks to the partition file in cut
+// order, stopping once at most maxLeft blocks remain queued (0 waits
+// for everything — the durability points use that). Offsets are
+// assigned here, where writes are serial, so they are exact. Caller
+// holds w.mu.
+func (w *partWriter) commitLocked(maxLeft int) error {
+	for len(w.queue) > 0 {
+		pb := w.queue[0]
+		if len(w.queue) <= maxLeft {
+			select {
+			case <-pb.done:
+			default:
+				return nil // still compressing, nothing forces a wait
+			}
+		} else {
+			<-pb.done
+		}
+		w.queue = w.queue[1:]
+		if err := w.commitBlockLocked(pb); err != nil {
+			w.abandonQueueLocked()
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *partWriter) commitBlockLocked(pb *pendingBlock) error {
+	defer bufpool.PutBuffer(pb.comp)
+	if pb.err != nil {
+		return fmt.Errorf("store: %w", pb.err)
+	}
+	start := w.base + w.counter.n
+	if _, err := w.counter.Write(pb.comp.Bytes()); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	end := w.base + w.counter.n
 	w.m.blocksCut.Inc()
-	w.m.storedBytes.Add(end - w.blockStart)
+	w.m.storedBytes.Add(end - start)
 	if w.idx != nil {
 		w.idx.appendBlock(blockMeta{
-			Offset: w.blockStart,
-			Len:    end - w.blockStart,
-			Rows:   w.pendingRows,
-			Raw:    w.pendingRaw,
-		}, w.pendingShas)
+			Offset: start,
+			Len:    end - start,
+			Rows:   pb.rows,
+			Raw:    pb.rawBytes,
+		}, pb.shas)
 	}
-	w.gz, w.buf = nil, nil
-	w.pendingRows, w.pendingRaw, w.pendingUncomp = 0, 0, 0
-	w.pendingShas = make(map[string]int)
 	return nil
+}
+
+// abandonQueueLocked drops the remaining queue after a commit error,
+// recycling each block's buffers once its compressor finishes. The
+// partition is no longer well-formed past the failed block, matching
+// the pre-pool behavior of an inline write error.
+func (w *partWriter) abandonQueueLocked() {
+	rest := w.queue
+	w.queue = nil
+	go func() {
+		for _, pb := range rest {
+			<-pb.done
+			if pb.comp != nil {
+				bufpool.PutBuffer(pb.comp)
+			}
+		}
+	}()
+}
+
+// pendingSHALocked reports whether sha has rows not yet readable on
+// disk: in the accumulating block or in a cut block still queued.
+func (w *partWriter) pendingSHALocked(sha string) bool {
+	if w.pendingShas[sha] > 0 {
+		return true
+	}
+	for _, pb := range w.queue {
+		if pb.shas[sha] > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 type countingWriter struct {
@@ -383,12 +500,13 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		blockSize: blockSizeDefault,
-		cacheSize: cacheSizeDefault,
-		writers:   make(map[string]*partWriter),
-		indexes:   make(map[string]*partIndex),
-		stats:     make(map[string]*PartitionStats),
+		dir:         dir,
+		blockSize:   blockSizeDefault,
+		cacheSize:   cacheSizeDefault,
+		writers:     make(map[string]*partWriter),
+		indexes:     make(map[string]*partIndex),
+		stats:       make(map[string]*PartitionStats),
+		compressSem: make(chan struct{}, max(2, runtime.GOMAXPROCS(0))),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -473,10 +591,11 @@ func (s *Store) load() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	gz, err := bufpool.GetGzipReader(f)
 	if err != nil {
 		return fmt.Errorf("store: samples snapshot: %w", err)
 	}
+	defer bufpool.PutGzipReader(gz)
 	defer gz.Close()
 	dec := json.NewDecoder(gz)
 	for {
@@ -584,37 +703,40 @@ type encRow struct {
 	line []byte
 }
 
-func encodeEnvelope(env report.Envelope) (encoded, error) {
+// encodeEnvelope builds the encoded form of one envelope. The row
+// line is drawn from the shared buffer pool — callers release it with
+// bufpool.PutBuf once the row is written. scratch is a reusable
+// scratch buffer (sized by the raw-baseline encode, the only use of
+// the full wire form here, so the envelope is serialized exactly
+// once); the grown scratch is returned for the caller's next call.
+func encodeEnvelope(env *report.Envelope, scratch []byte) (encoded, []byte, error) {
 	if env.Meta.SHA256 == "" {
-		return encoded{}, errors.New("store: envelope without sha256")
-	}
-	line, err := json.Marshal(rowFromScan(&env.Scan))
-	if err != nil {
-		return encoded{}, fmt.Errorf("store: %w", err)
+		return encoded{}, scratch, errors.New("store: envelope without sha256")
 	}
 	// Raw baseline: the full VT wire envelope.
-	rawWire, err := env.MarshalJSON()
-	if err != nil {
-		return encoded{}, fmt.Errorf("store: %w", err)
-	}
+	scratch = env.AppendJSON(scratch[:0])
 	return encoded{
 		month: MonthKey(env.Scan.AnalysisDate),
 		sha:   env.Meta.SHA256,
 		meta:  env.Meta,
-		line:  line,
-		raw:   len(rawWire),
-	}, nil
+		line:  appendScanRow(bufpool.GetBuf(), &env.Scan),
+		raw:   len(scratch),
+	}, scratch, nil
 }
 
 // Put stores one envelope: the scan row goes to its month partition
 // and the sample metadata snapshot is updated.
 func (s *Store) Put(env report.Envelope) error {
 	s.m.putCalls.Inc()
-	enc, err := encodeEnvelope(env)
+	scratch := bufpool.GetBuf()
+	enc, scratch, err := encodeEnvelope(&env, scratch)
+	bufpool.PutBuf(scratch)
 	if err != nil {
 		return err
 	}
-	if err := s.writeRows(enc.month, []encRow{{sha: enc.sha, line: enc.line}}); err != nil {
+	err = s.writeRows(enc.month, []encRow{{sha: enc.sha, line: enc.line}})
+	bufpool.PutBuf(enc.line)
+	if err != nil {
 		return err
 	}
 	s.indexEncoded(enc)
@@ -632,13 +754,25 @@ func (s *Store) PutBatch(envs []report.Envelope) error {
 		return nil
 	}
 	encs := make([]encoded, len(envs))
-	for i, env := range envs {
-		enc, err := encodeEnvelope(env)
+	scratch := bufpool.GetBuf()
+	releaseLines := func() {
+		for i := range encs {
+			bufpool.PutBuf(encs[i].line)
+			encs[i].line = nil
+		}
+	}
+	for i := range envs {
+		enc, grown, err := encodeEnvelope(&envs[i], scratch)
+		scratch = grown
 		if err != nil {
+			bufpool.PutBuf(scratch)
+			releaseLines()
 			return err
 		}
 		encs[i] = enc
 	}
+	bufpool.PutBuf(scratch)
+	defer releaseLines()
 	// Group rows by month preserving order.
 	byMonth := make(map[string][]encRow)
 	var months []string
@@ -755,6 +889,7 @@ func (s *Store) writer(month string) (*partWriter, error) {
 		blockSize:   s.blockSize,
 		pendingShas: make(map[string]int),
 		m:           s.m,
+		sem:         s.compressSem,
 	}
 	// Attach the month's block index. A fresh partition starts one; an
 	// existing partition continues its index only if that index covers
@@ -796,6 +931,10 @@ func (s *Store) Flush() error {
 			w.mu.Unlock()
 			return err
 		}
+		if err := w.commitLocked(0); err != nil {
+			w.mu.Unlock()
+			return err
+		}
 		stored := w.counter.n
 		if err := w.f.Close(); err != nil {
 			w.mu.Unlock()
@@ -827,6 +966,10 @@ func (s *Store) Sync() error {
 		w.mu.Lock()
 		if !w.closed {
 			if err := w.cutBlockLocked(); err != nil {
+				w.mu.Unlock()
+				return err
+			}
+			if err := w.commitLocked(0); err != nil {
 				w.mu.Unlock()
 				return err
 			}
@@ -871,10 +1014,13 @@ func (s *Store) cutPendingFor(month, sha string) error {
 	defer w.mu.Unlock()
 	// A writer closed by a concurrent Flush already has its rows on
 	// disk; nothing left to cut.
-	if w.closed || w.pendingShas[sha] == 0 {
+	if w.closed || !w.pendingSHALocked(sha) {
 		return nil
 	}
-	return w.cutBlockLocked()
+	if err := w.cutBlockLocked(); err != nil {
+		return err
+	}
+	return w.commitLocked(0)
 }
 
 // Close flushes partitions and writes the metadata snapshot.
@@ -886,7 +1032,8 @@ func (s *Store) Close() error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	gz := gzip.NewWriter(f)
+	gz := bufpool.GetGzipWriter(f)
+	defer bufpool.PutGzipWriter(gz)
 	enc := json.NewEncoder(gz)
 	metas := s.snapshotSamples()
 	hashes := make([]string, 0, len(metas))
@@ -947,8 +1094,14 @@ func (s *Store) snapshotSamples() map[string]report.SampleMeta {
 // scanned concurrently); unindexed months fall back to the full
 // streaming scan. Rows still sitting in a write buffer are cut to
 // disk first, so a Get after Put always sees the written rows.
-// Results are served through the history cache when enabled; the
-// returned history is always the caller's to mutate.
+//
+// Results are served through the history cache when enabled. The
+// returned History and its Reports slice are the caller's (reorder,
+// truncate, or replace entries freely), but the *ScanReport elements
+// are shared with the cache and other callers and MUST be treated as
+// immutable — call (*ScanReport).Clone before mutating one. Sharing
+// makes cache hits allocation-flat instead of deep-copying every
+// report per caller.
 func (s *Store) Get(sha string) (*report.History, error) {
 	s.m.gets.Inc()
 	if s.cache == nil {
@@ -1043,11 +1196,22 @@ func (s *Store) readMonthRows(month, sha string) ([]*report.ScanReport, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 		defer f.Close()
+		var row scanRow
 		for _, bm := range blocks {
-			if err := scanBlockAt(f, path, bm, func(row scanRow) {
+			if err := scanBlockLinesAt(f, path, bm, func(line []byte) error {
+				// A block holds many samples; skip full decodes for
+				// other samples' rows by peeking at the leading "s" key
+				// (always first in canonical encoder output).
+				if got, ok := rowSHA(line); ok && string(got) != sha {
+					return nil
+				}
+				if err := decodeScanRow(line, &row); err != nil {
+					return err
+				}
 				if row.SHA == sha {
 					out = append(out, rowToReport(row))
 				}
+				return nil
 			}); err != nil {
 				return nil, err
 			}
@@ -1097,16 +1261,25 @@ func (s *Store) scanPartition(path string, fn func(row scanRow, rawLen int)) err
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	gz, err := gzip.NewReader(f)
+	br := bufpool.GetBufioReader(f)
+	defer bufpool.PutBufioReader(br)
+	gz, err := bufpool.GetGzipReader(br)
 	if err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
+	defer bufpool.PutGzipReader(gz)
 	defer gz.Close()
 	sc := bufio.NewScanner(gz)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	sbuf := bufpool.GetScanBuf()
+	defer bufpool.PutScanBuf(sbuf)
+	sc.Buffer(sbuf, 16<<20)
+	// row is reused across lines: every decoded string is owned
+	// (cloned or interned) and fn's callers copy what they keep via
+	// rowToReport, so only the Res backing array is shared — and it is
+	// overwritten, never appended to, between calls.
+	var row scanRow
 	for sc.Scan() {
-		var row scanRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+		if err := decodeScanRow(sc.Bytes(), &row); err != nil {
 			return fmt.Errorf("store: %s: %w", path, err)
 		}
 		fn(row, len(sc.Bytes()))

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"vtdynamics/internal/bufpool"
 	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/vtsim"
@@ -225,18 +226,22 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	envs := s.svc.FeedBetween(from, to)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	// Stream as a JSON array of wire envelopes.
-	enc := json.NewEncoder(w)
+	// Stream as a JSON array of wire envelopes, one pooled encode
+	// buffer reused across elements. Byte-for-byte the old
+	// json.Encoder framing: each element is followed by '\n'.
+	buf := bufpool.GetBuf()
+	defer bufpool.PutBuf(buf)
 	if _, err := w.Write([]byte("[")); err != nil {
 		return
 	}
 	for i := range envs {
+		buf = buf[:0]
 		if i > 0 {
-			if _, err := w.Write([]byte(",")); err != nil {
-				return
-			}
+			buf = append(buf, ',')
 		}
-		if err := enc.Encode(envs[i]); err != nil {
+		buf = envs[i].AppendJSON(buf)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return
 		}
 	}
@@ -263,12 +268,15 @@ func writeServiceError(w http.ResponseWriter, err error) {
 }
 
 func writeEnvelope(w http.ResponseWriter, status int, env report.Envelope) {
+	// Hand-rolled encode into a pooled buffer; the trailing newline
+	// keeps the body identical to the json.Encoder framing clients saw
+	// before.
+	buf := env.AppendJSON(bufpool.GetBuf())
+	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(env); err != nil {
-		// Headers are gone; nothing more to do.
-		return
-	}
+	w.Write(buf)
+	bufpool.PutBuf(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {

@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"time"
 
+	"vtdynamics/internal/bufpool"
+	"vtdynamics/internal/jsonx"
 	"vtdynamics/internal/obs"
 	"vtdynamics/internal/report"
 	"vtdynamics/internal/vtapi"
@@ -159,31 +161,92 @@ func (c *Client) Rescan(ctx context.Context, sha256 string) (report.Envelope, er
 func (c *Client) FeedBetween(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
 	path := "/api/v3/feed/reports?from=" + strconv.FormatInt(from.Unix(), 10) +
 		"&to=" + strconv.FormatInt(to.Unix(), 10)
-	raw, err := c.do(ctx, http.MethodGet, path, nil)
+	buf, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
-	var envs []report.Envelope
-	if err := json.Unmarshal(raw, &envs); err != nil {
+	envs, err := decodeFeed(buf.Bytes())
+	bufpool.PutBuffer(buf)
+	if err != nil {
 		return nil, fmt.Errorf("vtclient: feed decode: %w", err)
 	}
 	return envs, nil
 }
 
+// decodeFeed splits the feed array with the jsonx span scanner and
+// decodes each element through the envelope fast path, avoiding
+// encoding/json's whole-body pre-scan. Any framing surprise falls
+// back to the reflective decode of the entire body, so accepted and
+// rejected inputs are exactly encoding/json's.
+func decodeFeed(raw []byte) ([]report.Envelope, error) {
+	if envs, ok := decodeFeedFast(raw); ok {
+		return envs, nil
+	}
+	var envs []report.Envelope
+	if err := json.Unmarshal(raw, &envs); err != nil {
+		return nil, err
+	}
+	return envs, nil
+}
+
+func decodeFeedFast(raw []byte) ([]report.Envelope, bool) {
+	c := jsonx.Cursor{Buf: raw}
+	empty, err := c.ArrayStart()
+	if err != nil {
+		return nil, false
+	}
+	// Non-nil like encoding/json, which allocates the slice for `[]`.
+	envs := []report.Envelope{}
+	if !empty {
+		for {
+			c.SkipSpace()
+			start := c.Pos
+			if err := c.SkipValue(); err != nil {
+				return nil, false
+			}
+			// UnmarshalJSON fully validates the span SkipValue found;
+			// a bad span surfaces as a decode error here.
+			var env report.Envelope
+			if err := env.UnmarshalJSON(raw[start:c.Pos]); err != nil {
+				return nil, false
+			}
+			envs = append(envs, env)
+			done, err := c.ArrayNext()
+			if err != nil {
+				return nil, false
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if c.AtEOF() != nil {
+		return nil, false
+	}
+	return envs, true
+}
+
 func (c *Client) doEnvelope(ctx context.Context, method, path string, body []byte) (report.Envelope, error) {
-	raw, err := c.do(ctx, method, path, body)
+	buf, err := c.do(ctx, method, path, body)
 	if err != nil {
 		return report.Envelope{}, err
 	}
 	var env report.Envelope
-	if err := env.UnmarshalJSON(raw); err != nil {
+	// UnmarshalJSON never aliases its input (pinned by
+	// TestUnmarshalDoesNotAliasInput), so the body buffer can be
+	// recycled immediately after the decode.
+	err = env.UnmarshalJSON(buf.Bytes())
+	bufpool.PutBuffer(buf)
+	if err != nil {
 		return report.Envelope{}, fmt.Errorf("vtclient: envelope decode: %w", err)
 	}
 	return env, nil
 }
 
-// do performs the request with retry on transient failures.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+// do performs the request with retry on transient failures. A non-nil
+// buffer result is drawn from bufpool — the caller owns it and must
+// release it with bufpool.PutBuffer once done with its bytes.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*bytes.Buffer, error) {
 	var lastErr error
 	attemptsUsed := 0
 	defer func() { c.m.requestAttempts.Observe(float64(attemptsUsed)) }()
@@ -220,21 +283,27 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			c.m.retryNetwork.Inc()
 			continue // transient: retry
 		}
-		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		buf := bufpool.GetBuffer()
+		_, readErr := buf.ReadFrom(io.LimitReader(resp.Body, 256<<20))
 		resp.Body.Close()
 		if readErr != nil {
+			bufpool.PutBuffer(buf)
 			lastErr = fmt.Errorf("vtclient: read body: %w", readErr)
 			continue
 		}
+		// Every branch below either returns buf to the caller or builds
+		// its error/message strings (copies) before releasing it.
+		data := buf.Bytes()
+		if resp.StatusCode == http.StatusOK {
+			return buf, nil
+		}
 		switch {
-		case resp.StatusCode == http.StatusOK:
-			return data, nil
 		case resp.StatusCode == http.StatusNotFound:
-			return nil, fmt.Errorf("%w: %s", ErrNotFound, apiMessage(data))
+			err = fmt.Errorf("%w: %s", ErrNotFound, apiMessage(data))
 		case resp.StatusCode == http.StatusUnauthorized:
-			return nil, fmt.Errorf("%w: %s", ErrUnauthorized, apiMessage(data))
+			err = fmt.Errorf("%w: %s", ErrUnauthorized, apiMessage(data))
 		case resp.StatusCode == http.StatusForbidden:
-			return nil, fmt.Errorf("%w: %s", ErrForbidden, apiMessage(data))
+			err = fmt.Errorf("%w: %s", ErrForbidden, apiMessage(data))
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// Honor the server's Retry-After hint within our cap, then
 			// count the attempt against the retry budget.
@@ -243,24 +312,30 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 				if wait > c.maxRetryAfter {
 					c.m.retryAfterCapped.Inc()
 				}
-				return nil, fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+				err = fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+				bufpool.PutBuffer(buf)
+				return nil, err
 			}
 			c.m.retryAfterWait.Observe(wait.Seconds())
+			lastErr = fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
+			bufpool.PutBuffer(buf)
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-time.After(wait):
 			}
-			lastErr = fmt.Errorf("%w: %s", ErrQuotaExceeded, apiMessage(data))
 			c.m.retry429.Inc()
 			continue
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("vtclient: server error %d: %s", resp.StatusCode, apiMessage(data))
+			bufpool.PutBuffer(buf)
 			c.m.retry5xx.Inc()
 			continue // transient: retry
 		default:
-			return nil, fmt.Errorf("vtclient: HTTP %d: %s", resp.StatusCode, apiMessage(data))
+			err = fmt.Errorf("vtclient: HTTP %d: %s", resp.StatusCode, apiMessage(data))
 		}
+		bufpool.PutBuffer(buf)
+		return nil, err
 	}
 	return nil, lastErr
 }

@@ -2,9 +2,11 @@ package vtclient
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -198,5 +200,42 @@ func TestNetworkErrorRetried(t *testing.T) {
 	_, err := c.Report(context.Background(), "abc")
 	if err == nil {
 		t.Fatal("expected network error")
+	}
+}
+
+// TestDecodeFeedMatchesStdlib pins the fast feed splitter against
+// encoding/json across framing shapes, including the fallbacks.
+func TestDecodeFeedMatchesStdlib(t *testing.T) {
+	env := report.Envelope{}
+	env.Meta.SHA256 = "feed1"
+	env.Scan.SHA256 = "feed1"
+	one := string(env.AppendJSON(nil))
+	cases := []string{
+		`[]`,
+		`[ ]`,
+		"[" + one + "\n]",
+		"[" + one + "\n," + one + "\n]",
+		"  [ " + one + " , " + one + " ]  ",
+		`null`,
+		`[{"data":{"type":"url"}}]`, // element error
+		`[` + one + `,]`,            // trailing comma
+		`[` + one + `] junk`,        // trailing junk
+		`[`,                         // unterminated
+		``,
+	}
+	for _, raw := range cases {
+		got, errGot := decodeFeed([]byte(raw))
+		var want []report.Envelope
+		errWant := json.Unmarshal([]byte(raw), &want)
+		if (errGot == nil) != (errWant == nil) {
+			t.Errorf("decodeFeed(%q) err = %v, stdlib err = %v", raw, errGot, errWant)
+			continue
+		}
+		if errGot != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("decodeFeed(%q) = %+v, stdlib = %+v", raw, got, want)
+		}
 	}
 }
