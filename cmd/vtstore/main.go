@@ -6,11 +6,15 @@
 //	vtstore -store ./vtdata verify     re-read and validate every row
 //	vtstore -store ./vtdata list       list stored sample hashes
 //	vtstore -store ./vtdata reindex    (re)build block-index sidecars
+//	vtstore -store ./vtdata migrate    rewrite v1 partitions to block format v2
 //
 // stats and verify fan partition blocks across -workers goroutines
 // (default: all cores). reindex upgrades stores written before the
 // sidecar format in place, giving them the indexed random-access
-// read path; it also heals sidecars invalidated by a crash.
+// read path; it also heals sidecars invalidated by a crash. migrate
+// upgrades partitions to the columnar v2 block format, verifying the
+// rewrite row-for-row against the source before replacing anything;
+// months already in v2 are skipped, so re-running it is a no-op.
 package main
 
 import (
@@ -44,9 +48,9 @@ func parseFlags(args []string) (*options, error) {
 		cmd = "stats"
 	}
 	switch cmd {
-	case "stats", "verify", "list", "reindex":
+	case "stats", "verify", "list", "reindex", "migrate":
 	default:
-		return nil, fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex)", cmd)
+		return nil, fmt.Errorf("unknown subcommand %q (stats, verify, list, reindex, migrate)", cmd)
 	}
 	if fs.NArg() > 1 {
 		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(1))
@@ -120,6 +124,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("reindexed %d partitions: block-index sidecars written\n", len(st.Months()))
+
+	case "migrate":
+		ms, err := st.Migrate()
+		if err != nil {
+			fatal(err)
+		}
+		for _, month := range ms.Migrated {
+			fmt.Printf("migrated %s to v2\n", month)
+		}
+		fmt.Printf("migrate: %d partitions rewritten to v2, %d already current\n",
+			len(ms.Migrated), len(ms.Skipped))
 	}
 	if s := obs.Default().Summary(); s != "" {
 		fmt.Fprintln(os.Stderr, "vtstore metrics:", s)

@@ -33,8 +33,19 @@ func TestParseFlags(t *testing.T) {
 			args: []string{"reindex"},
 			want: options{dir: "./vtdata", cmd: "reindex"},
 		},
+		{
+			name: "migrate",
+			args: []string{"migrate"},
+			want: options{dir: "./vtdata", cmd: "migrate"},
+		},
+		{
+			name: "migrate with store flag",
+			args: []string{"-store", "/tmp/s", "migrate"},
+			want: options{dir: "/tmp/s", cmd: "migrate"},
+		},
 		{name: "unknown subcommand", args: []string{"frobnicate"}, wantErr: true},
 		{name: "two subcommands", args: []string{"stats", "verify"}, wantErr: true},
+		{name: "migrate rejects extra argument", args: []string{"migrate", "2021-05"}, wantErr: true},
 		{name: "negative workers", args: []string{"-workers", "-1"}, wantErr: true},
 		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
 	}

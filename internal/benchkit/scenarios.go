@@ -152,6 +152,7 @@ var ingestScenario = Scenario{
 			"samples":     p.Samples,
 			"workers":     p.Workers,
 			"interval_ns": p.Interval.Nanoseconds(),
+			"format":      store.FormatDefault,
 		}
 	},
 	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
@@ -197,6 +198,7 @@ var readColdScenario = Scenario{
 		return map[string]any{
 			"samples": p.Samples,
 			"gets":    p.Gets,
+			"format":  store.FormatDefault,
 		}
 	},
 	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
@@ -265,6 +267,7 @@ var readHotScenario = Scenario{
 			"samples":  p.Samples,
 			"hot_set":  p.HotSet,
 			"hot_gets": p.HotGets,
+			"format":   store.FormatDefault,
 		}
 	},
 	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
@@ -314,6 +317,7 @@ var scanScenario = Scenario{
 		return map[string]any{
 			"samples": p.Samples,
 			"workers": p.Workers,
+			"format":  store.FormatDefault,
 		}
 	},
 	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {

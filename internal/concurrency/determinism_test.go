@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"vtdynamics/internal/experiments"
+	"vtdynamics/internal/store"
 )
 
 // pipelineSize mirrors the EXPERIMENTS.md service/feed/store
@@ -59,57 +60,73 @@ func hashDir(t *testing.T, dir string) map[string]string {
 // per-month partition stats) and, stronger, the byte-identical
 // on-disk store: every partition file, the metadata snapshot, and the
 // stats sidecar hash equal. Worker count is a wall-clock knob only.
+//
+// The harness runs once per block format: v2's columnar members are a
+// pure per-block transcode of the rows a member holds, so the
+// byte-for-byte guarantee must hold for both encodings.
 func TestPipelineDeterminismAcrossWorkers(t *testing.T) {
 	size := pipelineSize(t)
-	run := func(workers int) (*experiments.Table2Result, map[string]string) {
-		r, err := experiments.NewRunner(experiments.Config{
-			Seed:             1,
-			PopulationSize:   1, // unused by Table 2
-			DynamicsSize:     1, // unused by Table 2
-			CorrelationScans: 1, // unused by Table 2
-			ServiceSize:      size,
-			Workers:          workers,
+	for _, format := range []struct {
+		name string
+		val  int
+	}{
+		{"v1", store.FormatV1},
+		{"v2", store.FormatV2},
+	} {
+		format := format
+		t.Run(format.name, func(t *testing.T) {
+			run := func(workers int) (*experiments.Table2Result, map[string]string) {
+				r, err := experiments.NewRunner(experiments.Config{
+					Seed:             1,
+					PopulationSize:   1, // unused by Table 2
+					DynamicsSize:     1, // unused by Table 2
+					CorrelationScans: 1, // unused by Table 2
+					ServiceSize:      size,
+					Workers:          workers,
+					StoreFormat:      format.val,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				res, err := r.Table2DatasetOverview(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, hashDir(t, dir)
+			}
+
+			res1, files1 := run(1)
+			res8, files8 := run(8)
+
+			if !reflect.DeepEqual(res1, res8) {
+				t.Errorf("Table 2 results diverge:\nworkers=1: %+v\nworkers=8: %+v", res1, res8)
+			}
+			if res1.TotalSamples != size {
+				t.Errorf("TotalSamples = %d, want %d", res1.TotalSamples, size)
+			}
+			if res1.TotalReports == 0 || len(res1.Rows) == 0 {
+				t.Fatalf("empty pipeline output: %+v", res1)
+			}
+
+			var names1, names8 []string
+			for n := range files1 {
+				names1 = append(names1, n)
+			}
+			for n := range files8 {
+				names8 = append(names8, n)
+			}
+			sort.Strings(names1)
+			sort.Strings(names8)
+			if !reflect.DeepEqual(names1, names8) {
+				t.Fatalf("store file sets diverge:\nworkers=1: %v\nworkers=8: %v", names1, names8)
+			}
+			for _, name := range names1 {
+				if files1[name] != files8[name] {
+					t.Errorf("store file %s differs between workers=1 and workers=8", name)
+				}
+			}
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		dir := t.TempDir()
-		res, err := r.Table2DatasetOverview(dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res, hashDir(t, dir)
-	}
-
-	res1, files1 := run(1)
-	res8, files8 := run(8)
-
-	if !reflect.DeepEqual(res1, res8) {
-		t.Errorf("Table 2 results diverge:\nworkers=1: %+v\nworkers=8: %+v", res1, res8)
-	}
-	if res1.TotalSamples != size {
-		t.Errorf("TotalSamples = %d, want %d", res1.TotalSamples, size)
-	}
-	if res1.TotalReports == 0 || len(res1.Rows) == 0 {
-		t.Fatalf("empty pipeline output: %+v", res1)
-	}
-
-	var names1, names8 []string
-	for n := range files1 {
-		names1 = append(names1, n)
-	}
-	for n := range files8 {
-		names8 = append(names8, n)
-	}
-	sort.Strings(names1)
-	sort.Strings(names8)
-	if !reflect.DeepEqual(names1, names8) {
-		t.Fatalf("store file sets diverge:\nworkers=1: %v\nworkers=8: %v", names1, names8)
-	}
-	for _, name := range names1 {
-		if files1[name] != files8[name] {
-			t.Errorf("store file %s differs between workers=1 and workers=8", name)
-		}
 	}
 }
 

@@ -57,7 +57,11 @@ func (r *Runner) Table2DatasetOverview(dir string) (*Table2Result, error) {
 		return nil, err
 	}
 
-	st, err := store.Open(dir)
+	var opts []store.Option
+	if r.cfg.StoreFormat != 0 {
+		opts = append(opts, store.WithFormat(r.cfg.StoreFormat))
+	}
+	st, err := store.Open(dir, opts...)
 	if err != nil {
 		return nil, err
 	}

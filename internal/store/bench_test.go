@@ -126,6 +126,19 @@ func BenchmarkGetIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkGetIndexedV1 is the same lookup against a v1 (JSONL)
+// store: the row-format baseline the columnar Get path is judged
+// against.
+func BenchmarkGetIndexedV1(b *testing.B) {
+	s := buildReadStore(b, b.TempDir(), WithCacheSize(0), WithFormat(FormatV1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(benchSHA(i * 7919)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGetFullScan is the pre-index baseline: the same store with
 // its sidecars deleted, so every Get gunzips whole partitions.
 func BenchmarkGetFullScan(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -18,29 +19,67 @@ import (
 // correctly, and that Reindex upgrades them in place.
 const goldenDir = "testdata/golden-v1"
 
-// TestRegenerateGoldenFixture rebuilds the committed fixture. It only
-// runs when VTDYN_REGEN_GOLDEN=1 is set; generation is deterministic
-// (fixed clock, sorted snapshots, zero gzip mtimes), so regenerating
-// without a format change is a no-op diff.
-func TestRegenerateGoldenFixture(t *testing.T) {
-	if os.Getenv("VTDYN_REGEN_GOLDEN") == "" {
-		t.Skip("set VTDYN_REGEN_GOLDEN=1 to regenerate testdata/golden-v1")
+// goldenDirV2 is the same logical dataset committed in block format
+// v2 (columnar members, versioned sidecars) — the fixture every
+// future build must keep reading identically.
+const goldenDirV2 = "testdata/golden-v2"
+
+// goldenFlushAt is the envelope index after which the golden
+// generators flush mid-stream, so partitions hold multiple members.
+const goldenFlushAt = 11
+
+// goldenEnvelopes is the canonical dataset both golden fixtures (and
+// the conformance variants) hold: 24 scans over 8 samples spanning
+// two months. Deterministic and append-only — changing it invalidates
+// the committed fixtures.
+func goldenEnvelopes() []report.Envelope {
+	envs := make([]report.Envelope, 24)
+	for i := range envs {
+		at := t0.Add(time.Duration(i%2) * 31 * 24 * time.Hour).Add(time.Duration(i) * time.Minute)
+		envs[i] = envelope(fmt.Sprintf("gold%02d", i%8), at, i%6)
 	}
-	if err := os.RemoveAll(goldenDir); err != nil {
-		t.Fatal(err)
+	return envs
+}
+
+// goldenExpect computes, from first principles, the exact histories a
+// correct store must serve for the golden dataset: rows normalized
+// through the row codec's documented pipeline, reports sorted by
+// analysis date (stable), metadata latest-write-wins. Both fixture
+// tests compare decoded disk contents against this — golden rows, not
+// just "no error".
+func goldenExpect() map[string]*report.History {
+	out := make(map[string]*report.History)
+	for _, env := range goldenEnvelopes() {
+		h, ok := out[env.Meta.SHA256]
+		if !ok {
+			h = &report.History{}
+			out[env.Meta.SHA256] = h
+		}
+		h.Meta = metaFrom(env.Meta).toMeta()
+		scan := env.Scan
+		h.Reports = append(h.Reports, rowToReport(rowFromScan(&scan)))
 	}
-	// A huge block target makes every flush cut exactly one gzip
-	// member — the shape the pre-block writer produced.
-	s, err := Open(goldenDir, WithBlockSize(1<<30))
+	for _, h := range out {
+		sort.SliceStable(h.Reports, func(i, j int) bool {
+			return h.Reports[i].AnalysisDate.Before(h.Reports[j].AnalysisDate)
+		})
+	}
+	return out
+}
+
+// writeGoldenStore materializes the golden dataset into dir with the
+// given store options (plus the mid-stream flush both fixtures share).
+func writeGoldenStore(t *testing.T, dir string, opts ...Option) {
+	t.Helper()
+	s, err := Open(dir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 24; i++ {
-		at := t0.Add(time.Duration(i%2) * 31 * 24 * time.Hour).Add(time.Duration(i) * time.Minute)
-		if err := s.Put(envelope(fmt.Sprintf("gold%02d", i%8), at, i%6)); err != nil {
+	for i, env := range goldenEnvelopes() {
+		if err := s.Put(env); err != nil {
 			t.Fatal(err)
 		}
-		if i == 11 { // mid-stream flush: partitions get two members
+		if i == goldenFlushAt { // mid-stream flush: partitions get two members
 			if err := s.Flush(); err != nil {
 				t.Fatal(err)
 			}
@@ -49,6 +88,23 @@ func TestRegenerateGoldenFixture(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRegenerateGoldenFixture rebuilds the committed fixtures. It only
+// runs when VTDYN_REGEN_GOLDEN=1 is set; generation is deterministic
+// (fixed clock, sorted snapshots, zero gzip mtimes), so regenerating
+// without a format change is a no-op diff.
+func TestRegenerateGoldenFixture(t *testing.T) {
+	if os.Getenv("VTDYN_REGEN_GOLDEN") == "" {
+		t.Skip("set VTDYN_REGEN_GOLDEN=1 to regenerate testdata/golden-v1 and golden-v2")
+	}
+	if err := os.RemoveAll(goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	// v1 fixture: explicit legacy format, and a huge block target so
+	// every flush cuts exactly one gzip member — the shape the
+	// pre-block writer produced.
+	writeGoldenStore(t, goldenDir, WithFormat(FormatV1), WithBlockSize(1<<30))
 	// Strip the sidecars: the fixture predates them.
 	matches, err := filepath.Glob(filepath.Join(goldenDir, "*.idx"))
 	if err != nil {
@@ -59,19 +115,26 @@ func TestRegenerateGoldenFixture(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+
+	// v2 fixture: current default format with a small block target so
+	// partitions hold several columnar members, sidecars kept.
+	if err := os.RemoveAll(goldenDirV2); err != nil {
+		t.Fatal(err)
+	}
+	writeGoldenStore(t, goldenDirV2, WithBlockSize(2<<10))
 }
 
-// copyGolden clones the committed fixture into a scratch dir so tests
-// can reindex it without mutating testdata.
-func copyGolden(t *testing.T) string {
+// copyFixture clones a committed fixture into a scratch dir so tests
+// can mutate (reindex, migrate) without touching testdata.
+func copyFixture(t *testing.T, src string) string {
 	t.Helper()
 	dst := t.TempDir()
-	entries, err := os.ReadDir(goldenDir)
+	entries, err := os.ReadDir(src)
 	if err != nil {
-		t.Fatalf("golden fixture missing (run with VTDYN_REGEN_GOLDEN=1 to create): %v", err)
+		t.Fatalf("fixture %s missing (run with VTDYN_REGEN_GOLDEN=1 to create): %v", src, err)
 	}
 	for _, e := range entries {
-		b, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,6 +144,9 @@ func copyGolden(t *testing.T) string {
 	}
 	return dst
 }
+
+// copyGolden clones the committed v1 fixture.
+func copyGolden(t *testing.T) string { return copyFixture(t, goldenDir) }
 
 // snapshotReads captures everything the read API returns for a store:
 // every sample's history, per-month iteration order, and stats.
@@ -120,6 +186,12 @@ func TestGoldenPrePR2Compat(t *testing.T) {
 		t.Fatalf("fixture samples = %d", got)
 	}
 	wantHist, wantIter, wantStats := snapshotReads(t, s)
+	// Exact decoded contents, not just no-error: the fixture bytes
+	// must decode to precisely the golden rows, so silent format drift
+	// in the v1 decoder is caught here.
+	if want := goldenExpect(); !reflect.DeepEqual(wantHist, want) {
+		t.Fatalf("v1 fixture decodes to wrong contents:\n got %+v\nwant %+v", wantHist, want)
+	}
 	if n, err := s.Verify(); err != nil || n != 24 {
 		t.Fatalf("Verify on fallback path: %d, %v", n, err)
 	}
@@ -162,5 +234,71 @@ func TestGoldenPrePR2Compat(t *testing.T) {
 	reHist, reIter, reStats := snapshotReads(t, s2)
 	if !reflect.DeepEqual(wantHist, reHist) || !reflect.DeepEqual(wantIter, reIter) || wantStats != reStats {
 		t.Fatal("reopened upgraded store diverges from the original reads")
+	}
+}
+
+// TestGoldenV2Compat pins the committed v2 fixture: its columnar
+// members and versioned sidecars must keep decoding to exactly the
+// golden rows in every future build — the forward half of the
+// compatibility promise.
+func TestGoldenV2Compat(t *testing.T) {
+	dir := copyFixture(t, goldenDirV2)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Indexed() {
+		t.Fatal("v2 fixture opened unindexed (sidecars are part of the fixture)")
+	}
+	sawV2 := false
+	for _, month := range s.Months() {
+		for _, bm := range s.index(month).snapshotBlocks() {
+			switch blockVer(bm) {
+			case FormatV2:
+				sawV2 = true
+			default:
+				t.Fatalf("%s: fixture block %+v is not v2", month, bm)
+			}
+		}
+	}
+	if !sawV2 {
+		t.Fatal("v2 fixture holds no blocks")
+	}
+	gotHist, _, _ := snapshotReads(t, s)
+	if want := goldenExpect(); !reflect.DeepEqual(gotHist, want) {
+		t.Fatalf("v2 fixture decodes to wrong contents:\n got %+v\nwant %+v", gotHist, want)
+	}
+	if n, err := s.Verify(); err != nil || n != 24 {
+		t.Fatalf("Verify on v2 fixture: %d, %v", n, err)
+	}
+
+	// The same partition bytes must also read correctly with the
+	// sidecars gone (sniff-dispatch fallback path) and after Reindex
+	// rebuilds them from the members alone.
+	for _, m := range []string{"2021-05", "2021-06"} {
+		if err := os.Remove(filepath.Join(dir, "scans-"+m+".idx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indexed() {
+		t.Fatal("fixture without sidecars opened as indexed")
+	}
+	noIdxHist, _, _ := snapshotReads(t, s2)
+	if !reflect.DeepEqual(noIdxHist, goldenExpect()) {
+		t.Fatal("sidecar-less v2 read diverges from golden rows")
+	}
+	if err := s2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sha := range s2.SampleHashes() {
+		s2.cache.invalidate(sha)
+	}
+	reHist, _, _ := snapshotReads(t, s2)
+	if !reflect.DeepEqual(reHist, goldenExpect()) {
+		t.Fatal("reindexed v2 read diverges from golden rows")
 	}
 }

@@ -47,7 +47,13 @@ type blockMeta struct {
 	Rows int `json:"n"`
 	// Raw is the sum of uncompressed row lengths (sans newlines) —
 	// the same conservative accounting load() derives when scanning.
+	// v2 blocks carry the identical figure in their payload header, so
+	// accounting never depends on the block's format.
 	Raw int64 `json:"r"`
+	// Ver is the member payload's format version; 0 means v1, which
+	// keeps the sidecar bytes of pure-v1 partitions identical to what
+	// pre-versioning builds wrote (omitempty).
+	Ver int `json:"v,omitempty"`
 }
 
 // sidecarFile is the on-disk JSON schema of scans-YYYY-MM.idx.
@@ -168,36 +174,43 @@ func (ix *partIndex) writeSidecar(dir, month string) error {
 
 // loadSidecar reads a month's sidecar and validates it against the
 // partition's current size. Any mismatch, unreadable file, or
-// malformed JSON yields (nil, false): the caller falls back to the
-// streaming scan exactly as if the sidecar never existed.
-func loadSidecar(dir, month string, partitionSize int64) (*partIndex, bool) {
+// malformed JSON yields (nil, false, nil): the caller falls back to
+// the streaming scan exactly as if the sidecar never existed. A block
+// tagged with a format version newer than maxVer is different — the
+// data is intact but unreadable by this build, so the error is a
+// *FormatError, never a silent fallback that would then choke on the
+// member bytes.
+func loadSidecar(dir, month string, partitionSize int64, maxVer int) (*partIndex, bool, error) {
 	b, err := os.ReadFile(sidecarPath(dir, month))
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	var sf sidecarFile
 	if err := json.Unmarshal(b, &sf); err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	if sf.FileSize != partitionSize {
-		return nil, false
+		return nil, false, nil
 	}
 	// Internal consistency: blocks must tile [0, FileSize) and every
 	// posting must point at a real block.
 	var off int64
 	for _, bm := range sf.Blocks {
 		if bm.Offset != off || bm.Len <= 0 {
-			return nil, false
+			return nil, false, nil
 		}
 		off += bm.Len
+		if v := blockVer(bm); v > maxVer {
+			return nil, false, &FormatError{Path: sidecarPath(dir, month), Version: v, Max: maxVer}
+		}
 	}
 	if off != sf.FileSize {
-		return nil, false
+		return nil, false, nil
 	}
 	for _, ids := range sf.Postings {
 		for _, id := range ids {
 			if id < 0 || id >= len(sf.Blocks) {
-				return nil, false
+				return nil, false, nil
 			}
 		}
 	}
@@ -209,7 +222,7 @@ func loadSidecar(dir, month string, partitionSize int64) (*partIndex, bool) {
 	if ix.postings == nil {
 		ix.postings = make(map[string][]int)
 	}
-	return ix, true
+	return ix, true, nil
 }
 
 // countingByteReader counts bytes consumed from the underlying
@@ -236,10 +249,12 @@ func (c *countingByteReader) ReadByte() (byte, error) {
 }
 
 // indexPartitionFile rebuilds a partition's block index by walking
-// its gzip members one at a time. Works on any valid partition —
-// block-written files recover their original block boundaries;
-// pre-index files yield one block per historical flush.
-func indexPartitionFile(path string) (*partIndex, error) {
+// its gzip members one at a time, sniffing each member's payload
+// format. Works on any valid partition — block-written files recover
+// their original block boundaries (and versions); pre-index files
+// yield one block per historical flush. A member in a format newer
+// than maxVer aborts with *FormatError.
+func indexPartitionFile(path string, maxVer int) (*partIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -259,36 +274,64 @@ func indexPartitionFile(path string) (*partIndex, error) {
 	}
 	defer zr.Close()
 	var start int64
+	// mr buffers each member's decompressed bytes so the payload's
+	// leading bytes can be peeked before choosing a decoder.
+	mr := bufio.NewReaderSize(nil, 32<<10)
 	for {
 		zr.Multistream(false)
+		mr.Reset(zr)
+		head, _ := mr.Peek(len(colMagic) + 1)
 		var (
 			rows int
 			raw  int64
+			ver  = sniffVersion(head)
 			shas = make(map[string]int)
 		)
-		sc := bufio.NewScanner(zr)
-		sbuf := bufpool.GetScanBuf()
-		sc.Buffer(sbuf, 16<<20)
-		var row scanRow
-		for sc.Scan() {
-			// Full decode (not just the hash): Reindex is the repair
-			// path, so malformed rows must keep surfacing as errors.
-			if err := decodeScanRow(sc.Bytes(), &row); err != nil {
-				bufpool.PutScanBuf(sbuf)
+		switch {
+		case ver == FormatV1:
+			sc := bufio.NewScanner(mr)
+			sbuf := bufpool.GetScanBuf()
+			sc.Buffer(sbuf, 16<<20)
+			var row scanRow
+			for sc.Scan() {
+				// Full decode (not just the hash): Reindex is the repair
+				// path, so malformed rows must keep surfacing as errors.
+				if err := decodeScanRow(sc.Bytes(), &row); err != nil {
+					bufpool.PutScanBuf(sbuf)
+					return nil, fmt.Errorf("store: %s: %w", path, err)
+				}
+				rows++
+				raw += int64(len(sc.Bytes()))
+				shas[row.SHA]++
+			}
+			err := sc.Err()
+			bufpool.PutScanBuf(sbuf)
+			if err != nil {
 				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
-			rows++
-			raw += int64(len(sc.Bytes()))
-			shas[row.SHA]++
-		}
-		err := sc.Err()
-		bufpool.PutScanBuf(sbuf)
-		if err != nil {
-			return nil, fmt.Errorf("store: %s: %w", path, err)
+		case ver <= maxVer:
+			payload, err := io.ReadAll(mr)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: %w", path, err)
+			}
+			cb, err := parseColumnarBlock(payload, wantSHA)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: %w", path, err)
+			}
+			rows, raw = cb.rows, cb.raw
+			for _, sha := range cb.sha {
+				shas[sha]++
+			}
+		default:
+			return nil, &FormatError{Path: path, Version: ver, Max: maxVer}
 		}
 		end := cr.n
 		if rows > 0 || end > start {
-			ix.appendBlock(blockMeta{Offset: start, Len: end - start, Rows: rows, Raw: raw}, shas)
+			bm := blockMeta{Offset: start, Len: end - start, Rows: rows, Raw: raw}
+			if ver != FormatV1 {
+				bm.Ver = ver
+			}
+			ix.appendBlock(bm, shas)
 		}
 		start = end
 		if err := zr.Reset(cr); err != nil {
@@ -301,15 +344,16 @@ func indexPartitionFile(path string) (*partIndex, error) {
 	return ix, nil
 }
 
-// scanBlock streams the rows of one block. The section reader keeps
-// the decoder inside the member even though members are concatenated.
-func scanBlock(path string, bm blockMeta, fn func(row scanRow)) error {
+// scanBlock streams the rows of one block, dispatching on the block's
+// format version. The section reader keeps the decoder inside the
+// member even though members are concatenated.
+func scanBlock(path string, bm blockMeta, maxVer int, fn func(row scanRow)) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	return scanBlockAt(f, path, bm, fn)
+	return scanBlockAt(f, path, bm, maxVer, fn)
 }
 
 // scanBlockAt is scanBlock over an already open partition file, so a
@@ -317,15 +361,65 @@ func scanBlock(path string, bm blockMeta, fn func(row scanRow)) error {
 // between calls (its strings are owned, only the Res backing array is
 // recycled), so fn must copy what it keeps — every caller goes
 // through rowToReport, which does.
-func scanBlockAt(f *os.File, path string, bm blockMeta, fn func(row scanRow)) error {
-	var row scanRow
-	return scanBlockLinesAt(f, path, bm, func(line []byte) error {
-		if err := decodeScanRow(line, &row); err != nil {
+func scanBlockAt(f *os.File, path string, bm blockMeta, maxVer int, fn func(row scanRow)) error {
+	switch ver := blockVer(bm); {
+	case ver == FormatV1:
+		var row scanRow
+		return scanBlockLinesAt(f, path, bm, func(line []byte) error {
+			if err := decodeScanRow(line, &row); err != nil {
+				return err
+			}
+			fn(row)
+			return nil
+		})
+	case ver <= maxVer:
+		payload, err := readBlockPayloadAt(f, path, bm)
+		if err != nil {
 			return err
 		}
-		fn(row)
-		return nil
-	})
+		defer bufpool.PutBlockBuf(payload)
+		cb, err := parseColumnarBlock(payload, wantAllDicts)
+		if err != nil {
+			return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+		}
+		return cb.forEachRow(func(row *scanRow) error {
+			fn(*row)
+			return nil
+		})
+	default:
+		return &FormatError{Path: path, Version: ver, Max: maxVer}
+	}
+}
+
+// readBlockPayloadAt decompresses one member into a pooled block
+// buffer (release with bufpool.PutBlockBuf). Columnar readers use it
+// because their decoders want the whole payload in memory to slice
+// into column segments.
+func readBlockPayloadAt(f *os.File, path string, bm blockMeta) ([]byte, error) {
+	sec := io.NewSectionReader(f, bm.Offset, bm.Len)
+	br := bufpool.GetBufioReader(sec)
+	defer bufpool.PutBufioReader(br)
+	zr, err := bufpool.GetGzipReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+	}
+	defer bufpool.PutGzipReader(zr)
+	defer zr.Close()
+	buf := bufpool.GetBlockBuf()
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := zr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return buf, nil
+			}
+			bufpool.PutBlockBuf(buf)
+			return nil, fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+		}
+	}
 }
 
 // scanBlockLinesAt streams one block's raw lines through fn, drawing

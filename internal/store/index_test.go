@@ -219,7 +219,7 @@ func TestReindexMatchesWriterIndex(t *testing.T) {
 	if live == nil {
 		t.Fatal("no live index")
 	}
-	rebuilt, err := indexPartitionFile(s.partPath("2021-05"))
+	rebuilt, err := indexPartitionFile(s.partPath("2021-05"), formatMax)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,6 +122,11 @@ type Store struct {
 
 	// blockSize is the target uncompressed bytes per gzip block.
 	blockSize int
+	// format is the block format new writes use (FormatV1 or FormatV2).
+	format int
+	// maxFormat is the newest block format this store reads; formatMax
+	// except in tests that simulate an older build.
+	maxFormat int
 	// cacheSize is the history-cache capacity in entries (0 disables).
 	cacheSize int
 	// cache is the LRU + singleflight history cache (nil if disabled).
@@ -166,6 +171,23 @@ func WithBlockSize(n int) Option {
 // 0 disables caching entirely (every Get decodes from disk).
 func WithCacheSize(n int) Option {
 	return func(s *Store) { s.cacheSize = n }
+}
+
+// WithFormat selects the block format new writes use. The default is
+// FormatDefault (v2 columnar); FormatV1 keeps writing the legacy JSONL
+// blocks — useful for producing fixtures and for interoperating with
+// pre-v2 readers. Reading always dispatches per block, so a store may
+// freely mix formats across (and within) partitions. Open rejects
+// versions this build cannot read back.
+func WithFormat(v int) Option {
+	return func(s *Store) { s.format = v }
+}
+
+// withMaxFormat caps the formats this store will read — the test hook
+// that simulates a v1-era build opening data from the future, pinning
+// the typed-rejection half of the compatibility matrix.
+func withMaxFormat(v int) Option {
+	return func(s *Store) { s.maxFormat = v }
 }
 
 // WithMetrics routes the store's instrumentation (puts, bytes raw and
@@ -305,6 +327,8 @@ type partWriter struct {
 	// offsets are base + compressed bytes written this session.
 	base      int64
 	blockSize int
+	// format is the block format this writer's cuts produce.
+	format int
 	// idx is the month's block index, nil when the month predates the
 	// sidecar format (then new blocks go unindexed and the month keeps
 	// using the fallback scan until Reindex).
@@ -376,26 +400,46 @@ func (w *partWriter) cutBlockLocked() error {
 	w.pendingRows, w.pendingRaw = 0, 0
 	w.pendingShas = make(map[string]int)
 	w.queue = append(w.queue, pb)
-	go compressBlock(pb, w.sem)
+	go compressBlock(pb, w.sem, w.format)
 	return w.commitLocked(maxInflightBlocks)
 }
 
 // compressBlock gzips one cut block off the writer lock. It touches
 // only pb and the semaphore, never w, so commits can proceed under
-// w.mu while later blocks compress.
-func compressBlock(pb *pendingBlock, sem chan struct{}) {
+// w.mu while later blocks compress. A v2 writer transcodes the raw
+// JSONL block to the columnar payload first — a pure function of the
+// member's input rows, so partition bytes stay independent of worker
+// count and compression timing in both formats.
+func compressBlock(pb *pendingBlock, sem chan struct{}, format int) {
 	sem <- struct{}{}
+	payload := pb.raw
+	var colBuf []byte
+	var terr error
+	if format != FormatV1 {
+		colBuf = bufpool.GetBlockBuf()
+		colBuf, terr = appendColumnarBlock(colBuf, pb.raw)
+		payload = colBuf
+	}
 	buf := bufpool.GetBuffer()
-	zw := bufpool.GetGzipWriter(buf)
-	_, werr := zw.Write(pb.raw)
-	cerr := zw.Close()
-	bufpool.PutGzipWriter(zw)
+	var werr, cerr error
+	if terr == nil {
+		zw := bufpool.GetGzipWriter(buf)
+		_, werr = zw.Write(payload)
+		cerr = zw.Close()
+		bufpool.PutGzipWriter(zw)
+	}
+	if colBuf != nil {
+		bufpool.PutBlockBuf(colBuf)
+	}
 	bufpool.PutBlockBuf(pb.raw)
 	pb.raw = nil
 	pb.comp = buf
-	if werr != nil {
+	switch {
+	case terr != nil:
+		pb.err = terr
+	case werr != nil:
 		pb.err = werr
-	} else {
+	default:
 		pb.err = cerr
 	}
 	<-sem
@@ -441,12 +485,16 @@ func (w *partWriter) commitBlockLocked(pb *pendingBlock) error {
 	w.m.blocksCut.Inc()
 	w.m.storedBytes.Add(end - start)
 	if w.idx != nil {
-		w.idx.appendBlock(blockMeta{
+		bm := blockMeta{
 			Offset: start,
 			Len:    end - start,
 			Rows:   pb.rows,
 			Raw:    pb.rawBytes,
-		}, pb.shas)
+		}
+		if w.format != FormatV1 {
+			bm.Ver = w.format
+		}
+		w.idx.appendBlock(bm, pb.shas)
 	}
 	return nil
 }
@@ -503,6 +551,8 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		dir:         dir,
 		blockSize:   blockSizeDefault,
 		cacheSize:   cacheSizeDefault,
+		format:      FormatDefault,
+		maxFormat:   formatMax,
 		writers:     make(map[string]*partWriter),
 		indexes:     make(map[string]*partIndex),
 		stats:       make(map[string]*PartitionStats),
@@ -510,6 +560,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.format < FormatV1 || s.format > s.maxFormat {
+		return nil, fmt.Errorf("store: cannot write block format v%d (this build handles v%d..v%d)", s.format, FormatV1, s.maxFormat)
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
@@ -565,16 +618,21 @@ func (s *Store) load() error {
 		if fi, err := os.Stat(path); err == nil {
 			size = fi.Size()
 		}
-		if ix, ok := loadSidecar(s.dir, month, size); ok {
+		ix, ok, err := loadSidecar(s.dir, month, size, s.maxFormat)
+		if err != nil {
+			return err
+		}
+		if ok {
 			s.indexes[month] = ix
 			st.Reports, st.RawBytes = ix.totals()
 			for _, sha := range ix.sampleSHAs() {
 				addMonth(sha, month)
 			}
-		} else if err := s.scanPartition(path, func(row scanRow, rawLen int) {
-			st.Reports++
-			st.RawBytes += int64(rawLen)
+		} else if err := s.scanPartition(path, func(row scanRow) {
 			addMonth(row.SHA, month)
+		}, func(rows int, raw int64) {
+			st.Reports += rows
+			st.RawBytes += raw
 		}); err != nil {
 			return err
 		}
@@ -887,6 +945,7 @@ func (s *Store) writer(month string) (*partWriter, error) {
 		counter:     counter,
 		base:        base,
 		blockSize:   s.blockSize,
+		format:      s.format,
 		pendingShas: make(map[string]int),
 		m:           s.m,
 		sem:         s.compressSem,
@@ -1198,32 +1257,48 @@ func (s *Store) readMonthRows(month, sha string) ([]*report.ScanReport, error) {
 		defer f.Close()
 		var row scanRow
 		for _, bm := range blocks {
-			if err := scanBlockLinesAt(f, path, bm, func(line []byte) error {
-				// A block holds many samples; skip full decodes for
-				// other samples' rows by peeking at the leading "s" key
-				// (always first in canonical encoder output).
-				if got, ok := rowSHA(line); ok && string(got) != sha {
+			switch ver := blockVer(bm); {
+			case ver == FormatV1:
+				if err := scanBlockLinesAt(f, path, bm, func(line []byte) error {
+					// A block holds many samples; skip full decodes for
+					// other samples' rows by peeking at the leading "s" key
+					// (always first in canonical encoder output).
+					if got, ok := rowSHA(line); ok && string(got) != sha {
+						return nil
+					}
+					if err := decodeScanRow(line, &row); err != nil {
+						return err
+					}
+					if row.SHA == sha {
+						out = append(out, rowToReport(row))
+					}
 					return nil
+				}); err != nil {
+					return nil, err
 				}
-				if err := decodeScanRow(line, &row); err != nil {
-					return err
+			case ver <= s.maxFormat:
+				payload, err := readBlockPayloadAt(f, path, bm)
+				if err != nil {
+					return nil, err
 				}
-				if row.SHA == sha {
-					out = append(out, rowToReport(row))
+				rows, err := columnarRowsFor(payload, sha)
+				bufpool.PutBlockBuf(payload)
+				if err != nil {
+					return nil, fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
 				}
-				return nil
-			}); err != nil {
-				return nil, err
+				out = append(out, rows...)
+			default:
+				return nil, &FormatError{Path: path, Version: ver, Max: s.maxFormat}
 			}
 		}
 		return out, nil
 	}
 	s.m.fallbackMonths.Inc()
-	err := s.scanPartition(path, func(row scanRow, _ int) {
+	err := s.scanPartition(path, func(row scanRow) {
 		if row.SHA == sha {
 			out = append(out, rowToReport(row))
 		}
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -1250,9 +1325,15 @@ func rowToReport(row scanRow) *report.ScanReport {
 	return r
 }
 
-// scanPartition streams rows of a partition file; rawLen passes the
-// stored (uncompressed) line length for accounting during load.
-func (s *Store) scanPartition(path string, fn func(row scanRow, rawLen int)) error {
+// scanPartition streams rows of a partition file member by member,
+// dispatching each gzip member on its sniffed payload format. rowFn
+// (optional) receives every decoded row; the row is reused across
+// calls — every decoded string is owned (cloned or interned) and
+// rowFn's callers copy what they keep via rowToReport, so only the
+// Res backing array is shared, and it is overwritten, never appended
+// to, between calls. acctFn (optional) receives each member's row
+// count and raw (v1-line) byte total for load-time accounting.
+func (s *Store) scanPartition(path string, rowFn func(row scanRow), acctFn func(rows int, raw int64)) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -1265,29 +1346,77 @@ func (s *Store) scanPartition(path string, fn func(row scanRow, rawLen int)) err
 	defer bufpool.PutBufioReader(br)
 	gz, err := bufpool.GetGzipReader(br)
 	if err != nil {
+		if errors.Is(err, io.EOF) { // empty partition file
+			return nil
+		}
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
 	defer bufpool.PutGzipReader(gz)
 	defer gz.Close()
-	sc := bufio.NewScanner(gz)
 	sbuf := bufpool.GetScanBuf()
 	defer bufpool.PutScanBuf(sbuf)
-	sc.Buffer(sbuf, 16<<20)
-	// row is reused across lines: every decoded string is owned
-	// (cloned or interned) and fn's callers copy what they keep via
-	// rowToReport, so only the Res backing array is shared — and it is
-	// overwritten, never appended to, between calls.
+	// mr buffers each member's decompressed bytes for the format sniff.
+	mr := bufio.NewReaderSize(nil, 32<<10)
 	var row scanRow
-	for sc.Scan() {
-		if err := decodeScanRow(sc.Bytes(), &row); err != nil {
+	for {
+		gz.Multistream(false)
+		mr.Reset(gz)
+		head, _ := mr.Peek(len(colMagic) + 1)
+		switch ver := sniffVersion(head); {
+		case ver == FormatV1:
+			sc := bufio.NewScanner(mr)
+			sc.Buffer(sbuf, 16<<20)
+			rows, raw := 0, int64(0)
+			for sc.Scan() {
+				if err := decodeScanRow(sc.Bytes(), &row); err != nil {
+					return fmt.Errorf("store: %s: %w", path, err)
+				}
+				rows++
+				raw += int64(len(sc.Bytes()))
+				if rowFn != nil {
+					rowFn(row)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return fmt.Errorf("store: %s: %w", path, err)
+			}
+			if acctFn != nil {
+				acctFn(rows, raw)
+			}
+		case ver <= s.maxFormat:
+			payload, err := io.ReadAll(mr)
+			if err != nil {
+				return fmt.Errorf("store: %s: %w", path, err)
+			}
+			want := wantAllDicts
+			if rowFn == nil {
+				want = 0 // accounting only — the header alone suffices
+			}
+			cb, err := parseColumnarBlock(payload, want)
+			if err != nil {
+				return fmt.Errorf("store: %s: %w", path, err)
+			}
+			if rowFn != nil {
+				if err := cb.forEachRow(func(r *scanRow) error {
+					rowFn(*r)
+					return nil
+				}); err != nil {
+					return fmt.Errorf("store: %s: %w", path, err)
+				}
+			}
+			if acctFn != nil {
+				acctFn(cb.rows, cb.raw)
+			}
+		default:
+			return &FormatError{Path: path, Version: ver, Max: s.maxFormat}
+		}
+		if err := gz.Reset(br); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
 			return fmt.Errorf("store: %s: %w", path, err)
 		}
-		fn(row, len(sc.Bytes()))
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: %s: %w", path, err)
-	}
-	return nil
 }
 
 // IterReports streams every report in a month partition in storage
@@ -1298,12 +1427,12 @@ func (s *Store) IterReports(month string, fn func(*report.ScanReport) error) err
 	}
 	path := s.partPath(month)
 	var inner error
-	err := s.scanPartition(path, func(row scanRow, _ int) {
+	err := s.scanPartition(path, func(row scanRow) {
 		if inner != nil {
 			return
 		}
 		inner = fn(rowToReport(row))
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}
@@ -1326,6 +1455,16 @@ type iterJob struct {
 // fn must be safe for concurrent use. The first error stops the
 // pass.
 func (s *Store) IterAll(workers int, fn func(month string, r *report.ScanReport) error) error {
+	return s.forEachJob(workers, func(j iterJob) error {
+		return s.runIterJob(j, fn)
+	})
+}
+
+// forEachJob flushes, slices the store into per-block (or per-month,
+// when unindexed) jobs, and fans them across a worker pool. run is
+// called from multiple goroutines when workers > 1; the first error
+// stops the pass.
+func (s *Store) forEachJob(workers int, run func(iterJob) error) error {
 	if err := s.Flush(); err != nil {
 		return err
 	}
@@ -1352,7 +1491,7 @@ func (s *Store) IterAll(workers int, fn func(month string, r *report.ScanReport)
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			if err := s.runIterJob(j, fn); err != nil {
+			if err := run(j); err != nil {
 				return err
 			}
 		}
@@ -1384,7 +1523,7 @@ func (s *Store) IterAll(workers int, fn func(month string, r *report.ScanReport)
 				if failed() {
 					continue
 				}
-				if err := s.runIterJob(j, fn); err != nil {
+				if err := run(j); err != nil {
 					fail(err)
 				}
 			}
@@ -1409,9 +1548,9 @@ func (s *Store) runIterJob(j iterJob, fn func(month string, r *report.ScanReport
 	}
 	var err error
 	if j.block != nil {
-		err = scanBlock(j.path, *j.block, handle)
+		err = scanBlock(j.path, *j.block, s.maxFormat, handle)
 	} else {
-		err = s.scanPartition(j.path, func(row scanRow, _ int) { handle(row) })
+		err = s.scanPartition(j.path, handle, nil)
 	}
 	if err != nil {
 		return err
@@ -1429,7 +1568,7 @@ func (s *Store) Reindex() error {
 		return err
 	}
 	for _, month := range s.Months() {
-		ix, err := indexPartitionFile(s.partPath(month))
+		ix, err := indexPartitionFile(s.partPath(month), s.maxFormat)
 		if err != nil {
 			return err
 		}
@@ -1547,7 +1686,10 @@ func (s *Store) StatsByType() (map[string]TypeStats, error) {
 }
 
 // StatsByTypeWorkers is StatsByType over an explicit worker count
-// (<= 0 uses GOMAXPROCS).
+// (<= 0 uses GOMAXPROCS). On v2 (columnar) blocks it decodes only the
+// file-type dictionary and column — no row materialization, no result
+// decoding — which is the layout's step-change for aggregation scans;
+// v1 blocks fall back to full row decodes as before.
 func (s *Store) StatsByTypeWorkers(workers int) (map[string]TypeStats, error) {
 	out := map[string]TypeStats{}
 	for _, meta := range s.snapshotSamples() {
@@ -1556,18 +1698,63 @@ func (s *Store) StatsByTypeWorkers(workers int) (map[string]TypeStats, error) {
 		out[meta.FileType] = ts
 	}
 	var mu sync.Mutex
-	err := s.IterAll(workers, func(_ string, r *report.ScanReport) error {
+	tally := func(ft string, rows int) {
 		mu.Lock()
-		ts := out[r.FileType]
-		ts.Reports++
-		out[r.FileType] = ts
+		ts := out[ft]
+		ts.Reports += rows
+		out[ft] = ts
 		mu.Unlock()
+	}
+	err := s.forEachJob(workers, func(j iterJob) error {
+		if j.block != nil {
+			if ver := blockVer(*j.block); ver != FormatV1 {
+				if ver > s.maxFormat {
+					return &FormatError{Path: j.path, Version: ver, Max: s.maxFormat}
+				}
+				return columnarTypeCountsBlock(j.path, *j.block, tally)
+			}
+		}
+		// v1 block or unindexed month: decode rows, batch the counts
+		// per job so the shared map lock is taken once per file type.
+		local := make(map[string]int)
+		handle := func(row scanRow) { local[row.FT]++ }
+		var err error
+		if j.block != nil {
+			err = scanBlock(j.path, *j.block, s.maxFormat, handle)
+		} else {
+			err = s.scanPartition(j.path, handle, nil)
+		}
+		if err != nil {
+			return err
+		}
+		for ft, n := range local {
+			tally(ft, n)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// columnarTypeCountsBlock opens one v2 block and folds its file-type
+// column into tally.
+func columnarTypeCountsBlock(path string, bm blockMeta, tally func(ft string, rows int)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	payload, err := readBlockPayloadAt(f, path, bm)
+	if err != nil {
+		return err
+	}
+	defer bufpool.PutBlockBuf(payload)
+	if err := columnarTypeCounts(payload, tally); err != nil {
+		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
+	}
+	return nil
 }
 
 // Verify re-reads every partition on all cores, checking that each
