@@ -97,6 +97,31 @@ func PutBlockBuf(b []byte) {
 	blockBufPool.Put(&b)
 }
 
+// countMapPool recycles the string-count maps the partition writers
+// burn through once per block: the per-block sha posting map
+// (pendingShas) and the column builders' dictionary id maps — all
+// map[string]int, all discarded at block granularity. Reusing the
+// map keeps its bucket array, so steady-state ingest stops paying a
+// map allocation (plus growth re-hashing) per cut.
+var countMapPool = sync.Pool{
+	New: func() any { return make(map[string]int, 64) },
+}
+
+// GetCountMap returns an empty map[string]int with pooled capacity.
+func GetCountMap() map[string]int {
+	return countMapPool.Get().(map[string]int)
+}
+
+// PutCountMap clears and recycles a map from GetCountMap. The caller
+// must not retain m afterwards. A nil map is a no-op.
+func PutCountMap(m map[string]int) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	countMapPool.Put(m)
+}
+
 // bufioReaderPool recycles the buffered readers in front of gzip
 // block decodes.
 var bufioReaderPool = sync.Pool{

@@ -3,14 +3,17 @@ package concurrency
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"vtdynamics/internal/experiments"
+	"vtdynamics/internal/report"
 	"vtdynamics/internal/store"
 )
 
@@ -125,6 +128,73 @@ func TestPipelineDeterminismAcrossWorkers(t *testing.T) {
 				if files1[name] != files8[name] {
 					t.Errorf("store file %s differs between workers=1 and workers=8", name)
 				}
+			}
+		})
+	}
+}
+
+// TestStoreDeterminismMixedBatch pins that the on-disk bytes depend
+// only on the envelope sequence, not on how it was chunked: the same
+// 240 envelopes written one-by-one via Put versus an irregular
+// interleaving of Put calls and PutBatch slices must produce
+// byte-identical store directories. A small block size forces several
+// mid-stream block cuts so chunk boundaries land both inside and
+// across blocks, under both the JSONL-direct (v1) and column-direct
+// (v2) write pipelines.
+func TestStoreDeterminismMixedBatch(t *testing.T) {
+	envs := make([]report.Envelope, 0, 240)
+	for i := 0; i < 240; i++ {
+		at := storeT0.Add(time.Duration(i) * 11 * time.Hour)
+		envs = append(envs, storeEnvelope(fmt.Sprintf("mx-%03d", i%40), at, i%6))
+	}
+	for _, format := range []struct {
+		name string
+		val  int
+	}{
+		{"v1", store.FormatV1},
+		{"v2", store.FormatV2},
+	} {
+		format := format
+		t.Run(format.name, func(t *testing.T) {
+			write := func(mixed bool) map[string]string {
+				dir := t.TempDir()
+				s, err := store.Open(dir, store.WithFormat(format.val), store.WithBlockSize(4<<10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mixed {
+					for i := 0; i < len(envs); {
+						if (i/7)%2 == 0 {
+							if err := s.Put(envs[i]); err != nil {
+								t.Fatal(err)
+							}
+							i++
+							continue
+						}
+						end := i + 9
+						if end > len(envs) {
+							end = len(envs)
+						}
+						if err := s.PutBatch(envs[i:end]); err != nil {
+							t.Fatal(err)
+						}
+						i = end
+					}
+				} else {
+					for _, env := range envs {
+						if err := s.Put(env); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := s.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				return hashDir(t, dir)
+			}
+			plain, mixed := write(false), write(true)
+			if !reflect.DeepEqual(plain, mixed) {
+				t.Fatalf("Put-only and mixed Put/PutBatch stores diverge:\nput-only: %v\nmixed:    %v", plain, mixed)
 			}
 		})
 	}

@@ -13,6 +13,12 @@ const (
 	// string clone (engines, file types, and labels are interned; the
 	// Res slice is reused).
 	rowDecodeAllocBudget = 1
+	// A full pooled builder cycle — getColBuilder, addRow per scan,
+	// seal into a reused payload buffer, putColBuilder — must not
+	// allocate once segment buffers and dictionary slices have settled:
+	// the builder shell comes from colBuilderPool and its id maps from
+	// bufpool's count-map pool.
+	colBuilderCycleAllocBudget = 0
 )
 
 func TestRowCodecAllocBudget(t *testing.T) {
@@ -35,5 +41,34 @@ func TestRowCodecAllocBudget(t *testing.T) {
 		}
 	}); got > rowDecodeAllocBudget {
 		t.Errorf("decodeScanRow allocs/op = %v, budget %d", got, rowDecodeAllocBudget)
+	}
+}
+
+func TestColBuilderAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race randomizes sync.Pool reuse; the pooled cycle cannot be alloc-counted")
+	}
+	reports := colTestReports()
+	lineLens := make([]int, len(reports))
+	var line []byte
+	for i, r := range reports {
+		line = appendScanRow(line[:0], r)
+		lineLens[i] = len(line)
+	}
+
+	var payload []byte
+	cycle := func() {
+		b := getColBuilder()
+		for i, r := range reports {
+			b.addRow(r, lineLens[i])
+		}
+		payload = b.seal(payload[:0])
+		putColBuilder(b)
+	}
+	for i := 0; i < 8; i++ { // settle segment, dictionary, and payload capacities
+		cycle()
+	}
+	if got := testing.AllocsPerRun(200, cycle); got > colBuilderCycleAllocBudget {
+		t.Errorf("colBuilder cycle allocs/op = %v, budget %d", got, colBuilderCycleAllocBudget)
 	}
 }

@@ -221,3 +221,86 @@ func BenchmarkIterAll(b *testing.B) {
 		}
 	}
 }
+
+// benchColReports builds one block's worth of scans with realistic
+// vocabulary reuse (few file types and engines, moderately repeated
+// SHAs and labels) for the columnar-encode twins below.
+func benchColReports() []*report.ScanReport {
+	reports := make([]*report.ScanReport, 0, 512)
+	for i := 0; i < 512; i++ {
+		r := &report.ScanReport{
+			SHA256:       fmt.Sprintf("colbench%06d", i%64),
+			FileType:     []string{"Win32 EXE", "PDF", "ELF", "Android", "ZIP", "HTML", "Win32 DLL", "XML"}[i%8],
+			AnalysisDate: t0.Add(time.Duration(i) * 97 * time.Second),
+			AVRank:       i % 7,
+			EnginesTotal: 70,
+		}
+		for j := 0; j < 3; j++ {
+			er := report.EngineResult{
+				Engine:           fmt.Sprintf("Engine-%02d", (i+j)%12),
+				Verdict:          report.Verdict(i%3 - 1),
+				SignatureVersion: 20210500 + i%30,
+			}
+			if er.Verdict == report.Malicious {
+				er.Label = fmt.Sprintf("Trojan.Gen.%d", (i+j)%30)
+			}
+			r.Results = append(r.Results, er)
+		}
+		reports = append(reports, r)
+	}
+	return reports
+}
+
+// BenchmarkDirectColumnarEncode measures the write path's per-block
+// encode work under the direct builder: fold every row into column
+// state, then seal. Its twin below measures the same block through
+// the flush-time transcode this path replaced; the pair plus
+// -benchmem shows what zero-transcode ingest saves per block.
+func BenchmarkDirectColumnarEncode(b *testing.B) {
+	reports := benchColReports()
+	lineLens := make([]int, len(reports))
+	var line []byte
+	var raw int64
+	for i, r := range reports {
+		line = appendScanRow(line[:0], r)
+		lineLens[i] = len(line)
+		raw += int64(len(line) + 1)
+	}
+	var payload []byte
+	b.ReportAllocs()
+	b.SetBytes(raw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := getColBuilder()
+		for j, r := range reports {
+			bl.addRow(r, lineLens[j])
+		}
+		payload = bl.seal(payload[:0])
+		putColBuilder(bl)
+	}
+	if len(payload) == 0 {
+		b.Fatal("empty payload")
+	}
+}
+
+// BenchmarkTranscodeColumnarEncode is the reference twin: encode the
+// same block by re-parsing its JSONL buffer at flush time
+// (appendColumnarBlock), the way the v2 write path worked before the
+// direct builder.
+func BenchmarkTranscodeColumnarEncode(b *testing.B) {
+	raw := rawBlockFor(benchColReports())
+	var payload []byte
+	var err error
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err = appendColumnarBlock(payload[:0], raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(payload) == 0 {
+		b.Fatal("empty payload")
+	}
+}

@@ -25,16 +25,21 @@
 //	             varint signature version, uvarint label-dict index+1
 //	             (0 = no label)
 //
-// The encoder consumes the raw v1 JSONL block the partition writer
-// accumulates, so the columnar payload is a pure per-block transcode:
-// block bytes depend only on the member's input rows, which keeps the
-// store byte-identical across worker counts exactly like v1
-// (determinism suite). Decoded vocabulary is interned through
-// internal/report, so every block in a scan shares one string per
-// distinct engine/label/file-type.
+// Two encoders produce this payload. The write path builds columns
+// directly from rows as they arrive (colBuilder, colbuilder.go); the
+// transcode below consumes a raw v1 JSONL block and re-parses it row
+// by row — the migration path (vtstore migrate) and the reference the
+// direct builder is differential-fuzzed against. Both are pure
+// functions of the member's input rows, so block bytes stay
+// independent of worker count and compression timing (determinism
+// suite). Decoded vocabulary is interned through internal/report, so
+// every block in a scan shares one string per distinct
+// engine/label/file-type.
 //
 // FuzzColumnarRowDifferential pins the codec against the v1 row
 // codec: encode→decode→re-encode to v1 lines must be the identity.
+// FuzzDirectColumnarDifferential pins the two encoders against each
+// other byte-for-byte.
 package store
 
 import (
@@ -89,6 +94,16 @@ func (d *colDict) id(s string) int {
 	d.ids[s] = id
 	d.vals = append(d.vals, s)
 	return id
+}
+
+// reset empties the dictionary for reuse, dropping the value strings
+// (so a pooled dictionary never pins a block's vocabulary) but keeping
+// the slice capacity. The id map is the caller's to clear or replace —
+// pooled builders hand theirs back to bufpool instead.
+func (d *colDict) reset() {
+	d.ids = nil
+	clear(d.vals)
+	d.vals = d.vals[:0]
 }
 
 // appendDict appends one dictionary: count, then length-prefixed

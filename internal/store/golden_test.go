@@ -124,6 +124,43 @@ func TestRegenerateGoldenFixture(t *testing.T) {
 	writeGoldenStore(t, goldenDirV2, WithBlockSize(2<<10))
 }
 
+// TestGoldenV2WriterByteIdentity pins the write path against the
+// committed v2 fixture at the byte level: regenerating the fixture's
+// dataset with today's writer must reproduce every committed file
+// exactly. The fixture was produced by the flush-time transcode
+// writer, so this is the end-to-end half of the direct-builder
+// byte-identity contract (the differential fuzzer is the per-block
+// half): same cut boundaries, same column bytes, same gzip members,
+// same sidecars.
+func TestGoldenV2WriterByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	writeGoldenStore(t, dir, WithBlockSize(2<<10))
+	entries, err := os.ReadDir(goldenDirV2)
+	if err != nil {
+		t.Fatalf("fixture %s missing (run with VTDYN_REGEN_GOLDEN=1 to create): %v", goldenDirV2, err)
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(goldenDirV2, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("writer did not produce fixture file %s: %v", e.Name(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: freshly written bytes differ from the committed fixture", e.Name())
+		}
+	}
+	fresh, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(entries) {
+		t.Errorf("writer produced %d files, fixture holds %d", len(fresh), len(entries))
+	}
+}
+
 // copyFixture clones a committed fixture into a scratch dir so tests
 // can mutate (reindex, migrate) without touching testdata.
 func copyFixture(t *testing.T, src string) string {

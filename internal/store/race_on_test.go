@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports whether this binary was built with -race, which
+// randomizes sync.Pool reuse and so defeats pooled-cycle allocation
+// accounting.
+const raceEnabled = true

@@ -79,6 +79,16 @@ type storeMetrics struct {
 	storedBytes *obs.Counter
 	blocksCut   *obs.Counter
 
+	// Block pipeline split: payload encoding (v2 seal; v1 blocks are
+	// accumulated pre-encoded, so only compression shows up for them)
+	// vs gzip time, plus a per-format block counter. Together they make
+	// "where does a cut's latency go" visible in /metricsz, and
+	// blocksEncodedV1 + blocksEncodedV2 == blocksCut (invariant suite).
+	blockEncodeSeconds   *obs.Histogram
+	blockCompressSeconds *obs.Histogram
+	blocksEncodedV1      *obs.Counter
+	blocksEncodedV2      *obs.Counter
+
 	gets           *obs.Counter
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
@@ -91,11 +101,17 @@ type storeMetrics struct {
 
 func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 	return &storeMetrics{
-		putCalls:       reg.Counter("store_put_calls_total"),
-		putRows:        reg.Counter("store_put_rows_total"),
-		rawBytes:       reg.Counter("store_raw_bytes_total"),
-		storedBytes:    reg.Counter("store_stored_bytes_total"),
-		blocksCut:      reg.Counter("store_blocks_cut_total"),
+		putCalls:    reg.Counter("store_put_calls_total"),
+		putRows:     reg.Counter("store_put_rows_total"),
+		rawBytes:    reg.Counter("store_raw_bytes_total"),
+		storedBytes: reg.Counter("store_stored_bytes_total"),
+		blocksCut:   reg.Counter("store_blocks_cut_total"),
+
+		blockEncodeSeconds:   reg.Histogram("store_block_encode_seconds", obs.DefBuckets),
+		blockCompressSeconds: reg.Histogram("store_block_compress_seconds", obs.DefBuckets),
+		blocksEncodedV1:      reg.Counter("store_blocks_encoded_total", "format", "v1"),
+		blocksEncodedV2:      reg.Counter("store_blocks_encoded_total", "format", "v2"),
+
 		gets:           reg.Counter("store_gets_total"),
 		cacheHits:      reg.Counter("store_cache_hits_total"),
 		cacheMisses:    reg.Counter("store_cache_misses_total"),
@@ -311,13 +327,16 @@ func rowFromScan(scan *report.ScanReport) scanRow {
 }
 
 // partWriter appends rows to one monthly partition as a sequence of
-// block-sized gzip members. Rows accumulate uncompressed; a cut hands
-// the raw block to a pooled gzip codec on the store's compression
-// workers, and finished blocks are committed to the file strictly in
-// cut order, so the partition bytes are identical to compressing each
-// block inline (flate output depends only on the member's input
-// bytes). Members start lazily on the first row after a cut, so
-// flush/sync cycles never emit empty members.
+// block-sized gzip members. The pending block accumulates in the
+// format the member will hold — v1 as the raw JSONL buffer, v2 as
+// column state built directly from the rows (colBuilder), with no
+// flush-time re-parse in either case. A cut hands the block to a
+// pooled gzip codec on the store's compression workers, and finished
+// blocks are committed to the file strictly in cut order, so the
+// partition bytes are identical to encoding and compressing each
+// block inline (both encoders and flate are pure functions of the
+// member's input rows). Members start lazily on the first row after a
+// cut, so flush/sync cycles never emit empty members.
 type partWriter struct {
 	mu      sync.Mutex
 	closed  bool
@@ -338,10 +357,17 @@ type partWriter struct {
 	// sem is the store-wide compression-concurrency bound.
 	sem chan struct{}
 
-	// Current (pending) block; pendingBuf == nil between members.
+	// Current (pending) block. Exactly one of pendingBuf (v1) / col
+	// (v2) is non-nil while a member is open; both are nil between
+	// members. pendingSize tracks the block's JSONL-equivalent size —
+	// Σ (len(line)+1) — for BOTH formats, so v2's cut boundaries (and
+	// therefore its block contents, and therefore its bytes) are
+	// identical to what the transcode path produced.
 	pendingBuf  []byte
+	col         *colBuilder
 	pendingRows int
 	pendingRaw  int64
+	pendingSize int
 	pendingShas map[string]int
 	// queue holds cut blocks whose compression may still be running,
 	// in cut order.
@@ -351,7 +377,8 @@ type partWriter struct {
 // pendingBlock is one cut block travelling through the compression
 // pool. done is closed once comp and err are final.
 type pendingBlock struct {
-	raw      []byte
+	raw      []byte      // v1: the member's JSONL payload; nil for v2
+	col      *colBuilder // v2: column state sealed off-lock; nil for v1
 	rows     int
 	rawBytes int64
 	shas     map[string]int
@@ -365,18 +392,29 @@ type pendingBlock struct {
 // encoding outruns compression.
 const maxInflightBlocks = 4
 
-// writeRowLocked appends one row, cutting a block when the pending
-// member reaches the block-size target. Caller holds w.mu.
+// writeRowLocked appends one row — to the raw JSONL buffer (v1) or
+// the column builder (v2) — cutting a block when the pending member
+// reaches the block-size target. The cut fires on the row's
+// JSONL-equivalent size in both formats, so v2 blocks hold exactly
+// the rows their transcode-era counterparts held. Caller holds w.mu.
 func (w *partWriter) writeRowLocked(row encRow) error {
-	if w.pendingBuf == nil {
-		w.pendingBuf = bufpool.GetBlockBuf()
+	if w.format == FormatV1 {
+		if w.pendingBuf == nil {
+			w.pendingBuf = bufpool.GetBlockBuf()
+		}
+		w.pendingBuf = append(w.pendingBuf, row.line...)
+		w.pendingBuf = append(w.pendingBuf, '\n')
+	} else {
+		if w.col == nil {
+			w.col = getColBuilder()
+		}
+		w.col.addRow(row.scan, len(row.line))
 	}
-	w.pendingBuf = append(w.pendingBuf, row.line...)
-	w.pendingBuf = append(w.pendingBuf, '\n')
 	w.pendingRows++
 	w.pendingRaw += int64(len(row.line))
+	w.pendingSize += len(row.line) + 1
 	w.pendingShas[row.sha]++
-	if len(w.pendingBuf) >= w.blockSize {
+	if w.pendingSize >= w.blockSize {
 		return w.cutBlockLocked()
 	}
 	return nil
@@ -386,60 +424,62 @@ func (w *partWriter) writeRowLocked(row encRow) error {
 // compression pool, then commits whatever earlier blocks have already
 // finished. Caller holds w.mu. A nil pending block is a no-op.
 func (w *partWriter) cutBlockLocked() error {
-	if w.pendingBuf == nil {
+	if w.pendingBuf == nil && w.col == nil {
 		return nil
 	}
 	pb := &pendingBlock{
 		raw:      w.pendingBuf,
+		col:      w.col,
 		rows:     w.pendingRows,
 		rawBytes: w.pendingRaw,
 		shas:     w.pendingShas,
 		done:     make(chan struct{}),
 	}
-	w.pendingBuf = nil
-	w.pendingRows, w.pendingRaw = 0, 0
-	w.pendingShas = make(map[string]int)
+	w.pendingBuf, w.col = nil, nil
+	w.pendingRows, w.pendingRaw, w.pendingSize = 0, 0, 0
+	w.pendingShas = bufpool.GetCountMap()
 	w.queue = append(w.queue, pb)
-	go compressBlock(pb, w.sem, w.format)
+	go compressBlock(pb, w.sem, w.m)
 	return w.commitLocked(maxInflightBlocks)
 }
 
-// compressBlock gzips one cut block off the writer lock. It touches
-// only pb and the semaphore, never w, so commits can proceed under
-// w.mu while later blocks compress. A v2 writer transcodes the raw
-// JSONL block to the columnar payload first — a pure function of the
-// member's input rows, so partition bytes stay independent of worker
-// count and compression timing in both formats.
-func compressBlock(pb *pendingBlock, sem chan struct{}, format int) {
+// compressBlock seals (v2) and gzips one cut block off the writer
+// lock. It touches only pb, the semaphore, and the (concurrency-safe)
+// metrics, never w, so commits can proceed under w.mu while later
+// blocks compress. A v2 block's column state is sealed here — pure
+// concatenation of already-encoded columns, replacing the old
+// JSONL-re-parse transcode — so partition bytes stay independent of
+// worker count and compression timing in both formats.
+func compressBlock(pb *pendingBlock, sem chan struct{}, m *storeMetrics) {
 	sem <- struct{}{}
 	payload := pb.raw
-	var colBuf []byte
-	var terr error
-	if format != FormatV1 {
-		colBuf = bufpool.GetBlockBuf()
-		colBuf, terr = appendColumnarBlock(colBuf, pb.raw)
-		payload = colBuf
+	var sealed []byte
+	if pb.col != nil {
+		start := time.Now()
+		sealed = pb.col.seal(bufpool.GetBlockBuf())
+		m.blockEncodeSeconds.ObserveDuration(time.Since(start))
+		payload = sealed
 	}
+	start := time.Now()
 	buf := bufpool.GetBuffer()
-	var werr, cerr error
-	if terr == nil {
-		zw := bufpool.GetGzipWriter(buf)
-		_, werr = zw.Write(payload)
-		cerr = zw.Close()
-		bufpool.PutGzipWriter(zw)
+	zw := bufpool.GetGzipWriter(buf)
+	_, werr := zw.Write(payload)
+	cerr := zw.Close()
+	bufpool.PutGzipWriter(zw)
+	m.blockCompressSeconds.ObserveDuration(time.Since(start))
+	if pb.col != nil {
+		putColBuilder(pb.col)
+		pb.col = nil
+		bufpool.PutBlockBuf(sealed)
+		m.blocksEncodedV2.Inc()
+	} else {
+		bufpool.PutBlockBuf(pb.raw)
+		pb.raw = nil
+		m.blocksEncodedV1.Inc()
 	}
-	if colBuf != nil {
-		bufpool.PutBlockBuf(colBuf)
-	}
-	bufpool.PutBlockBuf(pb.raw)
-	pb.raw = nil
 	pb.comp = buf
-	switch {
-	case terr != nil:
-		pb.err = terr
-	case werr != nil:
-		pb.err = werr
-	default:
+	pb.err = werr
+	if pb.err == nil {
 		pb.err = cerr
 	}
 	<-sem
@@ -496,6 +536,12 @@ func (w *partWriter) commitBlockLocked(pb *pendingBlock) error {
 		}
 		w.idx.appendBlock(bm, pb.shas)
 	}
+	// appendBlock folds the posting counts into the index without
+	// retaining the map, so the block's sha map recycles here — the
+	// committed block no longer sits in the queue pendingSHALocked
+	// walks.
+	bufpool.PutCountMap(pb.shas)
+	pb.shas = nil
 	return nil
 }
 
@@ -512,6 +558,8 @@ func (w *partWriter) abandonQueueLocked() {
 			if pb.comp != nil {
 				bufpool.PutBuffer(pb.comp)
 			}
+			bufpool.PutCountMap(pb.shas)
+			pb.shas = nil
 		}
 	}()
 }
@@ -750,15 +798,22 @@ type encoded struct {
 	month string
 	sha   string
 	meta  report.SampleMeta
+	scan  *report.ScanReport
 	line  []byte
 	raw   int
 }
 
-// encRow is the unit handed to a partition writer: the compact line
-// plus its sample hash for the block posting list.
+// encRow is the unit handed to a partition writer: the compact line,
+// its sample hash for the block posting list, and the scan itself so
+// a v2 writer can fold it straight into column state. The scan
+// pointer is only dereferenced inside writeRowLocked, synchronously
+// within the Put/PutBatch call that owns the envelope; only its
+// (immutable) strings are retained past that, by the column
+// dictionaries, until the block seals.
 type encRow struct {
 	sha  string
 	line []byte
+	scan *report.ScanReport
 }
 
 // encodeEnvelope builds the encoded form of one envelope. The row
@@ -777,6 +832,7 @@ func encodeEnvelope(env *report.Envelope, scratch []byte) (encoded, []byte, erro
 		month: MonthKey(env.Scan.AnalysisDate),
 		sha:   env.Meta.SHA256,
 		meta:  env.Meta,
+		scan:  &env.Scan,
 		line:  appendScanRow(bufpool.GetBuf(), &env.Scan),
 		raw:   len(scratch),
 	}, scratch, nil
@@ -792,7 +848,7 @@ func (s *Store) Put(env report.Envelope) error {
 	if err != nil {
 		return err
 	}
-	err = s.writeRows(enc.month, []encRow{{sha: enc.sha, line: enc.line}})
+	err = s.writeRows(enc.month, []encRow{{sha: enc.sha, line: enc.line, scan: enc.scan}})
 	bufpool.PutBuf(enc.line)
 	if err != nil {
 		return err
@@ -838,7 +894,7 @@ func (s *Store) PutBatch(envs []report.Envelope) error {
 		if _, ok := byMonth[enc.month]; !ok {
 			months = append(months, enc.month)
 		}
-		byMonth[enc.month] = append(byMonth[enc.month], encRow{sha: enc.sha, line: enc.line})
+		byMonth[enc.month] = append(byMonth[enc.month], encRow{sha: enc.sha, line: enc.line, scan: enc.scan})
 	}
 	sort.Strings(months)
 	for _, month := range months {
@@ -946,7 +1002,7 @@ func (s *Store) writer(month string) (*partWriter, error) {
 		base:        base,
 		blockSize:   s.blockSize,
 		format:      s.format,
-		pendingShas: make(map[string]int),
+		pendingShas: bufpool.GetCountMap(),
 		m:           s.m,
 		sem:         s.compressSem,
 	}
@@ -999,6 +1055,10 @@ func (s *Store) Flush() error {
 			w.mu.Unlock()
 			return fmt.Errorf("store: %w", err)
 		}
+		// The writer is finished: its last cut left a fresh (empty)
+		// pending-sha map that would otherwise leak out of the pool.
+		bufpool.PutCountMap(w.pendingShas)
+		w.pendingShas = nil
 		w.mu.Unlock()
 		delete(s.writers, month)
 		s.smu.Lock()
