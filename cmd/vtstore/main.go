@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -62,35 +63,46 @@ func parseFlags(args []string) (*options, error) {
 }
 
 func main() {
-	opts, err := parseFlags(os.Args[1:])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code instead of
+// os.Exit, so the verify exit-status contract (non-zero on any row or
+// sidecar disagreement) is testable. Sync parity checks shell out to
+// `vtstore verify` and rely on that status.
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseFlags(args)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
-		fatal(err)
+		fmt.Fprintln(stderr, "vtstore:", err)
+		return 1
 	}
 
 	st, err := store.Open(opts.dir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "vtstore:", err)
+		return 1
 	}
 
 	switch opts.cmd {
 	case "stats":
-		fmt.Printf("samples: %d\n", st.NumSamples())
-		fmt.Printf("%-10s %10s %14s %14s %8s\n", "month", "reports", "stored", "raw", "ratio")
+		fmt.Fprintf(stdout, "samples: %d\n", st.NumSamples())
+		fmt.Fprintf(stdout, "%-10s %10s %14s %14s %8s\n", "month", "reports", "stored", "raw", "ratio")
 		total := st.TotalStats()
 		for _, month := range st.Months() {
 			ps := st.Stats(month)
-			fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
+			fmt.Fprintf(stdout, "%-10s %10d %14d %14d %8.2f\n",
 				month, ps.Reports, ps.StoredBytes, ps.RawBytes, ps.CompressionRatio())
 		}
-		fmt.Printf("%-10s %10d %14d %14d %8.2f\n",
+		fmt.Fprintf(stdout, "%-10s %10d %14d %14d %8.2f\n",
 			"total", total.Reports, total.StoredBytes, total.RawBytes, total.CompressionRatio())
 
 		byType, err := st.StatsByTypeWorkers(opts.workers)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "vtstore:", err)
+			return 1
 		}
 		types := make([]string, 0, len(byType))
 		for ft := range byType {
@@ -99,49 +111,47 @@ func main() {
 		sort.Slice(types, func(i, j int) bool {
 			return byType[types[i]].Samples > byType[types[j]].Samples
 		})
-		fmt.Printf("\n%-22s %10s %10s\n", "file type", "samples", "reports")
+		fmt.Fprintf(stdout, "\n%-22s %10s %10s\n", "file type", "samples", "reports")
 		for _, ft := range types {
 			ts := byType[ft]
-			fmt.Printf("%-22s %10d %10d\n", ft, ts.Samples, ts.Reports)
+			fmt.Fprintf(stdout, "%-22s %10d %10d\n", ft, ts.Samples, ts.Reports)
 		}
 
 	case "verify":
 		n, err := st.VerifyWorkers(opts.workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vtstore: verification FAILED after %d rows: %v\n", n, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "vtstore: verification FAILED after %d rows: %v\n", n, err)
+			return 1
 		}
-		fmt.Printf("verified %d rows across %d partitions: OK\n", n, len(st.Months()))
+		fmt.Fprintf(stdout, "verified %d rows across %d partitions: OK\n", n, len(st.Months()))
 
 	case "list":
 		for _, sha := range st.SampleHashes() {
 			meta, _ := st.Meta(sha)
-			fmt.Printf("%s  %-20s %d submissions\n", sha, meta.FileType, meta.TimesSubmitted)
+			fmt.Fprintf(stdout, "%s  %-20s %d submissions\n", sha, meta.FileType, meta.TimesSubmitted)
 		}
 
 	case "reindex":
 		if err := st.Reindex(); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "vtstore:", err)
+			return 1
 		}
-		fmt.Printf("reindexed %d partitions: block-index sidecars written\n", len(st.Months()))
+		fmt.Fprintf(stdout, "reindexed %d partitions: block-index sidecars written\n", len(st.Months()))
 
 	case "migrate":
 		ms, err := st.Migrate()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "vtstore:", err)
+			return 1
 		}
 		for _, month := range ms.Migrated {
-			fmt.Printf("migrated %s to v2\n", month)
+			fmt.Fprintf(stdout, "migrated %s to v2\n", month)
 		}
-		fmt.Printf("migrate: %d partitions rewritten to v2, %d already current\n",
+		fmt.Fprintf(stdout, "migrate: %d partitions rewritten to v2, %d already current\n",
 			len(ms.Migrated), len(ms.Skipped))
 	}
 	if s := obs.Default().Summary(); s != "" {
-		fmt.Fprintln(os.Stderr, "vtstore metrics:", s)
+		fmt.Fprintln(stderr, "vtstore metrics:", s)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vtstore:", err)
-	os.Exit(1)
+	return 0
 }

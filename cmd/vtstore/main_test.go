@@ -1,9 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -71,5 +81,174 @@ func TestParseFlags(t *testing.T) {
 func TestParseFlagsHelp(t *testing.T) {
 	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// sidecar mirrors the store's sidecar JSON schema so tests can tamper
+// with individual block entries while keeping the file loadable.
+type sidecar struct {
+	FileSize int64            `json:"file_size"`
+	Blocks   []sidecarBlock   `json:"blocks"`
+	Postings map[string][]int `json:"postings"`
+}
+
+type sidecarBlock struct {
+	O int64 `json:"o"`
+	L int64 `json:"l"`
+	N int   `json:"n"`
+	R int64 `json:"r"`
+	V int   `json:"v,omitempty"`
+}
+
+// buildVerifyStore writes a small closed store with several blocks.
+func buildVerifyStore(t *testing.T, dir string) {
+	t.Helper()
+	s, err := store.Open(dir, store.WithBlockSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 24; i++ {
+		sha := fmt.Sprintf("verify%02d", i)
+		env := report.Envelope{
+			Meta: report.SampleMeta{
+				SHA256:              sha,
+				FileType:            "Win32 EXE",
+				Size:                2048,
+				FirstSubmissionDate: base,
+				LastAnalysisDate:    base,
+				LastSubmissionDate:  base,
+				TimesSubmitted:      1,
+			},
+			Scan: report.ScanReport{
+				SHA256:       sha,
+				FileType:     "Win32 EXE",
+				AnalysisDate: base.Add(time.Duration(i) * time.Hour),
+				AVRank:       1,
+				EnginesTotal: 2,
+				Results: []report.EngineResult{
+					{Engine: "Avast", Verdict: report.Malicious, Label: "Trojan.Gen", SignatureVersion: 1},
+					{Engine: "BitDefender", Verdict: report.Benign, SignatureVersion: 2},
+				},
+			},
+		}
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyExitStatus pins the satellite contract: `vtstore verify`
+// exits non-zero whenever a sidecar block entry disagrees with the
+// partition payload, so sync parity checks can shell out to it.
+func TestVerifyExitStatus(t *testing.T) {
+	cases := []struct {
+		name     string
+		corrupt  func(t *testing.T, sc *sidecar)
+		wantCode int
+	}{
+		{
+			name:     "clean store",
+			wantCode: 0,
+		},
+		{
+			name: "inflated block row count",
+			corrupt: func(t *testing.T, sc *sidecar) {
+				sc.Blocks[0].N++
+			},
+			wantCode: 1,
+		},
+		{
+			name: "wrong block raw bytes",
+			corrupt: func(t *testing.T, sc *sidecar) {
+				sc.Blocks[0].R += 17
+			},
+			wantCode: 1,
+		},
+		{
+			name: "lying block version",
+			corrupt: func(t *testing.T, sc *sidecar) {
+				sc.Blocks[0].V = 0 // claims v1, payload is v2
+			},
+			wantCode: 1,
+		},
+		{
+			name: "posting dropped",
+			corrupt: func(t *testing.T, sc *sidecar) {
+				for sha := range sc.Postings {
+					delete(sc.Postings, sha)
+					return
+				}
+				t.Fatal("no postings to drop")
+			},
+			wantCode: 1,
+		},
+		{
+			name: "posting for a sample the block does not hold",
+			corrupt: func(t *testing.T, sc *sidecar) {
+				sc.Postings["phantomsample"] = []int{0}
+			},
+			wantCode: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildVerifyStore(t, dir)
+			idxPath := filepath.Join(dir, "scans-2021-05.idx")
+			if tc.corrupt != nil {
+				b, err := os.ReadFile(idxPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sc sidecar
+				if err := json.Unmarshal(b, &sc); err != nil {
+					t.Fatal(err)
+				}
+				if len(sc.Blocks) < 2 {
+					t.Fatalf("fixture too small: %d blocks", len(sc.Blocks))
+				}
+				tc.corrupt(t, &sc)
+				out, err := json.Marshal(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(idxPath, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-store", dir, "verify"}, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantCode != 0 && !strings.Contains(stderr.String(), "FAILED") {
+				t.Fatalf("failure not reported on stderr: %s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestVerifyCorruptPayloadExitStatus flips a byte inside a committed
+// block: the row pass hits the gzip CRC failure and verify must exit
+// non-zero.
+func TestVerifyCorruptPayloadExitStatus(t *testing.T) {
+	dir := t.TempDir()
+	buildVerifyStore(t, dir)
+	part := filepath.Join(dir, "scans-2021-05.jsonl.gz")
+	b, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(part, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-store", dir, "verify"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
 	}
 }

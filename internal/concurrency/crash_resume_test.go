@@ -1,0 +1,250 @@
+package concurrency
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/feed"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
+)
+
+// The collector checkpoints through a feed.FileCursor whose Save is
+// write-temp + fsync + rename, and the store is a feed.Syncer, so
+// committed blocks hit disk before any checkpoint advances. A kill can
+// therefore interrupt a checkpoint at two interesting points:
+//
+//   - after the temp file is fsynced but before the rename promotes
+//     it: the main cursor file still holds the previous frontier and a
+//     newer valid .tmp is orphaned next to it;
+//   - mid-write of the temp file: the .tmp is truncated garbage and
+//     only the main file is trustworthy.
+//
+// In both cases reopening the store and re-running the same window
+// must be gap-free: every scheduled envelope present afterwards, with
+// at most the single slice between the two frontiers re-fetched. These
+// tests simulate the kill by hijacking cursor.Save at a chosen
+// frontier, planting exactly the on-disk debris the crash would leave,
+// and abandoning the live Store without Close — the reopened Store
+// sees only what was durable.
+
+// crashCampaign is the shared fixture: a 30-minute window with one
+// envelope per one-minute slice, all in a single monthly partition.
+type crashCampaign struct {
+	dir    string
+	start  time.Time
+	end    time.Time
+	envs   []report.Envelope
+	cursor string
+}
+
+func newCrashCampaign(t *testing.T) *crashCampaign {
+	t.Helper()
+	dir := t.TempDir()
+	start := time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+	cc := &crashCampaign{
+		dir:    dir,
+		start:  start,
+		end:    start.Add(30 * time.Minute),
+		cursor: filepath.Join(dir, "collect.cursor"),
+	}
+	for i := 0; i < 30; i++ {
+		cc.envs = append(cc.envs, storeEnvelope(
+			fmt.Sprintf("cr-%03d", i), start.Add(time.Duration(i)*time.Minute), i%4))
+	}
+	return cc
+}
+
+// runUntilKill drives the campaign until the checkpoint at killAt,
+// where plant writes the simulated crash debris instead of completing
+// the Save. The store is abandoned un-Closed, exactly like a killed
+// process: only data synced before the fatal checkpoint survives.
+func (cc *crashCampaign) runUntilKill(t *testing.T, killAt time.Time, plant func(frontier time.Time)) {
+	t.Helper()
+	st, err := store.Open(cc.dir, store.WithBlockSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := &feed.FileCursor{Path: cc.cursor}
+	killed := errors.New("killed mid-checkpoint")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trip := feed.CursorFunc{
+		LoadFn: real.Load,
+		SaveFn: func(frontier time.Time) error {
+			if !frontier.Before(killAt) {
+				plant(frontier)
+				cancel()
+				return killed
+			}
+			return real.Save(frontier)
+		},
+	}
+	c := feed.NewCollector(&scriptedSource{envs: cc.envs}, st)
+	c.Workers = 4
+	if _, err := c.RunResumable(ctx, cc.start, cc.end, trip); !errors.Is(err, killed) {
+		t.Fatalf("first run err = %v, want simulated kill", err)
+	}
+	// No Close: the abandoned Store's buffered state dies with the
+	// "process". Everything up to the fatal checkpoint was synced.
+}
+
+// resume reopens the survivors and completes the window, returning the
+// fresh source (for poll accounting) and the run stats.
+func (cc *crashCampaign) resume(t *testing.T) (*scriptedSource, feed.Stats) {
+	t.Helper()
+	st, err := store.Open(cc.dir, store.WithBlockSize(1<<10))
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	src := &scriptedSource{envs: cc.envs}
+	c := feed.NewCollector(src, st)
+	c.Workers = 4
+	stats, err := c.RunResumable(context.Background(), cc.start, cc.end, &feed.FileCursor{Path: cc.cursor})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return src, stats
+}
+
+// rowCounts reopens the finished store read-only and counts stored
+// scan rows per sample.
+func (cc *crashCampaign) rowCounts(t *testing.T) map[string]int {
+	t.Helper()
+	st, err := store.Open(cc.dir, store.WithBlockSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	counts := make(map[string]int)
+	for _, month := range st.Months() {
+		if err := st.IterReports(month, func(r *report.ScanReport) error {
+			counts[r.SHA256]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Verify(); err != nil {
+		t.Fatalf("store verify after crash-resume: %v", err)
+	}
+	return counts
+}
+
+func cursorBytes(frontier time.Time) []byte {
+	return []byte(strconv.FormatInt(frontier.Unix(), 10) + "\n")
+}
+
+// TestCrashResumeOrphanedTempCursor kills the collector after the
+// checkpoint's temp file is durable but before the rename. Recovery
+// must pick the orphaned .tmp frontier — the furthest durable one —
+// and resume with no slice re-fetched and no slice lost.
+func TestCrashResumeOrphanedTempCursor(t *testing.T) {
+	cc := newCrashCampaign(t)
+	killAt := cc.start.Add(16 * time.Minute)
+	cc.runUntilKill(t, killAt, func(frontier time.Time) {
+		if err := os.WriteFile(cc.cursor+".tmp", cursorBytes(frontier), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	got, ok, err := (&feed.FileCursor{Path: cc.cursor}).Load()
+	if err != nil || !ok || !got.Equal(killAt) {
+		t.Fatalf("recovered frontier = %v, %v, %v; want %v", got, ok, err, killAt)
+	}
+
+	src, stats := cc.resume(t)
+	// 14 one-minute slices remained past the recovered frontier.
+	if stats.Polls != 14 || src.calls.Load() != 14 {
+		t.Fatalf("resume polls = %d (source calls %d), want 14", stats.Polls, src.calls.Load())
+	}
+	counts := cc.rowCounts(t)
+	for i := 0; i < 30; i++ {
+		sha := fmt.Sprintf("cr-%03d", i)
+		if counts[sha] != 1 {
+			t.Fatalf("sample %s stored %d times, want exactly once", sha, counts[sha])
+		}
+	}
+}
+
+// TestCrashResumeTruncatedTempCursor kills the collector mid-write of
+// the checkpoint temp file: the .tmp is torn and recovery falls back
+// to the main cursor file's older frontier. The slice between the two
+// frontiers was already durable in the store, so it is fetched and
+// stored a second time — the documented at-worst-a-refetch outcome —
+// but nothing is ever lost.
+func TestCrashResumeTruncatedTempCursor(t *testing.T) {
+	cc := newCrashCampaign(t)
+	killAt := cc.start.Add(16 * time.Minute)
+	cc.runUntilKill(t, killAt, func(frontier time.Time) {
+		if err := os.WriteFile(cc.cursor+".tmp", cursorBytes(frontier)[:3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Recovery lands on the last durable frontier: one slice behind.
+	wantFrontier := killAt.Add(-time.Minute)
+	got, ok, err := (&feed.FileCursor{Path: cc.cursor}).Load()
+	if err != nil || !ok || !got.Equal(wantFrontier) {
+		t.Fatalf("recovered frontier = %v, %v, %v; want %v", got, ok, err, wantFrontier)
+	}
+
+	src, stats := cc.resume(t)
+	if stats.Polls != 15 || src.calls.Load() != 15 {
+		t.Fatalf("resume polls = %d (source calls %d), want 15", stats.Polls, src.calls.Load())
+	}
+	counts := cc.rowCounts(t)
+	for i := 0; i < 30; i++ {
+		sha := fmt.Sprintf("cr-%03d", i)
+		want := 1
+		if i == 15 {
+			want = 2 // the re-fetched slice straddling the torn checkpoint
+		}
+		if counts[sha] != want {
+			t.Fatalf("sample %s stored %d times, want %d", sha, counts[sha], want)
+		}
+	}
+}
+
+// TestCrashResumeTruncatedMainCursor covers debris outside Save's own
+// reach — the main cursor file itself truncated (power loss tearing a
+// data block) while a durable .tmp from the interrupted checkpoint
+// survives. Recovery must still find the .tmp frontier and resume
+// gap-free.
+func TestCrashResumeTruncatedMainCursor(t *testing.T) {
+	cc := newCrashCampaign(t)
+	killAt := cc.start.Add(16 * time.Minute)
+	cc.runUntilKill(t, killAt, func(frontier time.Time) {
+		if err := os.WriteFile(cc.cursor+".tmp", cursorBytes(frontier), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(cc.cursor, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	got, ok, err := (&feed.FileCursor{Path: cc.cursor}).Load()
+	if err != nil || !ok || !got.Equal(killAt) {
+		t.Fatalf("recovered frontier = %v, %v, %v; want %v", got, ok, err, killAt)
+	}
+
+	_, stats := cc.resume(t)
+	if stats.Polls != 14 {
+		t.Fatalf("resume polls = %d, want 14", stats.Polls)
+	}
+	counts := cc.rowCounts(t)
+	for i := 0; i < 30; i++ {
+		if sha := fmt.Sprintf("cr-%03d", i); counts[sha] != 1 {
+			t.Fatalf("sample %s stored %d times, want exactly once", sha, counts[sha])
+		}
+	}
+}

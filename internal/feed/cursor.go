@@ -27,32 +27,73 @@ type Cursor interface {
 }
 
 // FileCursor persists the frontier as Unix seconds in a small file,
-// written atomically (write temp + rename).
+// written atomically (write temp + fsync + rename).
+//
+// Crash recovery: a kill mid-checkpoint can leave the main file
+// truncated or the temp file orphaned at any stage. Load therefore
+// considers both files and returns the furthest valid frontier it
+// finds, ignoring whichever is torn. That is always safe — never a
+// gap, at worst a re-fetch — because Save is only called after the
+// slice's envelopes are durably in the sink: the frontier is monotone
+// and every value ever written to either file was durable when
+// written, so the max of the surviving values is a frontier the sink
+// has fully absorbed.
 type FileCursor struct {
 	Path string
 }
 
-// Load implements Cursor.
-func (c *FileCursor) Load() (time.Time, bool, error) {
-	b, err := os.ReadFile(c.Path)
+// readFrontier parses one cursor file; ok is false when the file is
+// missing or torn (unreadable content is recovery input here, not an
+// error — the companion file may still hold a good frontier).
+func readFrontier(path string) (time.Time, bool) {
+	b, err := os.ReadFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return time.Time{}, false, nil
-		}
-		return time.Time{}, false, fmt.Errorf("feed: cursor: %w", err)
+		return time.Time{}, false
 	}
 	sec, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
 	if err != nil {
-		return time.Time{}, false, fmt.Errorf("feed: cursor: malformed %q: %w", string(b), err)
+		return time.Time{}, false
 	}
-	return time.Unix(sec, 0).UTC(), true, nil
+	return time.Unix(sec, 0).UTC(), true
+}
+
+// Load implements Cursor.
+func (c *FileCursor) Load() (time.Time, bool, error) {
+	main, mainOK := readFrontier(c.Path)
+	tmp, tmpOK := readFrontier(c.Path + ".tmp")
+	switch {
+	case mainOK && tmpOK:
+		if tmp.After(main) {
+			return tmp, true, nil
+		}
+		return main, true, nil
+	case mainOK:
+		return main, true, nil
+	case tmpOK:
+		return tmp, true, nil
+	}
+	return time.Time{}, false, nil
 }
 
 // Save implements Cursor.
 func (c *FileCursor) Save(frontier time.Time) error {
 	tmp := c.Path + ".tmp"
 	data := strconv.FormatInt(frontier.Unix(), 10) + "\n"
-	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("feed: cursor: %w", err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		f.Close()
+		return fmt.Errorf("feed: cursor: %w", err)
+	}
+	// fsync before rename: otherwise a crash can promote a zero-length
+	// temp file over a good cursor.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("feed: cursor: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("feed: cursor: %w", err)
 	}
 	if err := os.Rename(tmp, c.Path); err != nil {

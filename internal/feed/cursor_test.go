@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -26,17 +27,81 @@ func TestFileCursorRoundTrip(t *testing.T) {
 	}
 }
 
-func TestFileCursorMalformed(t *testing.T) {
+// TestFileCursorTornWriteRecovery exercises every file state a kill
+// mid-checkpoint can leave behind. A torn file is recovery input, not
+// an error: Load falls back to whichever of cursor/cursor.tmp still
+// holds a valid frontier and reports ok=false only when neither does.
+func TestFileCursorTornWriteRecovery(t *testing.T) {
+	early := time.Unix(1622505600, 0).UTC()
+	late := early.Add(time.Hour)
+	sec := func(ts time.Time) []byte {
+		return []byte(strconv.FormatInt(ts.Unix(), 10) + "\n")
+	}
+	cases := []struct {
+		name      string
+		main, tmp []byte // nil = file absent
+		want      time.Time
+		ok        bool
+	}{
+		{name: "both absent", ok: false},
+		{name: "garbage main only", main: []byte("not-a-number"), ok: false},
+		{name: "empty main only", main: []byte{}, ok: false},
+		{name: "garbage main, valid tmp", main: []byte("not-a-number"), tmp: sec(late), want: late, ok: true},
+		{name: "truncated main, valid tmp", main: sec(late)[:4], tmp: sec(late), want: late, ok: true},
+		{name: "valid main, torn tmp", main: sec(early), tmp: []byte("16225"), want: early, ok: true},
+		{name: "orphaned newer tmp", main: sec(early), tmp: sec(late), want: late, ok: true},
+		{name: "stale tmp loses to main", main: sec(late), tmp: sec(early), want: late, ok: true},
+		{name: "both torn", main: []byte("x"), tmp: []byte{}, ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cursor")
+			if tc.main != nil {
+				if err := os.WriteFile(path, tc.main, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.tmp != nil {
+				if err := os.WriteFile(path+".tmp", tc.tmp, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, ok, err := (&FileCursor{Path: path}).Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && !got.Equal(tc.want) {
+				t.Fatalf("frontier = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// A save after recovery must atomically replace whatever debris the
+// crash left, so the next Load sees only the new frontier.
+func TestFileCursorSaveAfterTornState(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cursor")
-	if err := (&FileCursor{Path: path}).Save(t0); err != nil {
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the file.
-	if err := os.WriteFile(path, []byte("not-a-number"), 0o644); err != nil {
+	if err := os.WriteFile(path+".tmp", []byte("also torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := (&FileCursor{Path: path}).Load(); err == nil {
-		t.Fatal("expected error on malformed cursor")
+	c := &FileCursor{Path: path}
+	want := time.Unix(1625097600, 0).UTC()
+	if err := c.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Load()
+	if err != nil || !ok || !got.Equal(want) {
+		t.Fatalf("Load = %v, %v, %v", got, ok, err)
+	}
+	// Rename consumed the temp file; no stale companion remains.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package feed
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,14 +12,15 @@ import (
 
 var t0 = time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
 
-// fakeSource serves envelopes with fixed timestamps.
+// fakeSource serves envelopes with fixed timestamps. The call count
+// is atomic because concurrent collectors overlap fetches.
 type fakeSource struct {
 	envs  []report.Envelope
-	calls int
+	calls atomic.Int64
 }
 
 func (f *fakeSource) FeedBetween(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
-	f.calls++
+	f.calls.Add(1)
 	var out []report.Envelope
 	for _, e := range f.envs {
 		at := e.Scan.AnalysisDate
@@ -190,8 +192,8 @@ func TestCollectorContextCancel(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
-	if src.calls != 0 {
-		t.Fatalf("source called %d times after cancel", src.calls)
+	if src.calls.Load() != 0 {
+		t.Fatalf("source called %d times after cancel", src.calls.Load())
 	}
 }
 
@@ -201,8 +203,8 @@ func TestRunHourlyRestoresInterval(t *testing.T) {
 	if _, err := c.RunHourly(context.Background(), t0, t0.Add(3*time.Hour)); err != nil {
 		t.Fatal(err)
 	}
-	if src.calls != 3 {
-		t.Fatalf("hourly polls = %d", src.calls)
+	if src.calls.Load() != 3 {
+		t.Fatalf("hourly polls = %d", src.calls.Load())
 	}
 	if c.Interval != time.Minute {
 		t.Fatalf("interval not restored: %v", c.Interval)

@@ -137,6 +137,17 @@ func (ix *partIndex) snapshotBlocks() []blockMeta {
 	return append([]blockMeta(nil), ix.blocks...)
 }
 
+// snapshotPostings deep-copies the SHA→block-set posting list.
+func (ix *partIndex) snapshotPostings() map[string][]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[string][]int, len(ix.postings))
+	for sha, ids := range ix.postings {
+		out[sha] = append([]int(nil), ids...)
+	}
+	return out
+}
+
 // sidecarPath names the index sidecar for a month.
 func sidecarPath(dir, month string) string {
 	return filepath.Join(dir, "scans-"+month+".idx")

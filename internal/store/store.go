@@ -1071,9 +1071,12 @@ func (s *Store) Flush() error {
 }
 
 // Sync makes buffered rows durable and readable by cutting the open
-// gzip members at a block boundary and persisting grown sidecars —
-// without tearing down partition writers. It is the cheap durability
-// point resumable collectors use before saving a checkpoint.
+// gzip members at a block boundary and persisting grown sidecars and
+// metadata snapshots — without tearing down partition writers. It is
+// the durability point resumable collectors use before saving a
+// checkpoint: after a kill, reopening the directory recovers the
+// complete store state (rows, indexes, sample metas, accounting) as
+// of the last Sync, so a resumed campaign passes full verification.
 func (s *Store) Sync() error {
 	s.wmu.Lock()
 	open := make([]*partWriter, 0, len(s.writers))
@@ -1095,7 +1098,10 @@ func (s *Store) Sync() error {
 		}
 		w.mu.Unlock()
 	}
-	return s.writeSidecars()
+	if err := s.writeSidecars(); err != nil {
+		return err
+	}
+	return s.writeSnapshots()
 }
 
 // writeSidecars persists every index that has grown since its sidecar
@@ -1147,51 +1153,42 @@ func (s *Store) Close() error {
 	if err := s.Flush(); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(s.dir, "samples.jsonl.gz"))
+	return s.writeSnapshots()
+}
+
+// writeSnapshots persists the sample-metadata and stats snapshots,
+// each written to a temp file and renamed into place so a crash
+// mid-write never clobbers the previous good snapshot. Both files go
+// through the same encoders the replication leader serves
+// (WriteSamplesSnapshot, StatsJSON), so a follower that applied the
+// leader's snapshots and then Closes rewrites identical bytes. The
+// samples snapshot is O(total samples); Sync pays that on every
+// checkpoint, which is the same order as the sidecar postings it
+// already rewrites.
+func (s *Store) writeSnapshots() error {
+	path := filepath.Join(s.dir, "samples.jsonl.gz")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	gz := bufpool.GetGzipWriter(f)
-	defer bufpool.PutGzipWriter(gz)
-	enc := json.NewEncoder(gz)
-	metas := s.snapshotSamples()
-	hashes := make([]string, 0, len(metas))
-	for h := range metas {
-		hashes = append(hashes, h)
-	}
-	sort.Strings(hashes)
-	for _, h := range hashes {
-		row := struct {
-			Meta metaRow `json:"m"`
-		}{Meta: metaFrom(metas[h])}
-		if err := enc.Encode(row); err != nil {
-			gz.Close()
-			f.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-	}
-	if err := gz.Close(); err != nil {
+	if err := s.WriteSamplesSnapshot(f); err != nil {
 		f.Close()
-		return fmt.Errorf("store: %w", err)
+		os.Remove(tmp)
+		return err
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	// Persist the exact accounting for reloads.
-	s.smu.Lock()
-	snapshot := make(map[string]PartitionStats, len(s.stats))
-	for month, st := range s.stats {
-		snapshot[month] = *st
-	}
-	s.smu.Unlock()
-	b, err := json.Marshal(snapshot)
+	b, err := s.StatsJSON()
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.dir, "stats.json"), b, 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return atomicWriteFile(filepath.Join(s.dir, "stats.json"), b)
 }
 
 // snapshotSamples copies the whole sample index out of the shards.
@@ -1818,8 +1815,9 @@ func columnarTypeCountsBlock(path string, bm blockMeta, tally func(ft string, ro
 }
 
 // Verify re-reads every partition on all cores, checking that each
-// row parses, validates, and belongs to an indexed sample. It returns
-// the number of rows checked.
+// row parses, validates, and belongs to an indexed sample, and that
+// every sidecar block entry agrees with its partition payload. It
+// returns the number of rows checked.
 func (s *Store) Verify() (int, error) { return s.VerifyWorkers(0) }
 
 // VerifyWorkers is Verify over an explicit worker count (<= 0 uses
@@ -1848,5 +1846,155 @@ func (s *Store) VerifyWorkers(workers int) (int, error) {
 		}
 		return nil
 	})
+	if err == nil {
+		err = s.verifyBlockIndexes(workers)
+	}
 	return int(checked.Load()), err
+}
+
+// ErrIndexMismatch is returned by Verify when a sidecar block entry
+// disagrees with the partition payload it points at — wrong row
+// count, raw-byte total, format version, or posting list. The sidecar
+// is acceleration state, so a disagreement means replication parity
+// checks and indexed Gets can no longer trust it; Reindex rebuilds it
+// from the partition bytes.
+var ErrIndexMismatch = errors.New("store: block index disagrees with partition payload")
+
+// verifyBlockIndexes cross-checks every indexed month's in-memory
+// block index (which mirrors the sidecar) against the partition
+// payloads: blocks must tile the file exactly, and each block's
+// claimed rows, raw bytes, version, and posting membership must match
+// what its payload actually decodes to. This is what lets `vtstore
+// verify` vouch for a replica: a follower whose sidecars pass this
+// and whose partitions hash equal to the leader's is a true replica.
+func (s *Store) verifyBlockIndexes(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type blockJob struct {
+		month string
+		path  string
+		seq   int
+		bm    blockMeta
+		want  map[string]bool
+	}
+	var jobs []blockJob
+	for _, month := range s.Months() {
+		ix := s.index(month)
+		if ix == nil {
+			continue
+		}
+		path := s.partPath(month)
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+		blocks := ix.snapshotBlocks()
+		var off int64
+		for seq, bm := range blocks {
+			if bm.Offset != off || bm.Len <= 0 {
+				return fmt.Errorf("%w: %s block %d at offset %d, expected %d", ErrIndexMismatch, month, seq, bm.Offset, off)
+			}
+			off += bm.Len
+		}
+		if off != size {
+			return fmt.Errorf("%w: %s index covers %d bytes, partition holds %d", ErrIndexMismatch, month, off, size)
+		}
+		want := make([]map[string]bool, len(blocks))
+		for sha, ids := range ix.snapshotPostings() {
+			for _, id := range ids {
+				if id < 0 || id >= len(blocks) {
+					return fmt.Errorf("%w: %s posting for %s names block %d of %d", ErrIndexMismatch, month, sha, id, len(blocks))
+				}
+				if want[id] == nil {
+					want[id] = make(map[string]bool)
+				}
+				want[id][sha] = true
+			}
+		}
+		for seq, bm := range blocks {
+			jobs = append(jobs, blockJob{month: month, path: path, seq: seq, bm: bm, want: want[seq]})
+		}
+	}
+	check := func(j blockJob) error {
+		f, err := os.Open(j.path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer f.Close()
+		payload, err := readBlockPayloadAt(f, j.path, j.bm)
+		if err != nil {
+			return err
+		}
+		defer bufpool.PutBlockBuf(payload)
+		sum, err := analyzePayload(payload, s.maxFormat)
+		if err != nil {
+			var fe *FormatError
+			if errors.As(err, &fe) {
+				return &FormatError{Path: j.path, Version: fe.Version, Max: fe.Max}
+			}
+			return fmt.Errorf("%w: %s block %d payload: %v", ErrIndexMismatch, j.month, j.seq, err)
+		}
+		if sum.ver != blockVer(j.bm) || sum.rows != j.bm.Rows || sum.raw != j.bm.Raw {
+			return fmt.Errorf("%w: %s block %d is v%d/%d rows/%d raw, sidecar says v%d/%d/%d",
+				ErrIndexMismatch, j.month, j.seq, sum.ver, sum.rows, sum.raw, blockVer(j.bm), j.bm.Rows, j.bm.Raw)
+		}
+		if len(sum.shas) != len(j.want) {
+			return fmt.Errorf("%w: %s block %d holds %d samples, postings name %d",
+				ErrIndexMismatch, j.month, j.seq, len(sum.shas), len(j.want))
+		}
+		for sha := range sum.shas {
+			if !j.want[sha] {
+				return fmt.Errorf("%w: %s block %d holds %s, which its postings do not name",
+					ErrIndexMismatch, j.month, j.seq, sha)
+			}
+		}
+		return nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if err := check(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobc := make(chan blockJob)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				if err := check(j); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobc <- j
+	}
+	close(jobc)
+	wg.Wait()
+	return firstErr
 }

@@ -1,0 +1,471 @@
+package sync
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/obs"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
+	"vtdynamics/internal/vtapi"
+)
+
+var t0 = time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+
+func envelope(sha string, at time.Time, rank int) report.Envelope {
+	results := []report.EngineResult{
+		{Engine: "Avast", Verdict: report.Benign, SignatureVersion: 3},
+		{Engine: "BitDefender", Verdict: report.Undetected, SignatureVersion: 9},
+	}
+	for i := 0; i < rank; i++ {
+		results = append(results, report.EngineResult{
+			Engine:           fmt.Sprintf("Det%02d", i),
+			Verdict:          report.Malicious,
+			Label:            "Trojan.Gen",
+			SignatureVersion: 1,
+		})
+	}
+	return report.Envelope{
+		Meta: report.SampleMeta{
+			SHA256:              sha,
+			FileType:            "Win32 EXE",
+			Size:                4096,
+			FirstSubmissionDate: t0,
+			LastAnalysisDate:    at,
+			LastSubmissionDate:  at,
+			TimesSubmitted:      1,
+		},
+		Scan: report.ScanReport{
+			SHA256:       sha,
+			FileType:     "Win32 EXE",
+			AnalysisDate: at,
+			Results:      results,
+			AVRank:       rank,
+			EnginesTotal: rank + 1,
+		},
+	}
+}
+
+// fillStore puts n envelopes spanning two months into st, with a
+// mid-campaign Sync so partitions carry several gzip members.
+func fillStore(t *testing.T, st *store.Store, prefix string, n, offset int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(offset+i) * time.Hour)
+		if (offset+i)%2 == 1 {
+			at = at.AddDate(0, 1, 0)
+		}
+		if err := st.Put(envelope(fmt.Sprintf("%s%03d", prefix, offset+i), at, (offset+i)%7)); err != nil {
+			t.Fatal(err)
+		}
+		if i == n/2 {
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// buildLeaderStore creates and closes a two-month store in dir.
+func buildLeaderStore(t *testing.T, dir string, format, n int) {
+	t.Helper()
+	st, err := store.Open(dir, store.WithFormat(format), store.WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, st, "syn", n, 0)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dirHashes maps regular files to SHA-256, skipping names in skip.
+func dirHashes(t *testing.T, dir string, skip ...string) map[string]string {
+	t.Helper()
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	out := make(map[string]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || skipSet[e.Name()] {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(b)
+		out[e.Name()] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// assertParity compares every file byte-for-byte (by hash) between
+// the leader and follower directories.
+func assertParity(t *testing.T, leaderDir, followerDir string, skip ...string) {
+	t.Helper()
+	lh := dirHashes(t, leaderDir, skip...)
+	fh := dirHashes(t, followerDir, skip...)
+	for name, want := range lh {
+		if got, ok := fh[name]; !ok {
+			t.Errorf("follower missing %s", name)
+		} else if got != want {
+			t.Errorf("file %s differs: leader %s, follower %s", name, want[:12], got[:12])
+		}
+	}
+	for name := range fh {
+		if _, ok := lh[name]; !ok {
+			t.Errorf("follower has extra file %s", name)
+		}
+	}
+}
+
+// leaderServer serves st, optionally behind the fault injector.
+func leaderServer(t *testing.T, st *store.Store, faults *vtapi.FaultConfig, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	var h http.Handler = NewLeader(st, reg)
+	if faults != nil {
+		h = vtapi.FaultMiddleware(*faults, reg, h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// assertNoSyncGoroutines fails if any goroutine is still parked in
+// this package after the campaign tore down.
+func assertNoSyncGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		leaked := 0
+		for _, g := range strings.Split(stacks, "\n\n") {
+			// Test goroutines themselves sit in package functions; a
+			// real leak is a goroutine our code spawned, which never
+			// has the test runner on its stack.
+			if strings.Contains(g, "vtdynamics/internal/sync.") &&
+				!strings.Contains(g, "testing.tRunner") {
+				leaked++
+			}
+		}
+		if leaked == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines leaked in internal/sync:\n%s", leaked, stacks)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBackfillParity bootstraps an empty follower from a quiescent
+// leader and requires a SHA-256 file-for-file diff of zero, for both
+// block formats.
+func TestBackfillParity(t *testing.T) {
+	for _, format := range []int{store.FormatV1, store.FormatV2} {
+		t.Run(fmt.Sprintf("v%d", format), func(t *testing.T) {
+			leaderDir := t.TempDir()
+			buildLeaderStore(t, leaderDir, format, 40)
+			lst, err := store.Open(leaderDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := leaderServer(t, lst, nil, obs.NewRegistry())
+
+			followerDir := t.TempDir()
+			fst, err := store.Open(followerDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			f := NewFollower(fst, srv.URL, reg)
+			f.CursorPath = filepath.Join(t.TempDir(), "sync.cursor")
+			stats, err := f.CatchUp(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.BlocksApplied == 0 {
+				t.Fatal("backfill applied no blocks")
+			}
+			assertParity(t, leaderDir, followerDir)
+			if got := reg.SumCounters("sync_blocks_applied_total"); int(got) != stats.BlocksApplied {
+				t.Fatalf("applied counter %d, stats %d", got, stats.BlocksApplied)
+			}
+			if lag := reg.SumGauges("sync_cursor_lag_blocks"); lag != 0 {
+				t.Fatalf("cursor lag %d after catch-up", lag)
+			}
+
+			// The replica must also be a working store.
+			rst, err := store.Open(followerDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rst.Indexed() {
+				t.Fatal("replica not indexed")
+			}
+			if _, err := rst.Verify(); err != nil {
+				t.Fatalf("replica verify: %v", err)
+			}
+			h, err := rst.Get("syn003")
+			if err != nil || len(h.Reports) != 1 {
+				t.Fatalf("replica read: %v %v", h, err)
+			}
+			assertNoSyncGoroutines(t)
+		})
+	}
+}
+
+// TestCatchUpIncremental catches a follower up, grows the leader, and
+// catches up again: the second pass must transfer only the delta and
+// end at parity with the leader's synced state.
+func TestCatchUpIncremental(t *testing.T) {
+	leaderDir := t.TempDir()
+	lst, err := store.Open(leaderDir, store.WithBlockSize(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, lst, "inc", 20, 0)
+	if err := lst.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv := leaderServer(t, lst, nil, obs.NewRegistry())
+
+	followerDir := t.TempDir()
+	fst, err := store.Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower(fst, srv.URL, obs.NewRegistry())
+	first, err := f.CatchUp(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, leaderDir, followerDir)
+
+	fillStore(t, lst, "inc", 20, 20)
+	if err := lst.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.CatchUp(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BlocksApplied == 0 || second.BlocksApplied >= first.BlocksApplied+second.BlocksApplied {
+		t.Fatalf("second pass applied %d blocks (first %d): not incremental", second.BlocksApplied, first.BlocksApplied)
+	}
+	assertParity(t, leaderDir, followerDir)
+}
+
+// TestFaultyCampaignWithRestartParity is the tentpole proof: a
+// follower syncs from a leader behind an injected-fault transport,
+// is killed mid-campaign (store abandoned, cursor file truncated),
+// restarts, and still converges to a byte-identical replica — for
+// both block formats.
+func TestFaultyCampaignWithRestartParity(t *testing.T) {
+	for _, format := range []int{store.FormatV1, store.FormatV2} {
+		t.Run(fmt.Sprintf("v%d", format), func(t *testing.T) {
+			leaderDir := t.TempDir()
+			lst, err := store.Open(leaderDir, store.WithFormat(format), store.WithBlockSize(2<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillStore(t, lst, "fty", 24, 0)
+			if err := lst.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			faults := &vtapi.FaultConfig{Error500Rate: 0.2, Error503Rate: 0.2, Seed: 42}
+			srv := leaderServer(t, lst, faults, obs.NewRegistry())
+
+			followerDir := t.TempDir()
+			cursorPath := filepath.Join(t.TempDir(), "sync.cursor")
+			fst, err := store.Open(followerDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := NewFollower(fst, srv.URL, obs.NewRegistry())
+			f.CursorPath = cursorPath
+			f.BatchBlocks = 2 // small batches: many faulted round trips
+			stats, err := f.CatchUp(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Retries == 0 {
+				t.Fatal("fault injector never fired; campaign proves nothing")
+			}
+
+			// Kill the follower mid-campaign: abandon its store without
+			// Close and tear the cursor file mid-write.
+			raw, err := os.ReadFile(cursorPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(cursorPath, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// The leader keeps ingesting while the follower is down.
+			fillStore(t, lst, "fty", 24, 24)
+			if err := lst.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Restart: reopen the replica, reconcile, resume.
+			fst2, err := store.Open(followerDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg2 := obs.NewRegistry()
+			f2 := NewFollower(fst2, srv.URL, reg2)
+			f2.CursorPath = cursorPath
+			f2.BatchBlocks = 2
+			if _, err := f2.CatchUp(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if n := reg2.SumCounters("sync_cursor_recoveries_total"); n == 0 {
+				t.Fatal("truncated cursor went unnoticed")
+			}
+			assertParity(t, leaderDir, followerDir)
+
+			// Full integrity pass over the replica.
+			rst, err := store.Open(followerDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rst.Verify(); err != nil {
+				t.Fatalf("replica verify: %v", err)
+			}
+			assertNoSyncGoroutines(t)
+		})
+	}
+}
+
+// TestFollowerStaleCursor points a follower that is ahead of its
+// leader at that leader: it must fail typed, not loop or panic.
+func TestFollowerStaleCursor(t *testing.T) {
+	bigDir := t.TempDir()
+	buildLeaderStore(t, bigDir, store.FormatV2, 40)
+	smallDir := t.TempDir()
+	buildLeaderStore(t, smallDir, store.FormatV2, 8)
+
+	big, err := store.Open(bigDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := store.Open(smallDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := leaderServer(t, small, nil, obs.NewRegistry())
+	f := NewFollower(big, srv.URL, obs.NewRegistry())
+	if _, err := f.CatchUp(context.Background()); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("err = %v, want ErrStaleCursor", err)
+	}
+}
+
+// TestFollowerRetriesExhausted verifies the bounded-retry contract
+// against a leader that always sheds load.
+func TestFollowerRetriesExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	fst, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower(fst, srv.URL, obs.NewRegistry())
+	f.MaxAttempts = 3
+	_, err = f.CatchUp(context.Background())
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+// TestFollowerRejectsTamperedBlocks serves correct frames whose
+// payload bytes were flipped: verify-then-apply must refuse them and
+// count the failure.
+func TestFollowerRejectsTamperedBlocks(t *testing.T) {
+	leaderDir := t.TempDir()
+	buildLeaderStore(t, leaderDir, store.FormatV2, 20)
+	lst, err := store.Open(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewLeader(lst, obs.NewRegistry())
+	tamper := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.URL.Path, "/blocks") {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if len(body) > 40 {
+			body[len(body)-10] ^= 0x41
+		}
+		w.Write(body)
+	})
+	srv := httptest.NewServer(tamper)
+	t.Cleanup(srv.Close)
+
+	fst, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f := NewFollower(fst, srv.URL, reg)
+	_, err = f.CatchUp(context.Background())
+	if !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("err = %v, want ErrVerifyFailed", err)
+	}
+	if reg.SumCounters("sync_verify_failures_total") == 0 {
+		t.Fatal("verify failure not counted")
+	}
+}
+
+// TestEmptyLeaderConverges: syncing from an empty leader yields an
+// empty replica whose snapshot files match the leader's.
+func TestEmptyLeaderConverges(t *testing.T) {
+	leaderDir := t.TempDir()
+	lst, err := store.Open(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lst, err = store.Open(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := leaderServer(t, lst, nil, obs.NewRegistry())
+	followerDir := t.TempDir()
+	fst, err := store.Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower(fst, srv.URL, obs.NewRegistry())
+	if _, err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, leaderDir, followerDir)
+}

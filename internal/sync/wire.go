@@ -1,0 +1,443 @@
+// Package sync replicates a report store from a leader to followers.
+//
+// The leader exposes partition blocks and metadata snapshots over
+// HTTP; a follower pulls with a durable monotone cursor, verifies
+// every block against its own re-analysis of the payload (the store's
+// verify-then-apply invariant, enforced by store.ApplyBlocks), and
+// converges to a byte-identical copy of the leader directory. The
+// unit of replication is the gzip block: blocks are immutable once
+// committed, so a follower can catch up from any frontier without
+// coordination — the leader never rewrites what it already served.
+//
+// Wire messages are a small hand-rolled binary format ("VTSY" magic,
+// version byte, kind byte, uvarint fields, length-capped byte
+// strings). Decoding is total: any input either yields a valid
+// message or a typed error — malformed lengths, truncated frames, and
+// future format versions all fail loudly and never panic, which the
+// FuzzSyncWireDecode target enforces.
+package sync
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"vtdynamics/internal/store"
+)
+
+// Wire format constants. WireVersion is bumped when message layout
+// changes; decoders reject versions beyond what they know with
+// *VersionError so an old follower fails typed, not garbled.
+const (
+	wireMagic   = "VTSY"
+	WireVersion = 1
+
+	kindCursor   = 1
+	kindBlock    = 2
+	kindManifest = 3
+)
+
+// Decode caps. A malicious or corrupt frame cannot make a decoder
+// allocate more than these bounds.
+const (
+	maxWireMonths   = 4096
+	maxMonthKeyLen  = 32
+	maxWirePayload  = 1 << 30 // one block's compressed bytes
+	maxSnapshotHash = 64      // hex SHA-256
+)
+
+// Typed decode errors.
+var (
+	// ErrBadMagic marks a frame that is not a sync wire message.
+	ErrBadMagic = errors.New("sync: bad wire magic")
+	// ErrTruncated marks a frame that ends mid-field.
+	ErrTruncated = errors.New("sync: truncated wire message")
+	// ErrFrameTooLarge marks a length field beyond the decode caps.
+	ErrFrameTooLarge = errors.New("sync: wire length exceeds cap")
+	// ErrBadMessage marks a structurally invalid message: wrong kind,
+	// unsorted or duplicate months, negative counts, bad month keys.
+	ErrBadMessage = errors.New("sync: malformed wire message")
+	// ErrStaleCursor is returned when the leader no longer has (or
+	// never had) the blocks a cursor claims: the follower is ahead of
+	// the leader, which means divergent histories — resync required.
+	ErrStaleCursor = errors.New("sync: cursor ahead of leader state")
+)
+
+// VersionError reports a wire frame from a future protocol version.
+type VersionError struct {
+	Got, Max int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("sync: wire version %d beyond supported %d", e.Got, e.Max)
+}
+
+// Is makes errors.Is(err, ErrBadMessage) false but allows matching a
+// bare *VersionError via errors.As; version errors are their own kind.
+func (e *VersionError) Is(target error) bool {
+	t, ok := target.(*VersionError)
+	return ok && (t.Got == 0 || t.Got == e.Got)
+}
+
+// MonthCursor is one month's replication frontier: how many blocks
+// (and partition bytes) the holder has durably applied.
+type MonthCursor struct {
+	Month  string
+	Blocks int
+	Size   int64
+}
+
+// Cursor is the follower's durable frontier across all months, sorted
+// ascending by month with no duplicates. It doubles as the on-disk
+// cursor file format, so a truncated cursor file surfaces as a typed
+// decode error and recovery falls back to store-derived state.
+type Cursor struct {
+	Months []MonthCursor
+}
+
+// Manifest is the leader's advertised state: per-month frontiers plus
+// the sizes and SHA-256 hashes of the two metadata snapshots. A
+// follower that has applied every advertised block and snapshots
+// matching these hashes holds a byte-identical replica.
+type Manifest struct {
+	Months      []MonthCursor
+	SamplesSize int64
+	SamplesSHA  string
+	StatsSize   int64
+	StatsSHA    string
+}
+
+// BlockFrame is one replicated block: the sidecar metadata the
+// follower must re-derive from the payload, plus the raw compressed
+// bytes exactly as they sit in the leader partition.
+type BlockFrame struct {
+	Month   string
+	Seq     int
+	Offset  int64
+	Len     int64
+	Rows    int
+	Raw     int64
+	Ver     int
+	Payload []byte
+}
+
+// Ref converts the frame header to the store's replication handle.
+func (b *BlockFrame) Ref() store.ReplBlock {
+	return store.ReplBlock{
+		Month: b.Month, Seq: b.Seq, Offset: b.Offset,
+		Len: b.Len, Rows: b.Rows, Raw: b.Raw, Ver: b.Ver,
+	}
+}
+
+// --- encoding ---
+
+func appendHeader(dst []byte, kind byte) []byte {
+	dst = append(dst, wireMagic...)
+	return append(dst, WireVersion, kind)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendMonths(dst []byte, months []MonthCursor) []byte {
+	dst = appendUvarint(dst, uint64(len(months)))
+	for _, m := range months {
+		dst = appendString(dst, m.Month)
+		dst = appendUvarint(dst, uint64(m.Blocks))
+		dst = appendUvarint(dst, uint64(m.Size))
+	}
+	return dst
+}
+
+// EncodeCursor serializes c. Months must already be sorted and valid;
+// DecodeCursor enforces it, so an encoder violating the invariant is
+// caught by its peer.
+func EncodeCursor(c Cursor) []byte {
+	return appendMonths(appendHeader(nil, kindCursor), c.Months)
+}
+
+// EncodeManifest serializes m.
+func EncodeManifest(m Manifest) []byte {
+	dst := appendMonths(appendHeader(nil, kindManifest), m.Months)
+	dst = appendUvarint(dst, uint64(m.SamplesSize))
+	dst = appendString(dst, m.SamplesSHA)
+	dst = appendUvarint(dst, uint64(m.StatsSize))
+	dst = appendString(dst, m.StatsSHA)
+	return dst
+}
+
+// EncodeBlockFrame serializes b, payload included.
+func EncodeBlockFrame(b BlockFrame) []byte {
+	dst := appendHeader(nil, kindBlock)
+	dst = appendString(dst, b.Month)
+	dst = appendUvarint(dst, uint64(b.Seq))
+	dst = appendUvarint(dst, uint64(b.Offset))
+	dst = appendUvarint(dst, uint64(b.Len))
+	dst = appendUvarint(dst, uint64(b.Rows))
+	dst = appendUvarint(dst, uint64(b.Raw))
+	dst = appendUvarint(dst, uint64(b.Ver))
+	dst = appendUvarint(dst, uint64(len(b.Payload)))
+	return append(dst, b.Payload...)
+}
+
+// --- decoding ---
+
+// wireReader consumes a frame left to right; every read is bounds-
+// checked and fails with a typed error instead of slicing past the
+// buffer.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	// Reject non-minimal encodings so every message has exactly one
+	// byte representation — cursor files can then be compared by hash.
+	if minLen := (bits.Len64(v|1) + 6) / 7; n != minLen {
+		return 0, fmt.Errorf("%w: non-minimal varint", ErrBadMessage)
+	}
+	r.off += n
+	return v, nil
+}
+
+// intField reads a uvarint that must fit a non-negative int.
+func (r *wireReader) intField(cap uint64) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > cap {
+		return 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, v, cap)
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) string(maxLen int) (string, error) {
+	n, err := r.intField(uint64(maxLen))
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// done errors unless the frame was consumed exactly — trailing bytes
+// would let a peer smuggle data past the decoder.
+func (r *wireReader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// decodeHeader checks magic, version, and kind, returning the body
+// reader.
+func decodeHeader(frame []byte, wantKind byte) (*wireReader, error) {
+	if len(frame) < len(wireMagic)+2 {
+		return nil, ErrTruncated
+	}
+	if string(frame[:len(wireMagic)]) != wireMagic {
+		return nil, ErrBadMagic
+	}
+	ver := int(frame[len(wireMagic)])
+	if ver > WireVersion {
+		return nil, &VersionError{Got: ver, Max: WireVersion}
+	}
+	if ver == 0 {
+		return nil, fmt.Errorf("%w: version 0", ErrBadMessage)
+	}
+	if kind := frame[len(wireMagic)+1]; kind != wantKind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrBadMessage, kind, wantKind)
+	}
+	return &wireReader{buf: frame, off: len(wireMagic) + 2}, nil
+}
+
+func decodeMonths(r *wireReader) ([]MonthCursor, error) {
+	n, err := r.intField(maxWireMonths)
+	if err != nil {
+		return nil, err
+	}
+	months := make([]MonthCursor, 0, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		var mc MonthCursor
+		if mc.Month, err = r.string(maxMonthKeyLen); err != nil {
+			return nil, err
+		}
+		if !store.ValidMonthKey(mc.Month) {
+			return nil, fmt.Errorf("%w: bad month key %q", ErrBadMessage, mc.Month)
+		}
+		if mc.Month <= prev {
+			return nil, fmt.Errorf("%w: months out of order at %q", ErrBadMessage, mc.Month)
+		}
+		prev = mc.Month
+		blocks, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if blocks > 1<<40 || size > 1<<50 {
+			return nil, fmt.Errorf("%w: month %s counters", ErrFrameTooLarge, mc.Month)
+		}
+		// A block holds at least one row (two bytes of gzip is already
+		// impossible, but the invariant that matters is blocks>0 ⇒
+		// size>0 and blocks==0 ⇒ size==0).
+		if (blocks == 0) != (size == 0) {
+			return nil, fmt.Errorf("%w: month %s has %d blocks in %d bytes", ErrBadMessage, mc.Month, blocks, size)
+		}
+		mc.Blocks, mc.Size = int(blocks), int64(size)
+		months = append(months, mc)
+	}
+	return months, nil
+}
+
+// DecodeCursor parses a cursor frame.
+func DecodeCursor(frame []byte) (Cursor, error) {
+	r, err := decodeHeader(frame, kindCursor)
+	if err != nil {
+		return Cursor{}, err
+	}
+	months, err := decodeMonths(r)
+	if err != nil {
+		return Cursor{}, err
+	}
+	if err := r.done(); err != nil {
+		return Cursor{}, err
+	}
+	return Cursor{Months: months}, nil
+}
+
+// DecodeManifest parses a manifest frame.
+func DecodeManifest(frame []byte) (Manifest, error) {
+	r, err := decodeHeader(frame, kindManifest)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if m.Months, err = decodeMonths(r); err != nil {
+		return Manifest{}, err
+	}
+	ssize, err := r.uvarint()
+	if err != nil {
+		return Manifest{}, err
+	}
+	if m.SamplesSHA, err = r.string(maxSnapshotHash); err != nil {
+		return Manifest{}, err
+	}
+	tsize, err := r.uvarint()
+	if err != nil {
+		return Manifest{}, err
+	}
+	if m.StatsSHA, err = r.string(maxSnapshotHash); err != nil {
+		return Manifest{}, err
+	}
+	if ssize > 1<<50 || tsize > 1<<50 {
+		return Manifest{}, fmt.Errorf("%w: snapshot sizes", ErrFrameTooLarge)
+	}
+	if !validHexHash(m.SamplesSHA) || !validHexHash(m.StatsSHA) {
+		return Manifest{}, fmt.Errorf("%w: snapshot hash", ErrBadMessage)
+	}
+	m.SamplesSize, m.StatsSize = int64(ssize), int64(tsize)
+	if err := r.done(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// DecodeBlockFrame parses one block frame from the front of buf and
+// returns the remaining bytes, so a response body can carry a run of
+// frames back to back.
+func DecodeBlockFrame(buf []byte) (BlockFrame, []byte, error) {
+	r, err := decodeHeader(buf, kindBlock)
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	var b BlockFrame
+	if b.Month, err = r.string(maxMonthKeyLen); err != nil {
+		return BlockFrame{}, nil, err
+	}
+	if !store.ValidMonthKey(b.Month) {
+		return BlockFrame{}, nil, fmt.Errorf("%w: bad month key %q", ErrBadMessage, b.Month)
+	}
+	if b.Seq, err = r.intField(1 << 40); err != nil {
+		return BlockFrame{}, nil, err
+	}
+	off, err := r.uvarint()
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	blen, err := r.uvarint()
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	if b.Rows, err = r.intField(1 << 40); err != nil {
+		return BlockFrame{}, nil, err
+	}
+	raw, err := r.uvarint()
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	ver, err := r.intField(255)
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	if off > 1<<50 || blen > maxWirePayload || raw > 1<<50 {
+		return BlockFrame{}, nil, fmt.Errorf("%w: block fields", ErrFrameTooLarge)
+	}
+	b.Offset, b.Len, b.Raw, b.Ver = int64(off), int64(blen), int64(raw), ver
+	if b.Rows < 1 || b.Len < 1 || b.Ver < 1 {
+		return BlockFrame{}, nil, fmt.Errorf("%w: empty block fields", ErrBadMessage)
+	}
+	n, err := r.intField(maxWirePayload)
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	if int64(n) != b.Len {
+		return BlockFrame{}, nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrBadMessage, n, b.Len)
+	}
+	payload, err := r.bytes(n)
+	if err != nil {
+		return BlockFrame{}, nil, err
+	}
+	b.Payload = payload
+	return b, buf[r.off:], nil
+}
+
+func validHexHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

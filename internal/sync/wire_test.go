@@ -1,0 +1,205 @@
+package sync
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func validCursor() Cursor {
+	return Cursor{Months: []MonthCursor{
+		{Month: "2021-05", Blocks: 7, Size: 4096},
+		{Month: "2021-06", Blocks: 3, Size: 1024},
+	}}
+}
+
+func validManifest() Manifest {
+	return Manifest{
+		Months: []MonthCursor{
+			{Month: "2021-05", Blocks: 7, Size: 4096},
+			{Month: "2021-06", Blocks: 3, Size: 1024},
+		},
+		SamplesSize: 99,
+		SamplesSHA:  "5feceb66ffc86f38d952786c6d696c79c2dbc239dd4e91b46729d73a27fb57e9",
+		StatsSize:   12,
+		StatsSHA:    "6b86b273ff34fce19d6b804eff5a3f5747ada4eaa22f1d49c01e52ddb7875b4b",
+	}
+}
+
+func validBlock() BlockFrame {
+	return BlockFrame{
+		Month: "2021-05", Seq: 2, Offset: 512, Len: 5, Rows: 3,
+		Raw: 900, Ver: 2, Payload: []byte{1, 2, 3, 4, 5},
+	}
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	c := validCursor()
+	gotC, err := DecodeCursor(EncodeCursor(c))
+	if err != nil || !reflect.DeepEqual(c, gotC) {
+		t.Fatalf("cursor round trip: %+v, %v", gotC, err)
+	}
+	empty, err := DecodeCursor(EncodeCursor(Cursor{}))
+	if err != nil || len(empty.Months) != 0 {
+		t.Fatalf("empty cursor round trip: %+v, %v", empty, err)
+	}
+	m := validManifest()
+	gotM, err := DecodeManifest(EncodeManifest(m))
+	if err != nil || !reflect.DeepEqual(m, gotM) {
+		t.Fatalf("manifest round trip: %+v, %v", gotM, err)
+	}
+	b := validBlock()
+	gotB, rest, err := DecodeBlockFrame(EncodeBlockFrame(b))
+	if err != nil || len(rest) != 0 || !reflect.DeepEqual(b, gotB) {
+		t.Fatalf("block round trip: %+v, rest %d, %v", gotB, len(rest), err)
+	}
+	// Two frames back to back decode in sequence.
+	double := append(EncodeBlockFrame(b), EncodeBlockFrame(b)...)
+	first, rest, err := DecodeBlockFrame(double)
+	if err != nil || !reflect.DeepEqual(b, first) {
+		t.Fatalf("first of two: %v", err)
+	}
+	second, rest, err := DecodeBlockFrame(rest)
+	if err != nil || len(rest) != 0 || !reflect.DeepEqual(b, second) {
+		t.Fatalf("second of two: %v", err)
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	cursor := EncodeCursor(validCursor())
+	manifest := EncodeManifest(validManifest())
+	block := EncodeBlockFrame(validBlock())
+
+	mutate := func(src []byte, fn func(b []byte)) []byte {
+		out := append([]byte(nil), src...)
+		fn(out)
+		return out
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		via   func([]byte) error
+		want  error
+	}{
+		{"empty", nil, decCursor, ErrTruncated},
+		{"bad magic", mutate(cursor, func(b []byte) { b[0] = 'X' }), decCursor, ErrBadMagic},
+		{"future version", mutate(cursor, func(b []byte) { b[4] = WireVersion + 3 }), decCursor, &VersionError{}},
+		{"version zero", mutate(cursor, func(b []byte) { b[4] = 0 }), decCursor, ErrBadMessage},
+		{"wrong kind", manifest, decCursor, ErrBadMessage},
+		{"truncated mid-month", cursor[:len(cursor)-3], decCursor, ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), cursor...), 0xFF), decCursor, ErrBadMessage},
+		{"month count beyond cap", mutate(cursor[:6], func([]byte) {}), decCursorCount, ErrFrameTooLarge},
+		{"bad month key", encodeCursorRaw("20x1-05", 1, 10), decCursor, ErrBadMessage},
+		{"months out of order", encodeCursorRaw2("2021-06", "2021-05"), decCursor, ErrBadMessage},
+		{"duplicate month", encodeCursorRaw2("2021-05", "2021-05"), decCursor, ErrBadMessage},
+		{"blocks without bytes", encodeCursorRaw("2021-05", 3, 0), decCursor, ErrBadMessage},
+		{"manifest bad hash", mutate(manifest, func(b []byte) { b[len(b)-1] = 'Z' }), decManifest, ErrBadMessage},
+		{"manifest truncated", manifest[:len(manifest)-40], decManifest, ErrTruncated},
+		{"block truncated payload", block[:len(block)-2], decBlock, ErrTruncated},
+		{"block payload length lies", mutate(block, func(b []byte) { b[len(b)-6] = 9 }), decBlock, ErrBadMessage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.via(tc.frame)
+			if err == nil {
+				t.Fatal("decode accepted malformed frame")
+			}
+			var ve *VersionError
+			if _, wantVer := tc.want.(*VersionError); wantVer {
+				if !errors.As(err, &ve) {
+					t.Fatalf("err = %v, want *VersionError", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func decCursor(b []byte) error   { _, err := DecodeCursor(b); return err }
+func decManifest(b []byte) error { _, err := DecodeManifest(b); return err }
+func decBlock(b []byte) error    { _, _, err := DecodeBlockFrame(b); return err }
+
+// decCursorCount decodes a frame hand-built to claim more months than
+// the cap allows.
+func decCursorCount([]byte) error {
+	frame := appendHeader(nil, kindCursor)
+	frame = appendUvarint(frame, maxWireMonths+1)
+	_, err := DecodeCursor(frame)
+	return err
+}
+
+func encodeCursorRaw(month string, blocks, size int) []byte {
+	frame := appendHeader(nil, kindCursor)
+	frame = appendUvarint(frame, 1)
+	frame = appendString(frame, month)
+	frame = appendUvarint(frame, uint64(blocks))
+	return appendUvarint(frame, uint64(size))
+}
+
+func encodeCursorRaw2(m1, m2 string) []byte {
+	frame := appendHeader(nil, kindCursor)
+	frame = appendUvarint(frame, 2)
+	for _, m := range []string{m1, m2} {
+		frame = appendString(frame, m)
+		frame = appendUvarint(frame, 1)
+		frame = appendUvarint(frame, 10)
+	}
+	return frame
+}
+
+// FuzzSyncWireDecode drives all three decoders over arbitrary bytes:
+// they must never panic, never accept a frame that fails to re-encode
+// to the same bytes, and always fail with one of the typed errors.
+func FuzzSyncWireDecode(f *testing.F) {
+	f.Add(EncodeCursor(validCursor()))
+	f.Add(EncodeCursor(Cursor{}))
+	f.Add(EncodeManifest(validManifest()))
+	f.Add(EncodeBlockFrame(validBlock()))
+	f.Add([]byte(wireMagic))
+	f.Add([]byte("VTSY\x01\x01\x01\x072021-05\xff\xff\xff\xff\xff\xff\xff\xff\x7f\x10"))
+	f.Add([]byte("VTSY\x09\x02junk"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	typed := func(t *testing.T, err error) {
+		var ve *VersionError
+		switch {
+		case err == nil,
+			errors.Is(err, ErrBadMagic),
+			errors.Is(err, ErrTruncated),
+			errors.Is(err, ErrFrameTooLarge),
+			errors.Is(err, ErrBadMessage),
+			errors.As(err, &ve):
+		default:
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := DecodeCursor(data); err == nil {
+			if !bytes.Equal(EncodeCursor(c), data) {
+				t.Fatalf("cursor decode/encode not canonical for %x", data)
+			}
+		} else {
+			typed(t, err)
+		}
+		if m, err := DecodeManifest(data); err == nil {
+			if !bytes.Equal(EncodeManifest(m), data) {
+				t.Fatalf("manifest decode/encode not canonical for %x", data)
+			}
+		} else {
+			typed(t, err)
+		}
+		if b, rest, err := DecodeBlockFrame(data); err == nil {
+			reenc := append(EncodeBlockFrame(b), rest...)
+			if !bytes.Equal(reenc, data) {
+				t.Fatalf("block decode/encode not canonical for %x", data)
+			}
+		} else {
+			typed(t, err)
+		}
+	})
+}

@@ -48,6 +48,24 @@ func WithFaults(cfg FaultConfig) Option {
 	return func(s *Server) { s.faultCfg = &cfg }
 }
 
+// FaultMiddleware wraps any handler with the same seeded injector the
+// simulated API uses, so sibling services — the replication leader in
+// particular — can be exercised under identical transient-failure
+// conditions. Failed requests get the standard error body plus a
+// Retry-After header on 503, exactly what retrying clients expect.
+func FaultMiddleware(cfg FaultConfig, reg *obs.Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	f := newFaultInjector(cfg, reg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.intercept(w, r) {
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 func newFaultInjector(cfg FaultConfig, reg *obs.Registry) *faultInjector {
 	return &faultInjector{
 		cfg:         cfg,
