@@ -5,6 +5,7 @@
 //
 //	vtbench run [-scenario all] [-profile smoke] [-seed 1] [-out .]
 //	            [-handicap name=factor,...] [-cpuprofile f] [-memprofile f]
+//	vtbench soak [-arrivals 100000] [-rate 2000] [-clients 1000] [-storms] ...
 //	vtbench compare OLD NEW [-threshold 10]
 //	vtbench list
 //
@@ -14,9 +15,17 @@
 // run (CPU for the duration, heap at exit) — the CI perf-smoke job
 // attaches them as artifacts so a regression can be diagnosed from
 // the run that caught it.
+// `soak` drives the open-loop sustained-load harness
+// (internal/loadgen) against a live loopback stack: arrivals are
+// scheduled on a fixed timeline regardless of response latency, so
+// the recorded p50/p90/p99/p99.9 include every queueing delay a
+// stalled server causes (no coordinated omission). -storms overlays a
+// rescan storm, an engine-outage wave, and a feed-lag spike; -handicap
+// multiplies every recorded latency to prove the soak gate trips.
 // `compare` diffs two records or two directories of records and exits
 // 1 when any scenario's median slowed beyond threshold% plus the
-// noisier run's CV — the CI perf gate. -handicap artificially
+// noisier run's CV — the CI perf gate; records carrying tail columns
+// (soak) are gated on p99 too. -handicap artificially
 // inflates named scenarios' measured times; it exists to prove the
 // gate trips (`-handicap ingest=2` against a clean baseline must
 // fail).
@@ -44,6 +53,9 @@ func main() {
 
 const usageText = `usage:
   vtbench run [-scenario all] [-profile smoke] [-seed 1] [-out .] [-handicap name=factor,...] [-cpuprofile f] [-memprofile f]
+  vtbench soak [-arrivals 100000] [-rate 2000] [-clients 1000] [-samples 20000]
+               [-submitters 5000] [-zipf 1.1] [-storms] [-feedwindow 2s]
+               [-feedlimit 200] [-seed 1] [-out .] [-handicap 1] [-histout f]
   vtbench compare OLD NEW [-threshold 10]
   vtbench list
 `
@@ -56,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "run":
 		return cmdRun(args[1:], stdout, stderr)
+	case "soak":
+		return cmdSoak(args[1:], stdout, stderr)
 	case "compare":
 		return cmdCompare(args[1:], stdout, stderr)
 	case "list":
@@ -256,7 +270,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	regressed := false
 	for _, c := range comps {
 		fmt.Fprintln(stdout, c)
-		regressed = regressed || c.Regressed
+		regressed = regressed || c.Regressed || c.P99Regressed
 	}
 	if regressed {
 		fmt.Fprintln(stderr, "vtbench: performance regression detected")

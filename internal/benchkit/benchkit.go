@@ -111,6 +111,7 @@ func Run(sc Scenario, cfg RunConfig) (*Result, error) {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		UnixTime:   time.Now().Unix(),
 		Warmup:     p.Warmup,
 	}

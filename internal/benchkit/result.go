@@ -12,11 +12,14 @@ import (
 
 // SchemaVersion identifies the BENCH_*.json layout. vtbench/2 added
 // the per-rep allocation record (rep_allocs, rep_bytes and the
-// allocs_per_op/bytes_per_op stats); vtbench/1 records remain
-// readable and comparable — the time gate never needed the alloc
-// columns — so old baselines keep gating until they are refreshed.
+// allocs_per_op/bytes_per_op stats); vtbench/3 added the tail-latency
+// columns (p99_ns, p999_ns) for open-loop soak records and num_cpu so
+// the comparer can flag machine drift. Old records remain readable
+// and comparable — the median gate never needed the new columns — so
+// existing baselines keep gating until they are refreshed.
 const (
-	SchemaVersion = "vtbench/2"
+	SchemaVersion = "vtbench/3"
+	schemaV2      = "vtbench/2"
 	schemaV1      = "vtbench/1"
 )
 
@@ -36,10 +39,15 @@ type Result struct {
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
-	UnixTime   int64          `json:"unix_time"`
-	Warmup     int            `json:"warmup"`
-	RepNS      []int64        `json:"rep_ns"`
-	RepOps     []int64        `json:"rep_ops"`
+	// NumCPU is the machine's logical CPU count at measurement time.
+	// GOMAXPROCS alone can hide drift (two machines may both run with
+	// GOMAXPROCS=4 on very different hardware budgets). vtbench/3;
+	// zero on older records.
+	NumCPU   int     `json:"num_cpu,omitempty"`
+	UnixTime int64   `json:"unix_time"`
+	Warmup   int     `json:"warmup"`
+	RepNS    []int64 `json:"rep_ns"`
+	RepOps   []int64 `json:"rep_ops"`
 	// RepAllocs and RepBytes are the per-rep heap allocation deltas
 	// (mallocs and bytes) over the whole process, from
 	// runtime.ReadMemStats around the measured region. vtbench/2;
@@ -95,8 +103,8 @@ func ReadFile(path string) (*Result, error) {
 // before it can gate anything.
 func (r *Result) Validate() error {
 	switch {
-	case r.Schema != SchemaVersion && r.Schema != schemaV1:
-		return fmt.Errorf("schema %q, want %q or %q", r.Schema, SchemaVersion, schemaV1)
+	case r.Schema != SchemaVersion && r.Schema != schemaV2 && r.Schema != schemaV1:
+		return fmt.Errorf("schema %q, want %q, %q, or %q", r.Schema, SchemaVersion, schemaV2, schemaV1)
 	case r.Scenario == "":
 		return fmt.Errorf("missing scenario name")
 	case len(r.RepNS) == 0:
@@ -146,29 +154,65 @@ type Comparison struct {
 	Allowed   float64
 	Regressed bool
 	Improved  bool
+	// OldP99/NewP99 carry the tail gate when both records have a p99
+	// column (vtbench/3 soak records); P99Delta is its fractional
+	// slowdown. Zero-valued when either side predates the column —
+	// the tail gate only ever tightens, never blocks old baselines.
+	OldP99   float64
+	NewP99   float64
+	P99Delta float64
+	// P99Regressed is the tail verdict, judged against the same
+	// Allowed band as the median. Either gate failing fails the
+	// comparison: a server can hold its median while its p99
+	// collapses, and that is exactly the regression an open-loop soak
+	// exists to catch.
+	P99Regressed bool
 	// OldProcs/NewProcs record the GOMAXPROCS each run measured under.
 	// A mismatch makes the comparison apples-to-oranges for the
 	// parallel paths, but it is a property of the measuring machine,
 	// not the code under test, so it warns instead of failing the gate.
 	OldProcs int
 	NewProcs int
+	// OldCPUs/NewCPUs record runtime.NumCPU — same drift-warning role
+	// as the procs pair (GOMAXPROCS can match while the underlying
+	// machine shrank). Zero on pre-vtbench/3 records.
+	OldCPUs int
+	NewCPUs int
 }
 
 // ProcsMismatch reports whether the two runs used different
 // GOMAXPROCS values.
 func (c Comparison) ProcsMismatch() bool { return c.OldProcs != c.NewProcs }
 
+// CPUsMismatch reports whether the two runs measured on machines with
+// different logical CPU counts; records without the column (num_cpu
+// is vtbench/3) never mismatch.
+func (c Comparison) CPUsMismatch() bool {
+	return c.OldCPUs != 0 && c.NewCPUs != 0 && c.OldCPUs != c.NewCPUs
+}
+
 func (c Comparison) String() string {
 	verdict := "ok"
-	if c.Regressed {
+	if c.Regressed || c.P99Regressed {
 		verdict = "REGRESSED"
 	} else if c.Improved {
 		verdict = "improved"
 	}
 	s := fmt.Sprintf("%-10s %12.2fms -> %12.2fms  %+7.1f%% (allowed ±%.1f%%)  %s",
 		c.Scenario, c.OldMedian/1e6, c.NewMedian/1e6, c.Delta*100, c.Allowed*100, verdict)
+	if c.OldP99 > 0 && c.NewP99 > 0 {
+		tail := "ok"
+		if c.P99Regressed {
+			tail = "REGRESSED"
+		}
+		s += fmt.Sprintf("\n%-10s %12.2fms -> %12.2fms  %+7.1f%% (allowed ±%.1f%%)  %s",
+			"  └ p99", c.OldP99/1e6, c.NewP99/1e6, c.P99Delta*100, c.Allowed*100, tail)
+	}
 	if c.ProcsMismatch() {
 		s += fmt.Sprintf("  [warning: GOMAXPROCS %d vs %d]", c.OldProcs, c.NewProcs)
+	}
+	if c.CPUsMismatch() {
+		s += fmt.Sprintf("  [warning: num_cpu %d vs %d]", c.OldCPUs, c.NewCPUs)
 	}
 	return s
 }
@@ -200,12 +244,20 @@ func Compare(old, new *Result, thresholdPct float64) (Comparison, error) {
 	c.Scenario = old.Scenario
 	c.OldProcs = old.GOMAXPROCS
 	c.NewProcs = new.GOMAXPROCS
+	c.OldCPUs = old.NumCPU
+	c.NewCPUs = new.NumCPU
 	c.OldMedian = old.Stats.MedianNS
 	c.NewMedian = new.Stats.MedianNS
 	c.Delta = (c.NewMedian - c.OldMedian) / c.OldMedian
 	c.Allowed = thresholdPct/100 + max(old.Stats.CV, new.Stats.CV)
 	c.Regressed = c.Delta > c.Allowed
 	c.Improved = c.Delta < -c.Allowed
+	if old.Stats.P99NS > 0 && new.Stats.P99NS > 0 {
+		c.OldP99 = old.Stats.P99NS
+		c.NewP99 = new.Stats.P99NS
+		c.P99Delta = (c.NewP99 - c.OldP99) / c.OldP99
+		c.P99Regressed = c.P99Delta > c.Allowed
+	}
 	return c, nil
 }
 

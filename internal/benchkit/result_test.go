@@ -279,3 +279,128 @@ func TestCompareAcrossSchemas(t *testing.T) {
 		t.Fatalf("cross-schema slowdown not flagged: %+v", c)
 	}
 }
+
+// TestValidateAcceptsAllSchemaGenerations pins the three-version
+// compatibility contract: v1, v2, and v3 records all load and gate.
+func TestValidateAcceptsAllSchemaGenerations(t *testing.T) {
+	for _, schema := range []string{schemaV1, schemaV2, SchemaVersion} {
+		r := fakeResult("ingest", 1, 1000)
+		r.Schema = schema
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s record rejected: %v", schema, err)
+		}
+	}
+	r := fakeResult("ingest", 1, 1000)
+	r.Schema = "vtbench/99"
+	if err := r.Validate(); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestV3RoundTripKeepsTailColumns checks that the vtbench/3 columns
+// (num_cpu, p99_ns, p999_ns) survive the file round trip and that
+// records without them still read back cleanly.
+func TestV3RoundTripKeepsTailColumns(t *testing.T) {
+	dir := t.TempDir()
+	want := fakeResult("soak", 42, 5_000_000)
+	want.NumCPU = 4
+	want.Stats.P99NS = 42_000_000
+	want.Stats.P999NS = 99_000_000
+	path, err := want.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCPU != 4 || got.Stats.P99NS != 42_000_000 || got.Stats.P999NS != 99_000_000 {
+		t.Fatalf("tail columns mangled: %+v", got)
+	}
+
+	// A v2-era record (no tail columns) still loads, and its zero
+	// values keep the p99 gate out of comparisons.
+	old := fakeResult("soak", 42, 5_000_000)
+	old.Schema = schemaV2
+	if _, err := old.WriteFile(dir); err == nil {
+		// Same scenario name overwrites; reread to prove v2 loads.
+		if _, err := ReadFile(path); err != nil {
+			t.Fatalf("v2 record rejected after write: %v", err)
+		}
+	}
+}
+
+// TestComparePropagatesP99Gate checks the tail gate: a record pair
+// with p99 columns regresses when only the tail collapses, and a pair
+// missing either side's column never engages the gate.
+func TestComparePropagatesP99Gate(t *testing.T) {
+	old := fakeResult("soak", 42, 10_000_000)
+	old.Stats.P99NS = 50_000_000
+	new_ := fakeResult("soak", 42, 10_000_000)
+	new_.Stats.P99NS = 500_000_000 // median flat, tail 10x
+	c, err := Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed {
+		t.Fatalf("flat median misjudged as a median regression: %+v", c)
+	}
+	if !c.P99Regressed {
+		t.Fatalf("10x p99 collapse not flagged: %+v", c)
+	}
+	if !strings.Contains(c.String(), "REGRESSED") || !strings.Contains(c.String(), "p99") {
+		t.Fatalf("String() hides the tail verdict: %s", c.String())
+	}
+
+	// Tail within tolerance: quiet.
+	new_.Stats.P99NS = 51_000_000
+	c, err = Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P99Regressed {
+		t.Fatalf("2%% tail move flagged at a 10%% threshold: %+v", c)
+	}
+
+	// Old baseline without the column: the gate stays out, even
+	// against a new record that has one.
+	old.Stats.P99NS = 0
+	new_.Stats.P99NS = 500_000_000
+	c, err = Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P99Regressed || c.OldP99 != 0 {
+		t.Fatalf("p99 gate engaged without a baseline column: %+v", c)
+	}
+}
+
+// TestCompareWarnsOnNumCPUMismatch pins the machine-drift warning:
+// like GOMAXPROCS, a num_cpu difference warns but never fails, and
+// records predating the column (num_cpu == 0) never warn.
+func TestCompareWarnsOnNumCPUMismatch(t *testing.T) {
+	old := fakeResult("soak", 42, 10_000_000)
+	old.NumCPU = 4
+	new_ := fakeResult("soak", 42, 10_000_000)
+	new_.NumCPU = 1
+	c, err := Compare(old, new_, 10)
+	if err != nil {
+		t.Fatalf("mismatched num_cpu failed the compare: %v", err)
+	}
+	if c.Regressed || c.P99Regressed {
+		t.Fatalf("flat comparison misjudged: %+v", c)
+	}
+	if !c.CPUsMismatch() || !strings.Contains(c.String(), "num_cpu 4 vs 1") {
+		t.Fatalf("drift warning missing: %s", c.String())
+	}
+
+	// A pre-v3 baseline has no num_cpu; silence, not a phantom drift.
+	old.NumCPU = 0
+	c, err = Compare(old, new_, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUsMismatch() || strings.Contains(c.String(), "num_cpu") {
+		t.Fatalf("spurious drift warning against a pre-v3 baseline: %s", c.String())
+	}
+}

@@ -11,8 +11,14 @@ import (
 // comparer can widen its tolerance on scenarios that are inherently
 // noisy on the measuring machine.
 type Stats struct {
-	MedianNS  float64 `json:"median_ns"`
-	P90NS     float64 `json:"p90_ns"`
+	MedianNS float64 `json:"median_ns"`
+	P90NS    float64 `json:"p90_ns"`
+	// P99NS and P999NS are per-request tail latencies, recorded only
+	// by scenarios that measure individual requests (the open-loop
+	// soak); rep-based scenarios with a handful of repetitions cannot
+	// state a p99 honestly and leave them zero. vtbench/3.
+	P99NS     float64 `json:"p99_ns,omitempty"`
+	P999NS    float64 `json:"p999_ns,omitempty"`
 	MeanNS    float64 `json:"mean_ns"`
 	StddevNS  float64 `json:"stddev_ns"`
 	CV        float64 `json:"cv"`

@@ -106,6 +106,24 @@ func CountBuckets(max int) []float64 {
 	return out
 }
 
+// ExpBuckets returns n exponentially spaced bucket bounds: start,
+// start*factor, start*factor², ... Latency histograms that must
+// resolve tail quantiles (p99.9) want constant *relative* resolution,
+// which linear buckets cannot give across four decades. start must be
+// positive and factor > 1; misuse is a programming error and panics.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // histCell is one histogram shard: per-bucket counts plus a float64
 // sum kept as atomic bits. Each cell owns its own allocations, so
 // concurrent observers on different cells never share lines.
@@ -187,6 +205,77 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		s.Count += n
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile from the snapshot's bucket
+// counts, with histogram_quantile's semantics: the target rank
+// q*Count is located in the cumulative bucket counts, then linearly
+// interpolated inside the spanning bucket (the first bucket
+// interpolates up from zero). A rank landing in the +Inf bucket
+// returns the highest finite bound — fixed buckets cannot resolve
+// beyond their last edge, so callers needing a true maximum must
+// track it separately. q is clamped to [0, 1]; an empty snapshot
+// returns 0.
+//
+// Boundary behavior is exact: when every observation in the spanning
+// bucket sits at its upper bound, interpolation at q=1 returns that
+// bound itself, so quantiles of bound-valued data never overshoot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: the last finite bound is the best
+				// statement the snapshot can make.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Merge returns the element-wise sum of two snapshots of histograms
+// that share bucket bounds (e.g. per-operation latency series being
+// rolled up into an overall distribution). Mismatched bounds are a
+// programming error and panic.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if !sameBuckets(s.Bounds, o.Bounds) {
+		panic("obs: HistSnapshot.Merge wants identical bucket bounds")
+	}
+	out := HistSnapshot{
+		Bounds:  s.Bounds,
+		Buckets: make([]int64, len(s.Buckets)),
+		Count:   s.Count + o.Count,
+		Sum:     s.Sum + o.Sum,
+	}
+	copy(out.Buckets, s.Buckets)
+	for i, n := range o.Buckets {
+		out.Buckets[i] += n
+	}
+	return out
 }
 
 // Count returns the total number of observations.

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.0001, 2, 5)
+	want := []float64{0.0001, 0.0002, 0.0004, 0.0008, 0.0016}
+	if len(b) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	// The bounds must satisfy the Histogram constructor's strictly-
+	// increasing contract directly.
+	h := NewRegistry().Histogram("exp_bucket_smoke_seconds", ExpBuckets(1e-4, 1.25, 52))
+	h.Observe(0.5)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestExpBucketsPanicsOnMisuse(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		start, factor float64
+		n             int
+	}{
+		{"zero start", 0, 2, 4},
+		{"factor one", 1, 1, 4},
+		{"zero n", 1, 2, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExpBuckets(%v, %v, %d) did not panic", tc.start, tc.factor, tc.n)
+				}
+			}()
+			ExpBuckets(tc.start, tc.factor, tc.n)
+		})
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty snapshot Quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileBoundValues pins the boundary contract: observations
+// that sit exactly on bucket bounds recover those bounds exactly at
+// the matching quantiles, with no overshoot into the next bucket.
+func TestQuantileBoundValues(t *testing.T) {
+	h := NewRegistry().Histogram("q_bounds_seconds", []float64{1, 2, 4, 8})
+	// 100 observations at exactly 1.0: all land in the le=1 bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("Quantile(1) over bound-valued data = %v, want exactly 1", got)
+	}
+	// The median interpolates inside [0, 1]: rank 50 of 100 in a
+	// bucket spanning (0, 1] is 0.5 — the documented mid-bucket
+	// estimate, not the true value (a fixed-bucket histogram cannot
+	// distinguish).
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 0.5 (mid-bucket interpolation)", got)
+	}
+}
+
+// TestQuantileRankOnBucketBoundary pins interpolation when the target
+// rank falls exactly on the edge between two buckets.
+func TestQuantileRankOnBucketBoundary(t *testing.T) {
+	h := NewRegistry().Histogram("q_rank_seconds", []float64{1, 2, 4})
+	// 50 observations in (0,1], 50 in (1,2]. Rank 50 = exactly the
+	// cumulative count of the first bucket, so Quantile(0.5) must
+	// return the first bucket's upper bound — 1 — not start into the
+	// second bucket.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(2)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("Quantile(0.5) at exact bucket edge = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+	// Quantiles past the edge interpolate inside the second bucket.
+	if got := s.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want 1.5", got)
+	}
+}
+
+// TestQuantileInfBucket pins the +Inf clamp: ranks landing beyond the
+// last finite bound report that bound, never a fabricated value.
+func TestQuantileInfBucket(t *testing.T) {
+	h := NewRegistry().Histogram("q_inf_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // +Inf bucket
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) with +Inf mass = %v, want the last finite bound 2", got)
+	}
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) with +Inf mass = %v, want 2", got)
+	}
+}
+
+// TestQuantileSkipsEmptyBuckets checks interpolation across gaps.
+func TestQuantileSkipsEmptyBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("q_gap_seconds", []float64{1, 2, 4, 8})
+	// 10 observations in (0,1], 10 in (4,8]; (1,2] and (2,4] empty.
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+		h.Observe(8)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("Quantile(0.5) = %v, want 1", got)
+	}
+	// Rank 15 of 20: halfway through the (4,8] bucket -> 6.
+	if got := s.Quantile(0.75); math.Abs(got-6) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want 6", got)
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	h := NewRegistry().Histogram("q_clamp_seconds", []float64{1, 2})
+	h.Observe(1.5)
+	s := h.Snapshot()
+	if got := s.Quantile(-1); got != 1 {
+		t.Errorf("Quantile(-1) = %v, want lower edge of the spanning bucket (1)", got)
+	}
+	if got := s.Quantile(2); got != 2 {
+		t.Errorf("Quantile(2) = %v, want 2", got)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("merge_seconds", []float64{1, 2}, "op", "a")
+	b := reg.Histogram("merge_seconds", []float64{1, 2}, "op", "b")
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(5)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 {
+		t.Errorf("merged Count = %d, want 3", m.Count)
+	}
+	if math.Abs(m.Sum-7) > 1e-9 {
+		t.Errorf("merged Sum = %v, want 7", m.Sum)
+	}
+	wantBuckets := []int64{1, 1, 1}
+	for i, n := range wantBuckets {
+		if m.Buckets[i] != n {
+			t.Errorf("merged bucket %d = %d, want %d", i, m.Buckets[i], n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched bounds did not panic")
+		}
+	}()
+	other := NewRegistry().Histogram("merge_other_seconds", []float64{1, 3})
+	m.Merge(other.Snapshot())
+}

@@ -223,7 +223,19 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 			"from and to must be Unix seconds with to > from")
 		return
 	}
-	envs := s.svc.FeedBetween(from, to)
+	// Optional page cap: a lagging consumer bounds each response
+	// instead of pulling the whole backlog in one body.
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "BadRequestError",
+				"limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	envs := s.svc.FeedBetweenLimit(from, to, limit)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	// Stream as a JSON array of wire envelopes, one pooled encode

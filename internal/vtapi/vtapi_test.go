@@ -159,6 +159,14 @@ func TestFeedOverHTTP(t *testing.T) {
 	if len(empty) != 0 {
 		t.Fatalf("empty window returned %d", len(empty))
 	}
+	// The paged read caps the response at the window's prefix.
+	page, err := client.FeedBetweenLimit(ctx, t0, clock.Now().Add(time.Second), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].Meta.SHA256 != envs[0].Meta.SHA256 {
+		t.Fatalf("limit 2 page = %d envelopes", len(page))
+	}
 }
 
 func TestFeedBadParams(t *testing.T) {
@@ -168,7 +176,8 @@ func TestFeedBadParams(t *testing.T) {
 	srv := httptest.NewServer(vtapi.NewServer(svc, nil))
 	defer srv.Close()
 
-	for _, q := range []string{"", "?from=10", "?from=20&to=10", "?from=x&to=y"} {
+	for _, q := range []string{"", "?from=10", "?from=20&to=10", "?from=x&to=y",
+		"?from=10&to=20&limit=0", "?from=10&to=20&limit=-1", "?from=10&to=20&limit=x"} {
 		resp, err := http.Get(srv.URL + "/api/v3/feed/reports" + q)
 		if err != nil {
 			t.Fatal(err)

@@ -159,8 +159,19 @@ func (c *Client) Rescan(ctx context.Context, sha256 string) (report.Envelope, er
 
 // FeedBetween fetches the premium-feed slice for [from, to).
 func (c *Client) FeedBetween(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
+	return c.FeedBetweenLimit(ctx, from, to, 0)
+}
+
+// FeedBetweenLimit is FeedBetween with a page cap: the server returns
+// at most limit envelopes from the start of the window (limit <= 0
+// fetches the whole slice). Catch-up consumers page with it so one
+// response never carries an unbounded backlog.
+func (c *Client) FeedBetweenLimit(ctx context.Context, from, to time.Time, limit int) ([]report.Envelope, error) {
 	path := "/api/v3/feed/reports?from=" + strconv.FormatInt(from.Unix(), 10) +
 		"&to=" + strconv.FormatInt(to.Unix(), 10)
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
 	buf, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err

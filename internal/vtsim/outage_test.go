@@ -1,0 +1,118 @@
+package vtsim
+
+import (
+	"testing"
+	"time"
+
+	"vtdynamics/internal/engine"
+	"vtdynamics/internal/obs"
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/simclock"
+)
+
+// TestEngineOutageDropsResults checks the outage hook: downed engines
+// vanish from scan reports (they do not answer benign), AVRank and
+// EnginesTotal stay consistent with the surviving results, and
+// clearing the outage restores the full roster.
+func TestEngineOutageDropsResults(t *testing.T) {
+	svc, clock := newTestService(t)
+	if _, err := svc.Upload(exeUpload("s1")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(24 * time.Hour)
+	full, err := svc.Rescan("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rosterLen := len(full.Scan.Results)
+	if rosterLen == 0 {
+		t.Fatal("baseline rescan produced no results")
+	}
+
+	down := []string{full.Scan.Results[0].Engine, full.Scan.Results[rosterLen-1].Engine}
+	svc.SetEngineOutage(down...)
+	clock.Advance(24 * time.Hour)
+	out, err := svc.Rescan("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Scan.Results); got != rosterLen-len(down) {
+		t.Fatalf("outage scan has %d results, want %d", got, rosterLen-len(down))
+	}
+	for _, r := range out.Scan.Results {
+		for _, name := range down {
+			if r.Engine == name {
+				t.Fatalf("downed engine %q still present in results", name)
+			}
+		}
+	}
+	if out.Scan.AVRank != report.ComputeAVRank(out.Scan.Results) {
+		t.Fatalf("AVRank %d inconsistent with surviving results", out.Scan.AVRank)
+	}
+	if out.Scan.EnginesTotal != report.CountActive(out.Scan.Results) {
+		t.Fatalf("EnginesTotal %d inconsistent with surviving results", out.Scan.EnginesTotal)
+	}
+
+	svc.SetEngineOutage()
+	clock.Advance(24 * time.Hour)
+	restored, err := svc.Rescan("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(restored.Scan.Results); got != rosterLen {
+		t.Fatalf("post-outage scan has %d results, want the full roster %d", got, rosterLen)
+	}
+}
+
+// TestSetOutageFraction checks the deterministic fraction selector
+// and its metrics: the same seed downs the same engines, and every
+// dropped result is counted.
+func TestSetOutageFraction(t *testing.T) {
+	reg := obs.NewRegistry()
+	svcA, _ := newTestService(t)
+	namesA := svcA.SetOutageFraction(0.3, 42)
+	svcB, _ := newTestService(t)
+	namesB := svcB.SetOutageFraction(0.3, 42)
+	if len(namesA) == 0 {
+		t.Fatal("30% outage of a 72-engine roster selected nothing")
+	}
+	if len(namesA) != len(namesB) {
+		t.Fatalf("same seed selected %d vs %d engines", len(namesA), len(namesB))
+	}
+	for i := range namesA {
+		if namesA[i] != namesB[i] {
+			t.Fatalf("same seed selected different engines: %v vs %v", namesA, namesB)
+		}
+	}
+
+	set, err := engine.NewSet(engine.DefaultRoster(), 99,
+		simclock.CollectionStart, simclock.CollectionEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(simclock.CollectionStart)
+	svc := NewService(set, clock, WithMetrics(reg))
+	names := svc.SetOutageFraction(0.3, 42)
+	if got := reg.SumGauges("sim_engines_down"); got != int64(len(names)) {
+		t.Fatalf("sim_engines_down = %d, want %d", got, len(names))
+	}
+	if _, err := svc.Upload(exeUpload("s1")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour)
+	if _, err := svc.Rescan("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.SumCounters("sim_outage_dropped_results_total"); got != int64(2*len(names)) {
+		t.Fatalf("sim_outage_dropped_results_total = %d, want %d (2 scans x %d downed)",
+			got, 2*len(names), len(names))
+	}
+
+	// frac <= 0 clears.
+	if names := svc.SetOutageFraction(0, 42); names != nil {
+		t.Fatalf("SetOutageFraction(0) returned %v, want nil", names)
+	}
+	if got := reg.SumGauges("sim_engines_down"); got != 0 {
+		t.Fatalf("sim_engines_down after clear = %d, want 0", got)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vtdynamics/internal/engine"
@@ -67,6 +68,11 @@ type Service struct {
 	feedMu sync.Mutex
 	feed   []report.Envelope
 
+	// outage holds the currently-down engine set — the scenario hook
+	// behind engine-outage waves. nil means every engine is up. The
+	// pointer swaps atomically so scans never take an extra lock.
+	outage atomic.Pointer[map[string]struct{}]
+
 	m simMetrics
 }
 
@@ -77,6 +83,8 @@ type simMetrics struct {
 	scans        *obs.Counter
 	feedAppends  *obs.Counter
 	feedLen      *obs.Gauge
+	outageDrops  *obs.Counter
+	enginesDown  *obs.Gauge
 	shardSamples []*obs.Gauge
 }
 
@@ -85,6 +93,8 @@ func newSimMetrics(reg *obs.Registry, shards int) simMetrics {
 		scans:        reg.Counter("sim_scans_total"),
 		feedAppends:  reg.Counter("sim_feed_appends_total"),
 		feedLen:      reg.Gauge("sim_feed_length"),
+		outageDrops:  reg.Counter("sim_outage_dropped_results_total"),
+		enginesDown:  reg.Gauge("sim_engines_down"),
 		shardSamples: make([]*obs.Gauge, shards),
 	}
 	for i := range m.shardSamples {
@@ -316,6 +326,16 @@ func (s *Service) FeedSpan() (first, last time.Time, ok bool) {
 // retain or mutate it freely and can never observe (or disturb)
 // concurrent appends to the internal log.
 func (s *Service) FeedBetween(from, to time.Time) []report.Envelope {
+	return s.FeedBetweenLimit(from, to, 0)
+}
+
+// FeedBetweenLimit is FeedBetween with a page cap: at most limit
+// envelopes from the start of the window (limit <= 0 means
+// unlimited). A consumer catching up after a lag reads the feed in
+// bounded pages — advancing from past the last envelope returned —
+// instead of asking for one unbounded response whose copy cost grows
+// with the backlog.
+func (s *Service) FeedBetweenLimit(from, to time.Time, limit int) []report.Envelope {
 	s.feedMu.Lock()
 	defer s.feedMu.Unlock()
 	// The feed is kept sorted by nondecreasing analysis time, so
@@ -326,6 +346,9 @@ func (s *Service) FeedBetween(from, to time.Time) []report.Envelope {
 	hi := sort.Search(len(s.feed), func(i int) bool {
 		return !s.feed[i].Scan.AnalysisDate.Before(to)
 	})
+	if limit > 0 && hi-lo > limit {
+		hi = lo + limit
+	}
 	out := make([]report.Envelope, hi-lo)
 	for i, env := range s.feed[lo:hi] {
 		out[i] = report.Envelope{Meta: env.Meta, Scan: *env.Scan.Clone()}
@@ -352,6 +375,50 @@ func (s *Service) appendFeed(env report.Envelope) {
 	s.m.feedLen.Set(int64(len(s.feed)))
 }
 
+// SetEngineOutage marks the named engines as down: their results are
+// dropped from every scan report produced while the outage lasts,
+// exactly the report shape the paper's §5.5 attributes to engine
+// outages (the engine vanishes from the report rather than answering
+// benign). Calling with no names restores full service. Safe to call
+// concurrently with scans — in-flight scans see either the old or the
+// new outage set.
+func (s *Service) SetEngineOutage(names ...string) {
+	if len(names) == 0 {
+		s.outage.Store(nil)
+		s.m.enginesDown.Set(0)
+		return
+	}
+	down := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		down[n] = struct{}{}
+	}
+	s.outage.Store(&down)
+	s.m.enginesDown.Set(int64(len(down)))
+}
+
+// SetOutageFraction takes roughly frac of the roster down, selected
+// deterministically from seed so identically-seeded campaigns lose
+// identical engines. It returns the downed names (empty slice clears
+// any outage when frac <= 0).
+func (s *Service) SetOutageFraction(frac float64, seed int64) []string {
+	if frac <= 0 {
+		s.SetEngineOutage()
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	var names []string
+	rng := xrand.New(seed).SplitFor("outage")
+	for _, name := range s.engines.Names() {
+		if rng.Bool(frac) {
+			names = append(names, name)
+		}
+	}
+	s.SetEngineOutage(names...)
+	return names
+}
+
 // analyzeLocked runs every engine, records the report, and returns
 // the envelope. Caller holds the sample's shard lock; the feed append
 // takes feedMu internally. The feed entry and the returned envelope
@@ -360,6 +427,17 @@ func (s *Service) appendFeed(env report.Envelope) {
 func (s *Service) analyzeLocked(st *sampleState, now time.Time) report.Envelope {
 	s.m.scans.Inc()
 	results := s.engines.Scan(st.target, now)
+	if down := s.outage.Load(); down != nil {
+		kept := results[:0]
+		for _, r := range results {
+			if _, out := (*down)[r.Engine]; out {
+				s.m.outageDrops.Inc()
+				continue
+			}
+			kept = append(kept, r)
+		}
+		results = kept
+	}
 	scan := &report.ScanReport{
 		SHA256:       st.target.SHA256,
 		FileType:     st.target.FileType,

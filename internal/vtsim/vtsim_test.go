@@ -173,6 +173,34 @@ func TestFeedBetween(t *testing.T) {
 	}
 }
 
+func TestFeedBetweenLimit(t *testing.T) {
+	svc, clock := newTestService(t)
+	t0 := clock.Now()
+	for _, h := range []string{"f1", "f2", "f3"} {
+		svc.Upload(exeUpload(h))
+		clock.Advance(10 * time.Minute)
+	}
+	t1 := clock.Now()
+
+	// The page is the window's prefix, so a pager advancing `from`
+	// past each page's last envelope drains the window in order.
+	page := svc.FeedBetweenLimit(t0, t1, 2)
+	if len(page) != 2 || page[0].Meta.SHA256 != "f1" || page[1].Meta.SHA256 != "f2" {
+		t.Fatalf("first page = %v", page)
+	}
+	rest := svc.FeedBetweenLimit(page[1].Scan.AnalysisDate.Add(time.Nanosecond), t1, 2)
+	if len(rest) != 1 || rest[0].Meta.SHA256 != "f3" {
+		t.Fatalf("second page = %v", rest)
+	}
+	// Zero or negative means unlimited; a generous cap changes nothing.
+	if got := svc.FeedBetweenLimit(t0, t1, 0); len(got) != 3 {
+		t.Fatalf("limit 0 = %d entries", len(got))
+	}
+	if got := svc.FeedBetweenLimit(t0, t1, 100); len(got) != 3 {
+		t.Fatalf("limit 100 = %d entries", len(got))
+	}
+}
+
 func TestFeedSpan(t *testing.T) {
 	svc, clock := newTestService(t)
 	if _, _, ok := svc.FeedSpan(); ok {
