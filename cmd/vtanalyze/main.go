@@ -9,6 +9,7 @@
 // Experiment names:
 //
 //	table1 table2 table3                      dataset & API semantics
+//	storescan                                 store-derived census (pushdown scan)
 //	fig1 fig2 fig3 fig4 fig5 fig6 fig7        landscape & dynamics
 //	fig8 obs8 fig9                            aggregation & stabilization
 //	fig10 sec71 sec55                         engine flips & causes
@@ -84,6 +85,23 @@ func main() {
 				dir = tmp
 			}
 			res, err := runner.Table2DatasetOverview(dir)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		},
+		"storescan": func() error {
+			dir := *storeDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "vtstore")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+			}
+			res, err := runner.StoreScanCensus(dir)
 			if err != nil {
 				return err
 			}
@@ -313,7 +331,7 @@ func main() {
 		},
 	}
 
-	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",
+	order := []string{"table1", "table2", "storescan", "table3", "fig1", "fig2", "fig3", "fig4",
 		"fig5", "fig6", "fig7", "fig8", "obs8", "fig9", "fig10", "sec71", "sec55",
 		"fig11", "fig12", "strategies", "latency", "kappa", "predict", "family",
 		"ablation-rescan", "ablation-coupling", "ablation-window", "ablation-corr"}

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+	"vtdynamics/internal/store"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -23,10 +30,37 @@ func TestParseFlags(t *testing.T) {
 			args: []string{"-store", "/tmp/s", "-sha", "abc", "-t", "10", "-timing"},
 			want: options{dir: "/tmp/s", sha: "abc", t: 10, timing: true},
 		},
+		{
+			name: "range mode, plain dates",
+			args: []string{"-since", "2021-05-01", "-until", "2021-06-01"},
+			want: options{dir: "./vtdata", t: 5,
+				since: time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC).Unix(),
+				until: time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC).Unix()},
+		},
+		{
+			name: "range mode, RFC 3339 since",
+			args: []string{"-since", "2021-05-01T12:30:00Z"},
+			want: options{dir: "./vtdata", t: 5,
+				since: time.Date(2021, 5, 1, 12, 30, 0, 0, time.UTC).Unix()},
+		},
+		{
+			name: "ftype alone engages range mode",
+			args: []string{"-ftype", "Win32 EXE,PDF"},
+			want: options{dir: "./vtdata", t: 5, ftype: "Win32 EXE,PDF"},
+		},
+		{
+			name: "range mode keeps optional sha",
+			args: []string{"-until", "2021-06-01", "-sha", "abc"},
+			want: options{dir: "./vtdata", sha: "abc", t: 5,
+				until: time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC).Unix()},
+		},
 		{name: "missing sha", args: nil, wantErr: true},
 		{name: "zero threshold", args: []string{"-sha", "abc", "-t", "0"}, wantErr: true},
 		{name: "stray positional", args: []string{"-sha", "abc", "extra"}, wantErr: true},
 		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+		{name: "bad since", args: []string{"-since", "yesterday"}, wantErr: true},
+		{name: "bad until", args: []string{"-until", "05/01/2021"}, wantErr: true},
+		{name: "inverted window", args: []string{"-since", "2021-06-01", "-until", "2021-05-01"}, wantErr: true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -50,5 +84,107 @@ func TestParseFlags(t *testing.T) {
 func TestParseFlagsHelp(t *testing.T) {
 	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// buildRangeStore writes a closed two-month store: 10 May EXE scans,
+// 5 May PDF scans, 5 June EXE scans.
+func buildRangeStore(t *testing.T, dir string) {
+	t.Helper()
+	s, err := store.Open(dir, store.WithBlockSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(sha, ft string, at time.Time) {
+		t.Helper()
+		env := report.Envelope{
+			Meta: report.SampleMeta{
+				SHA256:              sha,
+				FileType:            ft,
+				Size:                1024,
+				FirstSubmissionDate: at,
+				LastAnalysisDate:    at,
+				LastSubmissionDate:  at,
+				TimesSubmitted:      1,
+			},
+			Scan: report.ScanReport{
+				SHA256:       sha,
+				FileType:     ft,
+				AnalysisDate: at,
+				AVRank:       1,
+				EnginesTotal: 1,
+				Results: []report.EngineResult{
+					{Engine: "Avast", Verdict: report.Malicious, Label: "Trojan.Gen", SignatureVersion: 1},
+				},
+			},
+		}
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	may := time.Date(2021, 5, 3, 12, 0, 0, 0, time.UTC)
+	june := time.Date(2021, 6, 2, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		put(fmt.Sprintf("exe-may-%02d", i), "Win32 EXE", may.Add(time.Duration(i)*time.Hour))
+	}
+	for i := 0; i < 5; i++ {
+		put(fmt.Sprintf("pdf-may-%02d", i), "PDF", may.Add(time.Duration(i)*time.Hour))
+	}
+	for i := 0; i < 5; i++ {
+		put(fmt.Sprintf("exe-jun-%02d", i), "Win32 EXE", june.Add(time.Duration(i)*time.Hour))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRangeMode drives run() end to end through the pushdown path.
+func TestRunRangeMode(t *testing.T) {
+	dir := t.TempDir()
+	buildRangeStore(t, dir)
+
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings of stdout
+	}{
+		{
+			name: "month window",
+			args: []string{"-store", dir, "-since", "2021-05-01", "-until", "2021-05-31"},
+			want: []string{"matched 15 scans", "Win32 EXE", "PDF", "blocks pruned"},
+		},
+		{
+			name: "window and filetype",
+			args: []string{"-store", dir, "-since", "2021-05-01", "-until", "2021-05-31", "-ftype", "PDF"},
+			want: []string{"matched 5 scans", "PDF"},
+		},
+		{
+			name: "filetype alone",
+			args: []string{"-store", dir, "-ftype", "Win32 EXE"},
+			want: []string{"matched 15 scans", "Win32 EXE"},
+		},
+		{
+			name: "range mode with sha",
+			args: []string{"-store", dir, "-since", "2021-05-01", "-sha", "pdf-may-00"},
+			want: []string{"matched 1 scans", "PDF"},
+		},
+		{
+			name: "empty window prunes everything",
+			args: []string{"-store", dir, "-since", "2030-01-01"},
+			want: []string{"matched 0 scans", "0 scanned", "0 KiB gunzipped"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+			}
+			for _, want := range c.want {
+				if !strings.Contains(stdout.String(), want) {
+					t.Fatalf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+		})
 	}
 }

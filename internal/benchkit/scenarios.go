@@ -3,11 +3,13 @@ package benchkit
 import (
 	"context"
 	"fmt"
+	"maps"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +31,8 @@ var Scenarios = []Scenario{
 	readColdScenario,
 	readHotScenario,
 	scanScenario,
+	analyzeScenario,
+	analyzeRowsScenario,
 	apiScenario,
 }
 
@@ -360,6 +364,219 @@ var scanScenario = Scenario{
 				return Rep{}, fmt.Errorf("StatsByType tallied %d rows, campaign generated %d", typeRows, wantRows)
 			}
 			return Rep{NS: ns, Ops: int64(rows), Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// analyzeWindow is the mid-campaign window both analyze scenarios
+// aggregate over: the middle fifth of the collection span, so most
+// blocks are out of range and a zone-mapped scan can prune them.
+func analyzeWindow() (since, until int64) {
+	span := simclock.CollectionEnd.Unix() - simclock.CollectionStart.Unix()
+	since = simclock.CollectionStart.Unix() + span*2/5
+	until = simclock.CollectionStart.Unix() + span*3/5
+	return since, until
+}
+
+// analyzeAnswer is the windowed dynamics census both analyze
+// scenarios must produce: matching scans, per-type counts, per-engine
+// verdict tallies. The two scenarios compute it through different
+// engines and each checks its answer against the other's, so a
+// pushdown bug cannot hide behind a fast wrong number.
+type analyzeAnswer struct {
+	rows    int64
+	byType  map[string]int64
+	engines map[string]store.EngineStats
+}
+
+func (a analyzeAnswer) equal(b analyzeAnswer) bool {
+	return a.rows == b.rows && maps.Equal(a.byType, b.byType) && maps.Equal(a.engines, b.engines)
+}
+
+// pushdownAnalyze answers the census through store.Scan: zone-map
+// pruning, projected column decode, per-block kernels.
+func pushdownAnalyze(st *store.Store, workers int, since, until int64) (analyzeAnswer, store.ScanStats, error) {
+	var (
+		count store.CountAgg
+		group store.GroupCountByType
+		eng   store.EngineAgg
+	)
+	stats, err := st.Scan(store.Query{
+		Since:   since,
+		Until:   until,
+		Cols:    store.ColFT | store.ColTime | store.ColResults,
+		Workers: workers,
+	}, &store.MultiAgg{Aggs: []store.Agg{&count, &group, &eng}})
+	if err != nil {
+		return analyzeAnswer{}, store.ScanStats{}, err
+	}
+	return analyzeAnswer{rows: count.N, byType: group.Counts, engines: eng.Engines}, stats, nil
+}
+
+// rowAnalyze answers the same census the pre-pushdown way: decode
+// every row of every partition into a ScanReport, filter and tally in
+// the callback.
+func rowAnalyze(st *store.Store, workers int, since, until int64) (analyzeAnswer, error) {
+	ans := analyzeAnswer{
+		byType:  map[string]int64{},
+		engines: map[string]store.EngineStats{},
+	}
+	var mu sync.Mutex
+	err := st.IterAll(workers, func(month string, r *report.ScanReport) error {
+		var at int64
+		if !r.AnalysisDate.IsZero() {
+			at = r.AnalysisDate.Unix()
+		}
+		if (since != 0 && at < since) || (until != 0 && at > until) {
+			return nil
+		}
+		mu.Lock()
+		ans.rows++
+		ans.byType[r.FileType]++
+		for i := range r.Results {
+			er := &r.Results[i]
+			es := ans.engines[er.Engine]
+			es.Results++
+			if er.Verdict == report.Malicious {
+				es.Malicious++
+			}
+			if er.Label != "" {
+				es.Labeled++
+			}
+			ans.engines[er.Engine] = es
+		}
+		mu.Unlock()
+		return nil
+	})
+	return ans, err
+}
+
+// analyzeScenario measures the pushdown scan engine on a selective
+// analytical query: a mid-campaign time window over the whole store,
+// answered by zone-map pruning plus column-projected kernels. Its
+// twin, analyze-rows, answers the identical query by materializing
+// every row; the gap between the two medians is the pushdown win and
+// EXPERIMENTS.md records it.
+var analyzeScenario = Scenario{
+	Name: "analyze",
+	Desc: "windowed census via store.Scan: zone-map pruning + projected column kernels",
+	Params: func(p Profile, seed int64) map[string]any {
+		since, until := analyzeWindow()
+		return map[string]any{
+			"samples": p.Samples,
+			"workers": p.Workers,
+			"format":  store.FormatDefault,
+			"since":   since,
+			"until":   until,
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		dir := filepath.Join(workDir, "store")
+		if _, err := buildStore(p, seed, dir); err != nil {
+			return nil, err
+		}
+		since, until := analyzeWindow()
+		// The expected answer comes from the row-materializing engine,
+		// so every timed rep is checked against an independent
+		// implementation.
+		st, err := store.Open(dir, store.WithMetrics(obs.NewRegistry()))
+		if err != nil {
+			return nil, err
+		}
+		want, err := rowAnalyze(st, p.Workers, since, until)
+		if closeErr := st.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if want.rows == 0 {
+			return nil, fmt.Errorf("analyze window matched no rows")
+		}
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			st, err := store.Open(dir, store.WithMetrics(reg))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer st.Close()
+			start := time.Now()
+			got, stats, err := pushdownAnalyze(st, p.Workers, since, until)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return Rep{}, err
+			}
+			if !got.equal(want) {
+				return Rep{}, fmt.Errorf("pushdown census disagrees with row census: got %d rows, want %d", got.rows, want.rows)
+			}
+			if stats.PrunedTotal()+stats.Scanned != stats.Blocks {
+				return Rep{}, fmt.Errorf("pruning identity broken: %d pruned + %d scanned != %d blocks",
+					stats.PrunedTotal(), stats.Scanned, stats.Blocks)
+			}
+			// A fifth-of-the-campaign window must prune out-of-window
+			// blocks, or this scenario degrades into analyze-rows.
+			if stats.PrunedTotal() == 0 {
+				return Rep{}, fmt.Errorf("selective window pruned no blocks (%d scanned)", stats.Scanned)
+			}
+			return Rep{NS: ns, Ops: got.rows, Obs: reg.Snapshot()}, nil
+		}, nil
+	},
+}
+
+// analyzeRowsScenario is the row-materializing twin of analyze: the
+// identical windowed census, answered by decoding every row. It
+// exists as the measured "before" of the pushdown engine — kept
+// honest by checking its answer against the pushdown engine's.
+var analyzeRowsScenario = Scenario{
+	Name: "analyze-rows",
+	Desc: "the same windowed census via parallel IterAll row materialization",
+	Params: func(p Profile, seed int64) map[string]any {
+		since, until := analyzeWindow()
+		return map[string]any{
+			"samples": p.Samples,
+			"workers": p.Workers,
+			"format":  store.FormatDefault,
+			"since":   since,
+			"until":   until,
+		}
+	},
+	Prepare: func(p Profile, seed int64, workDir string) (RepFunc, error) {
+		dir := filepath.Join(workDir, "store")
+		if _, err := buildStore(p, seed, dir); err != nil {
+			return nil, err
+		}
+		since, until := analyzeWindow()
+		st, err := store.Open(dir, store.WithMetrics(obs.NewRegistry()))
+		if err != nil {
+			return nil, err
+		}
+		want, _, err := pushdownAnalyze(st, p.Workers, since, until)
+		if closeErr := st.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if want.rows == 0 {
+			return nil, fmt.Errorf("analyze window matched no rows")
+		}
+		return func() (Rep, error) {
+			reg := obs.NewRegistry()
+			st, err := store.Open(dir, store.WithMetrics(reg))
+			if err != nil {
+				return Rep{}, err
+			}
+			defer st.Close()
+			start := time.Now()
+			got, err := rowAnalyze(st, p.Workers, since, until)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return Rep{}, err
+			}
+			if !got.equal(want) {
+				return Rep{}, fmt.Errorf("row census disagrees with pushdown census: got %d rows, want %d", got.rows, want.rows)
+			}
+			return Rep{NS: ns, Ops: got.rows, Obs: reg.Snapshot()}, nil
 		}, nil
 	},
 }

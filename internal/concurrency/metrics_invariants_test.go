@@ -234,6 +234,32 @@ func TestMetricsIdentitiesEndToEnd(t *testing.T) {
 		t.Errorf("degenerate cache accounting (hits %d, misses %d)", hits, misses)
 	}
 
+	// Pushdown scan accounting: every sidecar block a scan considers is
+	// either pruned (for exactly one reason) or scanned — the counters
+	// must partition. StatsByType and a filtered Scan both run on the
+	// engine, so the identity is checked over real pruning traffic.
+	if _, err := p.store.StatsByType(); err != nil {
+		t.Fatal(err)
+	}
+	var flips store.FlipCountAgg
+	if _, err := p.store.Scan(store.Query{
+		FileTypes: []string{"Win32 EXE"},
+		Since:     simclock.CollectionStart.Unix(),
+		Cols:      store.ColSHA | store.ColResults,
+	}, &flips); err != nil {
+		t.Fatal(err)
+	}
+	scanBlocks := p.counter("store_scan_blocks_total")
+	scanScanned := p.counter("store_scan_blocks_scanned_total")
+	prunedSum := p.reg.SumCounters("store_blocks_pruned_total")
+	if prunedSum+scanScanned != scanBlocks {
+		t.Errorf("store_blocks_pruned_total %d + store_scan_blocks_scanned_total %d != store_scan_blocks_total %d",
+			prunedSum, scanScanned, scanBlocks)
+	}
+	if scanBlocks == 0 {
+		t.Error("store_scan_blocks_total = 0 after scans; pruning identity test is vacuous")
+	}
+
 	// Simulator: every analysis appended exactly one feed envelope,
 	// and shard occupancy gauges sum to the distinct-sample count.
 	scans := p.counter("sim_scans_total")

@@ -1,17 +1,11 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"vtdynamics/internal/feed"
-	"vtdynamics/internal/report"
-	"vtdynamics/internal/sampleset"
-	"vtdynamics/internal/simclock"
 	"vtdynamics/internal/store"
-	"vtdynamics/internal/vtsim"
 )
 
 // --- Table 2: dataset overview (collection pipeline end to end) -------
@@ -44,48 +38,17 @@ type Table2Result struct {
 // workload. dir is the store directory (use t.TempDir() in tests or
 // an output path in cmd/vtanalyze).
 func (r *Runner) Table2DatasetOverview(dir string) (*Table2Result, error) {
-	samples, err := sampleset.Generate(sampleset.Config{
-		Seed:       r.cfg.Seed + 4,
-		NumSamples: r.cfg.ServiceSize,
-	})
+	// The pipeline run is shared with StoreScanCensus (storescan.go);
+	// Table 2 only reads back the monthly accounting.
+	fstats, err := r.runPipelineStore(dir)
 	if err != nil {
 		return nil, err
 	}
-	clock := simclock.NewSim(simclock.CollectionStart)
-	svc := vtsim.NewService(r.set, clock)
-	if err := vtsim.RunWorkload(svc, clock, samples); err != nil {
-		return nil, err
-	}
-
-	var opts []store.Option
-	if r.cfg.StoreFormat != 0 {
-		opts = append(opts, store.WithFormat(r.cfg.StoreFormat))
-	}
-	st, err := store.Open(dir, opts...)
+	st, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	// The store is a BatchSink, so each slice commits under one
-	// partition-lock acquisition; Workers > 1 overlaps feed fetches
-	// while the ordered commit keeps the store contents byte-identical
-	// to a serial run (asserted by the determinism suite).
-	collector := feed.NewCollector(
-		feed.SourceFunc(func(ctx context.Context, from, to time.Time) ([]report.Envelope, error) {
-			return svc.FeedBetween(from, to), nil
-		}),
-		st,
-	)
-	collector.Workers = r.cfg.Workers
-	// Hour-resolution polling keeps the 14-month window tractable;
-	// slice semantics are identical to the paper's per-minute loop.
-	fstats, err := collector.RunHourly(context.Background(),
-		simclock.CollectionStart, simclock.CollectionEnd)
-	if err != nil {
-		return nil, err
-	}
-	if err := st.Close(); err != nil {
-		return nil, err
-	}
+	defer st.Close()
 
 	res := &Table2Result{FeedStats: fstats, TotalSamples: st.NumSamples()}
 	for _, month := range st.Months() {

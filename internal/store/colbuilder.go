@@ -45,6 +45,13 @@ type colBuilder struct {
 	// rawBytes is Σ len(v1 line) — the header's accounting-parity field.
 	rawBytes int64
 	prevAt   int64
+
+	// Zone-map state (zonemap.go): timestamp bounds and malicious-row
+	// count accumulate per row; the vocabulary fingerprints come from
+	// the dictionaries at zone() time, so each distinct value is
+	// hashed once per block instead of once per row.
+	zTMin, zTMax int64
+	zMal         int
 }
 
 // colBuilderPool recycles builder shells (segment buffers, verdict
@@ -87,6 +94,7 @@ func putColBuilder(b *colBuilder) {
 	b.rows = 0
 	b.rawBytes = 0
 	b.prevAt = 0
+	b.zTMin, b.zTMax, b.zMal = 0, 0, 0
 	colBuilderPool.Put(b)
 }
 
@@ -103,16 +111,26 @@ func (b *colBuilder) addRow(scan *report.ScanReport, lineLen int) {
 	at := unix(scan.AnalysisDate)
 	b.segs[segTime] = binary.AppendVarint(b.segs[segTime], at-b.prevAt)
 	b.prevAt = at
+	if b.rows == 1 || at < b.zTMin {
+		b.zTMin = at
+	}
+	if b.rows == 1 || at > b.zTMax {
+		b.zTMax = at
+	}
 	b.segs[segFT] = binary.AppendUvarint(b.segs[segFT], uint64(b.ftD.id(validUTF8(scan.FileType))))
 	b.segs[segRank] = binary.AppendVarint(b.segs[segRank], int64(scan.AVRank))
 	b.segs[segTot] = binary.AppendVarint(b.segs[segTot], int64(scan.EnginesTotal))
 	b.segs[segNRes] = binary.AppendUvarint(b.segs[segNRes], uint64(len(scan.Results)))
+	rowMal := false
 	for i := range scan.Results {
 		er := &scan.Results[i]
 		v := int8(er.Verdict)
 		b.verdicts = append(b.verdicts, v)
 		if v < -1 || v > 1 {
 			b.packable = false
+		}
+		if v == int8(report.Malicious) {
+			rowMal = true
 		}
 		b.segs[segRes] = binary.AppendUvarint(b.segs[segRes], uint64(b.engD.id(validUTF8(er.Engine))))
 		b.segs[segRes] = binary.AppendVarint(b.segs[segRes], int64(er.SignatureVersion))
@@ -122,6 +140,27 @@ func (b *colBuilder) addRow(scan *report.ScanReport, lineLen int) {
 			b.segs[segRes] = binary.AppendUvarint(b.segs[segRes], uint64(b.labD.id(lab)+1))
 		}
 	}
+	if rowMal {
+		b.zMal++
+	}
+}
+
+// zone derives the block's zone map from the accumulated state. The
+// result equals zoneOfColBlock over the sealed payload: dictionaries
+// hold exactly the values the rows referenced, and timestamps and
+// verdicts were folded per row above.
+func (b *colBuilder) zone() blockZone {
+	z := blockZone{tmin: b.zTMin, tmax: b.zTMax, mal: b.zMal}
+	for _, v := range b.ftD.vals {
+		z.ftb |= zoneBit(v)
+	}
+	for _, v := range b.engD.vals {
+		z.engb |= zoneBit(v)
+	}
+	for _, v := range b.labD.vals {
+		z.labb |= zoneBit(v)
+	}
+	return z
 }
 
 // seal appends the finished v2 payload to dst: header, dictionaries,

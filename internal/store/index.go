@@ -54,13 +54,39 @@ type blockMeta struct {
 	// keeps the sidecar bytes of pure-v1 partitions identical to what
 	// pre-versioning builds wrote (omitempty).
 	Ver int `json:"v,omitempty"`
+
+	// Zone map (sidecar v3, zonemap.go). Z == 1 marks the zone fields
+	// as present; entries from pre-zone sidecars carry Z == 0 and are
+	// never pruned on. All zone fields are omitempty so zero stats
+	// (and legacy entries) stay compact.
+	Z    int    `json:"z,omitempty"`
+	TMin int64  `json:"t0,omitempty"`
+	TMax int64  `json:"t1,omitempty"`
+	Mal  int    `json:"m,omitempty"`
+	FTB  uint64 `json:"fb,omitempty"`
+	EngB uint64 `json:"eb,omitempty"`
+	LabB uint64 `json:"lb,omitempty"`
 }
+
+// Sidecar schema versions. The block-index sidecar was unversioned
+// before zone maps (implicitly v2, the PR-2 schema); v3 adds the
+// per-block zone fields and an explicit "ver" marker.
+const (
+	sidecarVerLegacy = 2
+	sidecarVerZones  = 3
+)
 
 // sidecarFile is the on-disk JSON schema of scans-YYYY-MM.idx.
 type sidecarFile struct {
 	// FileSize is the partition size the blocks cover; a mismatch with
 	// the actual file marks the sidecar stale.
-	FileSize int64            `json:"file_size"`
+	FileSize int64 `json:"file_size"`
+	// Ver is the sidecar schema version: absent (0) for legacy
+	// pre-zone sidecars, sidecarVerZones for sidecars this build
+	// writes. Pruning never keys off Ver — each block's Z flag governs
+	// — so mixed sidecars (legacy blocks appended to by a zone-aware
+	// writer) stay exact.
+	Ver      int              `json:"ver,omitempty"`
 	Blocks   []blockMeta      `json:"blocks"`
 	Postings map[string][]int `json:"postings"`
 }
@@ -130,6 +156,20 @@ func (ix *partIndex) sampleSHAs() []string {
 	return out
 }
 
+// fullyZoned reports whether every block entry carries a zone map —
+// i.e. the sidecar is effectively version 3 and nothing remains for
+// ReindexWithStats to upgrade. Vacuously true for empty partitions.
+func (ix *partIndex) fullyZoned() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, bm := range ix.blocks {
+		if bm.Z == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // snapshotBlocks copies the block list, in file order.
 func (ix *partIndex) snapshotBlocks() []blockMeta {
 	ix.mu.RLock()
@@ -165,6 +205,7 @@ func (ix *partIndex) writeSidecar(dir, month string) error {
 	}
 	sf := sidecarFile{
 		FileSize: ix.fileSize,
+		Ver:      sidecarVerZones,
 		Blocks:   append([]blockMeta(nil), ix.blocks...),
 		Postings: make(map[string][]int, len(ix.postings)),
 	}
@@ -198,6 +239,13 @@ func loadSidecar(dir, month string, partitionSize int64, maxVer int) (*partIndex
 	}
 	var sf sidecarFile
 	if err := json.Unmarshal(b, &sf); err != nil {
+		return nil, false, nil
+	}
+	// A sidecar schema from the future is treated like a missing
+	// sidecar, not an error: the partition bytes are self-describing,
+	// so the streaming fallback stays correct (and a future *block*
+	// format inside still fails loudly via the payload sniff).
+	if sf.Ver > sidecarVerZones {
 		return nil, false, nil
 	}
 	if sf.FileSize != partitionSize {
@@ -297,6 +345,7 @@ func indexPartitionFile(path string, maxVer int) (*partIndex, error) {
 			raw  int64
 			ver  = sniffVersion(head)
 			shas = make(map[string]int)
+			zone blockZone
 		)
 		switch {
 		case ver == FormatV1:
@@ -304,6 +353,7 @@ func indexPartitionFile(path string, maxVer int) (*partIndex, error) {
 			sbuf := bufpool.GetScanBuf()
 			sc.Buffer(sbuf, 16<<20)
 			var row scanRow
+			var acc zoneAcc
 			for sc.Scan() {
 				// Full decode (not just the hash): Reindex is the repair
 				// path, so malformed rows must keep surfacing as errors.
@@ -314,24 +364,29 @@ func indexPartitionFile(path string, maxVer int) (*partIndex, error) {
 				rows++
 				raw += int64(len(sc.Bytes()))
 				shas[row.SHA]++
+				acc.row(&row)
 			}
 			err := sc.Err()
 			bufpool.PutScanBuf(sbuf)
 			if err != nil {
 				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
+			zone = acc.z
 		case ver <= maxVer:
 			payload, err := io.ReadAll(mr)
 			if err != nil {
 				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
-			cb, err := parseColumnarBlock(payload, wantSHA)
+			cb, err := parseColumnarBlock(payload, wantSHA|wantFT|wantEng|wantLab)
 			if err != nil {
 				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
 			rows, raw = cb.rows, cb.raw
 			for _, sha := range cb.sha {
 				shas[sha]++
+			}
+			if zone, err = zoneOfColBlock(cb); err != nil {
+				return nil, fmt.Errorf("store: %s: %w", path, err)
 			}
 		default:
 			return nil, &FormatError{Path: path, Version: ver, Max: maxVer}
@@ -342,6 +397,7 @@ func indexPartitionFile(path string, maxVer int) (*partIndex, error) {
 			if ver != FormatV1 {
 				bm.Ver = ver
 			}
+			bm.setZone(zone)
 			ix.appendBlock(bm, shas)
 		}
 		start = end

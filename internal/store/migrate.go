@@ -129,6 +129,7 @@ func (s *Store) rewriteMonth(src, dst string) (*partIndex, []byte, int64, error)
 		rows     int
 		raw      int64
 		shas     = make(map[string]int)
+		acc      zoneAcc
 		innerErr error
 	)
 	defer func() { bufpool.PutBlockBuf(pending) }()
@@ -153,16 +154,19 @@ func (s *Store) rewriteMonth(src, dst string) (*partIndex, []byte, int64, error)
 		if werr != nil {
 			return fmt.Errorf("store: migrate: %w", werr)
 		}
-		newIx.appendBlock(blockMeta{
+		bm := blockMeta{
 			Offset: start,
 			Len:    counter.n - start,
 			Rows:   rows,
 			Raw:    raw,
 			Ver:    FormatV2,
-		}, shas)
+		}
+		bm.setZone(acc.z)
+		newIx.appendBlock(bm, shas)
 		pending = pending[:0]
 		rows, raw = 0, 0
 		shas = make(map[string]int)
+		acc.reset()
 		return nil
 	}
 	lineBuf := bufpool.GetBuf()
@@ -183,6 +187,7 @@ func (s *Store) rewriteMonth(src, dst string) (*partIndex, []byte, int64, error)
 		rows++
 		raw += int64(len(lineBuf))
 		shas[row.SHA]++
+		acc.row(&row)
 		if len(pending) >= s.blockSize {
 			innerErr = cutBlock()
 		}

@@ -211,6 +211,10 @@ type payloadSummary struct {
 	raw  int64
 	ver  int
 	shas map[string]int
+	// zone is the payload's recomputed zone map: followers never trust
+	// wire metadata, and the zone isn't even on the wire — recomputing
+	// here is what keeps leader and follower sidecars byte-identical.
+	zone blockZone
 }
 
 // analyzePayload decodes a block payload far enough to know its
@@ -227,6 +231,7 @@ func analyzePayload(payload []byte, maxVer int) (payloadSummary, error) {
 		defer bufpool.PutScanBuf(sbuf)
 		sc.Buffer(sbuf, 16<<20)
 		var row scanRow
+		var acc zoneAcc
 		for sc.Scan() {
 			if err := decodeScanRow(sc.Bytes(), &row); err != nil {
 				return sum, err
@@ -234,18 +239,23 @@ func analyzePayload(payload []byte, maxVer int) (payloadSummary, error) {
 			sum.rows++
 			sum.raw += int64(len(sc.Bytes()))
 			sum.shas[row.SHA]++
+			acc.row(&row)
 		}
 		if err := sc.Err(); err != nil {
 			return sum, err
 		}
+		sum.zone = acc.z
 	case sum.ver <= maxVer:
-		cb, err := parseColumnarBlock(payload, wantSHA)
+		cb, err := parseColumnarBlock(payload, wantSHA|wantFT|wantEng|wantLab)
 		if err != nil {
 			return sum, err
 		}
 		sum.rows, sum.raw = cb.rows, cb.raw
 		for _, sha := range cb.sha {
 			sum.shas[sha]++
+		}
+		if sum.zone, err = zoneOfColBlock(cb); err != nil {
+			return sum, err
 		}
 	default:
 		return sum, &FormatError{Version: sum.ver, Max: maxVer}
@@ -333,6 +343,7 @@ func (s *Store) ApplyBlocks(month string, blocks []ReplBlock, data [][]byte) err
 		if b.Ver != FormatV1 {
 			bm.Ver = b.Ver
 		}
+		bm.setZone(sum.zone)
 		ix.appendBlock(bm, sum.shas)
 		for sha := range sum.shas {
 			sh := s.shardFor(sha)
@@ -643,6 +654,7 @@ func tolerantIndexPartition(path string) (*partIndex, int64, error) {
 			if sum.ver != FormatV1 {
 				bm.Ver = sum.ver
 			}
+			bm.setZone(sum.zone)
 			ix.appendBlock(bm, sum.shas)
 		}
 		start = end

@@ -1,0 +1,601 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"vtdynamics/internal/report"
+)
+
+// scanVocab is the value pool the scan-test generator draws from —
+// small enough that predicates hit and miss both ways.
+var (
+	scanFTs  = []string{"Win32 EXE", "PDF", "Android", "ELF", ""}
+	scanEngs = []string{"Avast", "BitDefender", "Kaspersky", "McAfee", "Sophos"}
+	scanLabs = []string{"Trojan.Gen", "Adware.X", "not-a-virus:HEUR", ""}
+)
+
+// genScanEnvelopes builds a deterministic varied dataset: n scans over
+// nSHA samples, timestamps spread over ~3 months (plus the occasional
+// zero timestamp, which files under the "0001-01" month), verdicts and
+// labels mixed so every predicate has matches and misses.
+func genScanEnvelopes(rng *rand.Rand, n, nSHA int) []report.Envelope {
+	envs := make([]report.Envelope, n)
+	for i := range envs {
+		sha := fmt.Sprintf("scan%03d", rng.Intn(nSHA))
+		var at time.Time
+		if rng.Intn(16) > 0 { // occasionally: no analysis date
+			at = t0.Add(time.Duration(rng.Intn(90*24)) * time.Hour)
+		}
+		nres := rng.Intn(4)
+		results := make([]report.EngineResult, 0, nres)
+		for j := 0; j < nres; j++ {
+			results = append(results, report.EngineResult{
+				Engine:           scanEngs[rng.Intn(len(scanEngs))],
+				Verdict:          report.Verdict(rng.Intn(3) - 1),
+				Label:            scanLabs[rng.Intn(len(scanLabs))],
+				SignatureVersion: rng.Intn(100),
+			})
+		}
+		ft := scanFTs[rng.Intn(len(scanFTs))]
+		envs[i] = report.Envelope{
+			Meta: report.SampleMeta{SHA256: sha, FileType: ft, Size: 1, TimesSubmitted: 1},
+			Scan: report.ScanReport{
+				SHA256:       sha,
+				FileType:     ft,
+				AnalysisDate: at,
+				AVRank:       report.ComputeAVRank(results),
+				EnginesTotal: report.CountActive(results),
+				Results:      results,
+			},
+		}
+	}
+	return envs
+}
+
+// buildScanStore writes envs into a fresh store, flushing mid-stream
+// so partitions hold several blocks.
+func buildScanStore(t testing.TB, envs []report.Envelope, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, env := range envs {
+		if err := s.Put(env); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 6 {
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// rowsAgg collects every fed row as a canonical line — the
+// order-insensitive comparison target for the differential tests.
+type rowsAgg struct{ lines []string }
+
+type rowsPartial struct{ lines []string }
+
+func (p *rowsPartial) Row(rv *RowView) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d|%s|%d|%d", rv.Month, rv.SHA, rv.At, rv.FT, rv.Rank, rv.Tot)
+	for _, r := range rv.Res {
+		fmt.Fprintf(&b, "|%s,%s,%d,%d", r.Eng, r.Lab, r.Sig, r.Ver)
+	}
+	p.lines = append(p.lines, b.String())
+	return nil
+}
+
+func (a *rowsAgg) NewPartial() Partial { return &rowsPartial{} }
+
+func (a *rowsAgg) Merge(p Partial) error {
+	a.lines = append(a.lines, p.(*rowsPartial).lines...)
+	return nil
+}
+
+// naiveScanLines is the reference implementation: IterAll every row,
+// apply the query predicates on the materialized report, render the
+// projected columns the same way rowsPartial does.
+func naiveScanLines(t testing.TB, s *Store, q Query) []string {
+	t.Helper()
+	cq := compileQuery(q)
+	var mu chan struct{} // IterAll(1, ...) is sequential; no lock needed
+	_ = mu
+	var lines []string
+	err := s.IterAll(1, func(month string, r *report.ScanReport) error {
+		row := rowFromScan(r)
+		if !cq.matchScanRow(&row) {
+			return nil
+		}
+		var b strings.Builder
+		var sha, ft string
+		var at int64
+		var rank, tot int
+		if q.Cols&ColSHA != 0 {
+			sha = row.SHA
+		}
+		if q.Cols&ColTime != 0 {
+			at = row.At
+		}
+		if q.Cols&ColFT != 0 {
+			ft = row.FT
+		}
+		if q.Cols&ColRank != 0 {
+			rank = row.Rank
+		}
+		if q.Cols&ColTot != 0 {
+			tot = row.Tot
+		}
+		fmt.Fprintf(&b, "%s|%s|%d|%s|%d|%d", month, sha, at, ft, rank, tot)
+		if q.Cols&ColResults != 0 {
+			for _, rr := range row.Res {
+				fmt.Fprintf(&b, "|%s,%s,%d,%d", rr.E, rr.L, rr.S, rr.V)
+			}
+		}
+		lines = append(lines, b.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("naive scan: %v", err)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// checkScanAgainstNaive runs one query both ways and compares the
+// projected rows plus the stats identity.
+func checkScanAgainstNaive(t testing.TB, s *Store, q Query) ScanStats {
+	t.Helper()
+	var got rowsAgg
+	stats, err := s.Scan(q, &got)
+	if err != nil {
+		t.Fatalf("Scan(%+v): %v", q, err)
+	}
+	sort.Strings(got.lines)
+	want := naiveScanLines(t, s, q)
+	if !reflect.DeepEqual(got.lines, want) {
+		t.Fatalf("Scan(%+v) diverges from naive filter:\n got %d rows %v\nwant %d rows %v",
+			q, len(got.lines), head(got.lines), len(want), head(want))
+	}
+	if int64(len(got.lines)) != stats.Rows {
+		t.Fatalf("stats.Rows = %d, kernel saw %d", stats.Rows, len(got.lines))
+	}
+	if stats.PrunedTotal()+stats.Scanned != stats.Blocks {
+		t.Fatalf("pruning identity broken: pruned %d + scanned %d != blocks %d (%+v)",
+			stats.PrunedTotal(), stats.Scanned, stats.Blocks, stats.Pruned)
+	}
+	return stats
+}
+
+func head(lines []string) []string {
+	if len(lines) > 4 {
+		return lines[:4]
+	}
+	return lines
+}
+
+// scanTestQueries is the table both the unit test and the CLI-facing
+// paths lean on: every predicate alone, combined, and with varying
+// projections and worker counts.
+func scanTestQueries() []Query {
+	since := t0.Add(20 * 24 * time.Hour).Unix()
+	until := t0.Add(55 * 24 * time.Hour).Unix()
+	return []Query{
+		{Cols: ColAll},
+		{Cols: ColAll, Workers: 1},
+		{Cols: ColFT},
+		{Cols: ColSHA | ColTime},
+		{Since: since, Cols: ColAll},
+		{Until: until, Cols: ColAll},
+		{Since: since, Until: until, Cols: ColTime},
+		{FileTypes: []string{"PDF", "ELF"}, Cols: ColAll},
+		{FileTypes: []string{"no-such-type"}, Cols: ColAll},
+		{Engines: []string{"Kaspersky"}, Cols: ColAll},
+		{Engines: []string{"NoSuchEngine"}, Cols: ColFT},
+		{Labels: []string{"Adware.X"}, Cols: ColAll},
+		{MaliciousOnly: true, Cols: ColAll},
+		{MaliciousOnly: true, Cols: ColSHA},
+		{SHAs: []string{"scan001", "scan007"}, Cols: ColAll},
+		{SHAs: []string{"absent"}, Cols: ColAll},
+		{Since: since, FileTypes: []string{"Win32 EXE"}, Engines: []string{"Avast"},
+			Labels: []string{"Trojan.Gen"}, MaliciousOnly: true, Cols: ColAll, Workers: 3},
+		{Cols: 0}, // pure count: no projection at all
+	}
+}
+
+func TestScanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	envs := genScanEnvelopes(rng, 160, 24)
+	for _, cfg := range []struct {
+		name string
+		opts []Option
+	}{
+		{"v2", []Option{WithBlockSize(1 << 10)}},
+		{"v1", []Option{WithFormat(FormatV1), WithBlockSize(1 << 10)}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			s := buildScanStore(t, envs, cfg.opts...)
+			defer s.Close()
+			for i, q := range scanTestQueries() {
+				stats := checkScanAgainstNaive(t, s, q)
+				if i == 0 && stats.Blocks == 0 {
+					t.Fatal("no blocks considered; store built wrong")
+				}
+			}
+		})
+	}
+}
+
+// TestScanPrunes checks the zone maps actually fire: a time window
+// before the dataset prunes every block by time, an unknown file type
+// prunes by fingerprint, and MaliciousOnly over a benign-only store
+// prunes by verdict summary.
+func TestScanPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	envs := genScanEnvelopes(rng, 120, 16)
+	s := buildScanStore(t, envs, WithBlockSize(1<<10))
+	defer s.Close()
+
+	// A window after the whole dataset prunes everything by time —
+	// including the zero-timestamp month, whose zone is [0, 0]. (A
+	// window *before* the dataset would not: rows without an analysis
+	// date match any Until-only query by design.)
+	var c CountAgg
+	stats, err := s.Scan(Query{Since: t0.Add(200 * 24 * time.Hour).Unix()}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 0 || stats.Pruned[PruneTime] != stats.Blocks {
+		t.Fatalf("post-dataset window: rows %d, time-pruned %d of %d blocks", c.N, stats.Pruned[PruneTime], stats.Blocks)
+	}
+	if stats.CompressedBytes != 0 {
+		t.Fatalf("fully pruned scan still read %d compressed bytes", stats.CompressedBytes)
+	}
+
+	stats = checkScanAgainstNaive(t, s, Query{FileTypes: []string{"totally-absent-filetype-zq"}, Cols: ColAll})
+	if stats.Pruned[PruneFileType] == 0 {
+		t.Fatalf("unknown file type pruned nothing: %+v", stats.Pruned)
+	}
+
+	// A benign-only store: every block's Mal summary is 0.
+	benign := genScanEnvelopes(rng, 40, 8)
+	for i := range benign {
+		for j := range benign[i].Scan.Results {
+			benign[i].Scan.Results[j].Verdict = report.Benign
+		}
+		benign[i].Scan.AVRank = 0
+		benign[i].Scan.EnginesTotal = report.CountActive(benign[i].Scan.Results)
+	}
+	sb := buildScanStore(t, benign, WithBlockSize(1<<10))
+	defer sb.Close()
+	var cb CountAgg
+	stats, err = sb.Scan(Query{MaliciousOnly: true}, &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.N != 0 || stats.Pruned[PruneVerdict] != stats.Blocks {
+		t.Fatalf("benign store: rows %d, verdict-pruned %d of %d blocks", cb.N, stats.Pruned[PruneVerdict], stats.Blocks)
+	}
+}
+
+// TestZoneEdgeCases covers the degenerate block shapes pruning must
+// stay conservative on.
+func TestZoneEdgeCases(t *testing.T) {
+	t.Run("empty-block", func(t *testing.T) {
+		// An empty block entry (replication of an empty member) is
+		// pruned unconditionally, under its own reason.
+		cq := compileQuery(Query{})
+		bm := blockMeta{Rows: 0}
+		if got := cq.prunesBlock(&bm, 0, 0, 0, false, nil); got != PruneEmpty {
+			t.Fatalf("empty block pruned as %q, want %q", got, PruneEmpty)
+		}
+	})
+
+	t.Run("single-row-block", func(t *testing.T) {
+		// One row per block: zone bounds collapse to a point; an exact
+		// [at, at] window must still scan and match.
+		env := envelope("solo", t0, 2)
+		s := buildScanStore(t, []report.Envelope{env})
+		defer s.Close()
+		at := t0.Unix()
+		stats := checkScanAgainstNaive(t, s, Query{Since: at, Until: at, Cols: ColAll})
+		if stats.Rows != 1 {
+			t.Fatalf("point window missed the row: %+v", stats)
+		}
+		// Just outside the point on either side prunes the block.
+		for _, q := range []Query{{Since: at + 1}, {Until: at - 1}} {
+			var c CountAgg
+			st, err := s.Scan(q, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.N != 0 || st.Pruned[PruneTime] == 0 {
+				t.Fatalf("off-by-one window %+v: rows %d pruned %+v", q, c.N, st.Pruned)
+			}
+		}
+	})
+
+	t.Run("fingerprint-false-positive", func(t *testing.T) {
+		// A value absent from the store whose 64-bit fingerprint bit
+		// collides with a present value must force a scan (which finds
+		// nothing) — never a skip based on a hash coincidence, and never
+		// phantom rows.
+		env := envelope("fp", t0, 1) // file type "Win32 EXE"
+		s := buildScanStore(t, []report.Envelope{env})
+		defer s.Close()
+		collide := ""
+		for i := 0; ; i++ {
+			cand := fmt.Sprintf("ft-collide-%d", i)
+			if cand != "Win32 EXE" && zoneBit(cand) == zoneBit("Win32 EXE") {
+				collide = cand
+				break
+			}
+		}
+		stats := checkScanAgainstNaive(t, s, Query{FileTypes: []string{collide}, Cols: ColAll})
+		if stats.Rows != 0 {
+			t.Fatalf("colliding file type matched %d rows", stats.Rows)
+		}
+		if stats.Scanned == 0 {
+			t.Fatalf("false-positive fingerprint was pruned instead of scanned: %+v", stats.Pruned)
+		}
+	})
+}
+
+// goldenDirLegacyIdx is the committed v2 fixture with its original
+// pre-zone sidecars (no "ver" field, no zone entries) — the exact
+// bytes an earlier build left on disk.
+const goldenDirLegacyIdx = "testdata/golden-v2-legacy-idx"
+
+// TestLegacySidecarFallback pins the upgrade story: pre-zone sidecars
+// load, scans over them stay correct with zone pruning disabled
+// (Z == 0 entries claim nothing), ReindexWithStats upgrades them in
+// place, a second run is a no-op, and pruning works afterwards.
+func TestLegacySidecarFallback(t *testing.T) {
+	dir := copyFixture(t, goldenDirLegacyIdx)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Indexed() {
+		t.Fatal("legacy-sidecar fixture opened unindexed")
+	}
+	for month, ver := range s.SidecarVersions() {
+		if ver != sidecarVerLegacy {
+			t.Fatalf("%s: sidecar version %d before upgrade, want %d", month, ver, sidecarVerLegacy)
+		}
+	}
+
+	// Scans are correct without zones; nothing fingerprint-prunes, so
+	// a query for an absent file type still scans every block.
+	q := Query{FileTypes: []string{"definitely-absent"}, Cols: ColAll}
+	stats := checkScanAgainstNaive(t, s, q)
+	if stats.Pruned[PruneFileType] != 0 {
+		t.Fatalf("legacy sidecar fingerprint-pruned %d blocks with no zone data", stats.Pruned[PruneFileType])
+	}
+	if stats.Scanned == 0 {
+		t.Fatal("legacy scan scanned nothing")
+	}
+	for _, q := range scanTestQueries() {
+		checkScanAgainstNaive(t, s, q)
+	}
+	if n, err := s.Verify(); err != nil || n != 24 {
+		t.Fatalf("Verify over legacy sidecars: %d, %v", n, err)
+	}
+
+	// Upgrade in place; both months rebuild.
+	rs, err := s.ReindexWithStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Upgraded) != 2 || len(rs.Skipped) != 0 {
+		t.Fatalf("upgrade pass: %+v", rs)
+	}
+	for month, ver := range s.SidecarVersions() {
+		if ver != sidecarVerZones {
+			t.Fatalf("%s: sidecar version %d after upgrade, want %d", month, ver, sidecarVerZones)
+		}
+	}
+	// Idempotent: the second run skips everything.
+	rs, err = s.ReindexWithStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Upgraded) != 0 || len(rs.Skipped) != 2 {
+		t.Fatalf("second upgrade pass not a no-op: %+v", rs)
+	}
+	// Upgraded sidecars are byte-identical to the current fixture's.
+	for _, month := range s.Months() {
+		got, err := os.ReadFile(sidecarPath(dir, month))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(sidecarPath(goldenDirV2, month))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: upgraded sidecar differs from the current writer's", month)
+		}
+	}
+
+	// Zones now prune.
+	stats = checkScanAgainstNaive(t, s, q)
+	if stats.Pruned[PruneFileType] == 0 {
+		t.Fatalf("upgraded sidecars pruned nothing: %+v", stats.Pruned)
+	}
+	for _, q := range scanTestQueries() {
+		checkScanAgainstNaive(t, s, q)
+	}
+	if n, err := s.Verify(); err != nil || n != 24 {
+		t.Fatalf("Verify after upgrade: %d, %v", n, err)
+	}
+}
+
+// TestScanStatsByTypeEquivalence pins the StatsByType rewire: the
+// pushdown-backed tally must equal a naive per-row count.
+func TestScanStatsByTypeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := buildScanStore(t, genScanEnvelopes(rng, 100, 20), WithBlockSize(1<<10))
+	defer s.Close()
+	got, err := s.StatsByType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	if err := s.IterAll(1, func(_ string, r *report.ScanReport) error {
+		want[r.FileType]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for ft, n := range want {
+		if got[ft].Reports != n {
+			t.Errorf("StatsByType[%q].Reports = %d, naive count %d", ft, got[ft].Reports, n)
+		}
+	}
+}
+
+// TestVerifyCatchesZoneCorruption: a sidecar whose zone disagrees with
+// its payload must fail Verify with ErrIndexMismatch.
+func TestVerifyCatchesZoneCorruption(t *testing.T) {
+	dir := copyFixture(t, goldenDirV2)
+	month := "2021-05"
+	// Corrupt one block's zone in the sidecar on disk, then reopen.
+	raw, err := os.ReadFile(sidecarPath(dir, month))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(raw), `"m":`, `"m":9`, 1)
+	if mutated == string(raw) {
+		t.Fatalf("fixture sidecar has no zone malicious-count field to corrupt: %s", raw)
+	}
+	if err := os.WriteFile(sidecarPath(dir, month), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Verify(); err == nil {
+		t.Fatal("Verify accepted a sidecar with a corrupt zone map")
+	}
+}
+
+// TestScanKernelAllocBudget pins the steady-state per-block kernel
+// cycle — NewPartial, feed rows, Merge — at zero allocations once the
+// partial pool and result maps are warm. This is what keeps large
+// scans GC-quiet: the per-block cost is decode work, not garbage.
+func TestScanKernelAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race randomizes sync.Pool reuse; the pooled cycle cannot be alloc-counted")
+	}
+	rows := make([]RowView, 32)
+	for i := range rows {
+		rows[i] = RowView{Month: "2021-05", FT: scanFTs[i%len(scanFTs)]}
+	}
+	var agg GroupCountByType
+	cycle := func() {
+		p := agg.NewPartial()
+		for i := range rows {
+			if err := p.Row(&rows[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := agg.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ { // warm the partial pool and the result map
+		cycle()
+	}
+	if got := testing.AllocsPerRun(200, cycle); got > 0 {
+		t.Errorf("group-by kernel cycle allocs/op = %v, budget 0", got)
+	}
+}
+
+// FuzzScanPushdownDifferential drives random queries over random
+// stores in both block formats and demands Scan agree with the naive
+// IterAll filter row for row — the end-to-end contract of the whole
+// pushdown engine (pruning, projection, skipping, fallback).
+func FuzzScanPushdownDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0), int64(0), int64(0), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(2))
+	f.Add(int64(2), uint8(1), int64(20), int64(55), uint8(1), uint8(2), uint8(1), true, uint8(3), uint8(1))
+	f.Add(int64(3), uint8(2), int64(-5), int64(200), uint8(9), uint8(9), uint8(9), false, uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, format uint8, sinceDays, untilDays int64,
+		ftSel, engSel, labSel uint8, malOnly bool, shaSel, workers uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		envs := genScanEnvelopes(rng, 60, 12)
+		var opts []Option
+		switch format % 3 {
+		case 0:
+			opts = []Option{WithBlockSize(1 << 9)}
+		case 1:
+			opts = []Option{WithFormat(FormatV1), WithBlockSize(1 << 9)}
+		case 2: // mixed: v1 store migrated month-by-month would be all-v2;
+			// instead mix by writing v1 with a giant block size so the
+			// fallback per-month path runs alongside indexed months.
+			opts = []Option{WithFormat(FormatV1), WithBlockSize(1 << 30)}
+		}
+		s := buildScanStore(t, envs, opts...)
+		defer s.Close()
+
+		q := Query{Cols: ColAll, Workers: int(workers % 5)}
+		if sinceDays != 0 {
+			q.Since = t0.Add(time.Duration(sinceDays%120) * 24 * time.Hour).Unix()
+		}
+		if untilDays != 0 {
+			q.Until = t0.Add(time.Duration(untilDays%120) * 24 * time.Hour).Unix()
+		}
+		if n := int(ftSel) % (len(scanFTs) + 1); n > 0 {
+			q.FileTypes = scanFTs[:n]
+		}
+		if n := int(engSel) % (len(scanEngs) + 1); n > 0 {
+			q.Engines = scanEngs[:n]
+		}
+		if n := int(labSel) % (len(scanLabs) + 1); n > 0 {
+			q.Labels = scanLabs[:n]
+		}
+		if shaSel > 0 {
+			for i := uint8(0); i < shaSel%4; i++ {
+				q.SHAs = append(q.SHAs, fmt.Sprintf("scan%03d", int(shaSel)+int(i)))
+			}
+		}
+		q.MaliciousOnly = malOnly
+		checkScanAgainstNaive(t, s, q)
+	})
+}
+
+// TestScanLegacyFixtureSidecarBytes pins the committed legacy-sidecar
+// fixture itself: its .idx files must stay version-less (no zone
+// fields), or the fallback test above silently stops covering the
+// legacy path.
+func TestScanLegacyFixtureSidecarBytes(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(goldenDirLegacyIdx, "*.idx"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("legacy fixture sidecars missing: %v (%d found)", err, len(matches))
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(b), `"ver"`) || strings.Contains(string(b), `"z"`) {
+			t.Errorf("%s: legacy fixture sidecar carries zone-era fields", m)
+		}
+	}
+}

@@ -57,7 +57,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"vtdynamics/internal/bufpool"
@@ -97,9 +96,26 @@ type storeMetrics struct {
 	indexedMonths  *obs.Counter
 	fallbackMonths *obs.Counter
 	blockDecodes   *obs.Counter
+
+	// Pushdown scan accounting (scan.go): every block a Scan considers
+	// is pruned for exactly one reason or scanned, so
+	// store_blocks_pruned_total summed over reasons +
+	// store_scan_blocks_scanned_total == store_scan_blocks_total —
+	// checked by the invariant suite.
+	scanCalls    *obs.Counter
+	scanBlocks   *obs.Counter
+	scanScanned  *obs.Counter
+	scanRows     *obs.Counter
+	scanFallback *obs.Counter
+	colsSkipped  *obs.Counter
+	pruned       map[string]*obs.Counter
 }
 
 func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	pruned := make(map[string]*obs.Counter, len(pruneReasons))
+	for _, reason := range pruneReasons {
+		pruned[reason] = reg.Counter("store_blocks_pruned_total", "reason", reason)
+	}
 	return &storeMetrics{
 		putCalls:    reg.Counter("store_put_calls_total"),
 		putRows:     reg.Counter("store_put_rows_total"),
@@ -120,6 +136,14 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 		indexedMonths:  reg.Counter("store_get_indexed_months_total"),
 		fallbackMonths: reg.Counter("store_get_fallback_months_total"),
 		blockDecodes:   reg.Counter("store_block_decodes_total"),
+
+		scanCalls:    reg.Counter("store_scan_calls_total"),
+		scanBlocks:   reg.Counter("store_scan_blocks_total"),
+		scanScanned:  reg.Counter("store_scan_blocks_scanned_total"),
+		scanRows:     reg.Counter("store_scan_rows_total"),
+		scanFallback: reg.Counter("store_scan_fallback_months_total"),
+		colsSkipped:  reg.Counter("store_columns_skipped_total"),
+		pruned:       pruned,
 	}
 }
 
@@ -369,6 +393,9 @@ type partWriter struct {
 	pendingRaw  int64
 	pendingSize int
 	pendingShas map[string]int
+	// zone accumulates the pending v1 block's zone map row by row; v2
+	// blocks derive theirs from the column builder at seal time.
+	zone zoneAcc
 	// queue holds cut blocks whose compression may still be running,
 	// in cut order.
 	queue []*pendingBlock
@@ -382,9 +409,13 @@ type pendingBlock struct {
 	rows     int
 	rawBytes int64
 	shas     map[string]int
-	done     chan struct{}
-	comp     *bytes.Buffer
-	err      error
+	// zone is the block's zone map: captured at cut time for v1, set by
+	// compressBlock (before the builder recycles) for v2. Final once
+	// done closes — commit always waits on done before reading it.
+	zone blockZone
+	done chan struct{}
+	comp *bytes.Buffer
+	err  error
 }
 
 // maxInflightBlocks bounds cut-but-uncommitted blocks per partition;
@@ -404,6 +435,7 @@ func (w *partWriter) writeRowLocked(row encRow) error {
 		}
 		w.pendingBuf = append(w.pendingBuf, row.line...)
 		w.pendingBuf = append(w.pendingBuf, '\n')
+		w.zone.scan(row.scan)
 	} else {
 		if w.col == nil {
 			w.col = getColBuilder()
@@ -435,6 +467,10 @@ func (w *partWriter) cutBlockLocked() error {
 		shas:     w.pendingShas,
 		done:     make(chan struct{}),
 	}
+	if pb.raw != nil {
+		pb.zone = w.zone.z
+	}
+	w.zone.reset()
 	w.pendingBuf, w.col = nil, nil
 	w.pendingRows, w.pendingRaw, w.pendingSize = 0, 0, 0
 	w.pendingShas = bufpool.GetCountMap()
@@ -468,6 +504,7 @@ func compressBlock(pb *pendingBlock, sem chan struct{}, m *storeMetrics) {
 	bufpool.PutGzipWriter(zw)
 	m.blockCompressSeconds.ObserveDuration(time.Since(start))
 	if pb.col != nil {
+		pb.zone = pb.col.zone()
 		putColBuilder(pb.col)
 		pb.col = nil
 		bufpool.PutBlockBuf(sealed)
@@ -534,6 +571,7 @@ func (w *partWriter) commitBlockLocked(pb *pendingBlock) error {
 		if w.format != FormatV1 {
 			bm.Ver = w.format
 		}
+		bm.setZone(pb.zone)
 		w.idx.appendBlock(bm, pb.shas)
 	}
 	// appendBlock folds the posting counts into the index without
@@ -1625,17 +1663,77 @@ func (s *Store) Reindex() error {
 		return err
 	}
 	for _, month := range s.Months() {
-		ix, err := indexPartitionFile(s.partPath(month), s.maxFormat)
-		if err != nil {
-			return err
-		}
-		ix.dirty = true
-		s.setIndex(month, ix)
-		if err := ix.writeSidecar(s.dir, month); err != nil {
+		if err := s.reindexMonth(month); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// reindexMonth rebuilds and persists one month's sidecar.
+func (s *Store) reindexMonth(month string) error {
+	ix, err := indexPartitionFile(s.partPath(month), s.maxFormat)
+	if err != nil {
+		return err
+	}
+	ix.dirty = true
+	s.setIndex(month, ix)
+	return ix.writeSidecar(s.dir, month)
+}
+
+// ReindexStats summarizes one ReindexWithStats pass.
+type ReindexStats struct {
+	// Upgraded lists the months whose sidecars were rebuilt — missing,
+	// stale (rejected at Open), or lacking zone maps.
+	Upgraded []string
+	// Skipped lists the months left untouched: their sidecar was
+	// accepted at Open (size-matched the partition) and every block
+	// entry already carries a zone map.
+	Skipped []string
+}
+
+// ReindexWithStats upgrades sidecars in place, skipping months that
+// are already current — which makes it idempotent: a second run
+// skips everything the first upgraded. `vtstore reindex` runs this;
+// Reindex keeps its unconditional rebuild-everything semantics for
+// repair paths that must not trust the in-memory index.
+func (s *Store) ReindexWithStats() (ReindexStats, error) {
+	var rs ReindexStats
+	if err := s.Flush(); err != nil {
+		return rs, err
+	}
+	for _, month := range s.Months() {
+		if ix := s.index(month); ix != nil && ix.fullyZoned() {
+			rs.Skipped = append(rs.Skipped, month)
+			continue
+		}
+		if err := s.reindexMonth(month); err != nil {
+			return rs, err
+		}
+		rs.Upgraded = append(rs.Upgraded, month)
+	}
+	return rs, nil
+}
+
+// SidecarVersions reports each month's effective sidecar state:
+// 0 = no usable sidecar (missing or stale), 2 = loaded but pre-zone
+// (legacy entries without zone maps), 3 = fully zone-mapped. The
+// `vtstore verify` report surfaces this so operators can see which
+// partitions still scan un-pruned.
+func (s *Store) SidecarVersions() map[string]int {
+	out := make(map[string]int)
+	for _, month := range s.Months() {
+		ix := s.index(month)
+		switch {
+		case ix == nil:
+			out[month] = 0
+		case ix.fullyZoned():
+			out[month] = sidecarVerZones
+		default:
+			out[month] = sidecarVerLegacy
+		}
+	}
+	return out
 }
 
 // CachedHistories reports how many decoded histories the read cache
@@ -1743,10 +1841,11 @@ func (s *Store) StatsByType() (map[string]TypeStats, error) {
 }
 
 // StatsByTypeWorkers is StatsByType over an explicit worker count
-// (<= 0 uses GOMAXPROCS). On v2 (columnar) blocks it decodes only the
-// file-type dictionary and column — no row materialization, no result
-// decoding — which is the layout's step-change for aggregation scans;
-// v1 blocks fall back to full row decodes as before.
+// (<= 0 uses GOMAXPROCS). It runs on the pushdown scan engine
+// projecting only the file-type column: v2 blocks decode one
+// dictionary and one segment — no row materialization, no result
+// decoding — and empty blocks are pruned without decompression; v1
+// blocks fall back to full row decodes as before.
 func (s *Store) StatsByTypeWorkers(workers int) (map[string]TypeStats, error) {
 	out := map[string]TypeStats{}
 	for _, meta := range s.snapshotSamples() {
@@ -1754,64 +1853,16 @@ func (s *Store) StatsByTypeWorkers(workers int) (map[string]TypeStats, error) {
 		ts.Samples++
 		out[meta.FileType] = ts
 	}
-	var mu sync.Mutex
-	tally := func(ft string, rows int) {
-		mu.Lock()
-		ts := out[ft]
-		ts.Reports += rows
-		out[ft] = ts
-		mu.Unlock()
-	}
-	err := s.forEachJob(workers, func(j iterJob) error {
-		if j.block != nil {
-			if ver := blockVer(*j.block); ver != FormatV1 {
-				if ver > s.maxFormat {
-					return &FormatError{Path: j.path, Version: ver, Max: s.maxFormat}
-				}
-				return columnarTypeCountsBlock(j.path, *j.block, tally)
-			}
-		}
-		// v1 block or unindexed month: decode rows, batch the counts
-		// per job so the shared map lock is taken once per file type.
-		local := make(map[string]int)
-		handle := func(row scanRow) { local[row.FT]++ }
-		var err error
-		if j.block != nil {
-			err = scanBlock(j.path, *j.block, s.maxFormat, handle)
-		} else {
-			err = s.scanPartition(j.path, handle, nil)
-		}
-		if err != nil {
-			return err
-		}
-		for ft, n := range local {
-			tally(ft, n)
-		}
-		return nil
-	})
-	if err != nil {
+	var group GroupCountByType
+	if _, err := s.Scan(Query{Cols: ColFT, Workers: workers}, &group); err != nil {
 		return nil, err
 	}
+	for ft, n := range group.Counts {
+		ts := out[ft]
+		ts.Reports += int(n)
+		out[ft] = ts
+	}
 	return out, nil
-}
-
-// columnarTypeCountsBlock opens one v2 block and folds its file-type
-// column into tally.
-func columnarTypeCountsBlock(path string, bm blockMeta, tally func(ft string, rows int)) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	payload, err := readBlockPayloadAt(f, path, bm)
-	if err != nil {
-		return err
-	}
-	defer bufpool.PutBlockBuf(payload)
-	if err := columnarTypeCounts(payload, tally); err != nil {
-		return fmt.Errorf("store: %s: block @%d: %w", path, bm.Offset, err)
-	}
-	return nil
 }
 
 // Verify re-reads every partition on all cores, checking that each
@@ -1823,33 +1874,67 @@ func (s *Store) Verify() (int, error) { return s.VerifyWorkers(0) }
 // VerifyWorkers is Verify over an explicit worker count (<= 0 uses
 // GOMAXPROCS). On failure the returned count reflects the rows
 // checked before the pass stopped, which with workers > 1 is
-// approximate.
+// approximate. The row pass runs on the pushdown scan engine with an
+// unfiltered full-projection query, so it also exercises the scan
+// decode paths it shares with every aggregation.
 func (s *Store) VerifyWorkers(workers int) (int, error) {
-	if err := s.Flush(); err != nil {
-		return 0, err
-	}
 	known := make(map[string]bool)
 	for h := range s.snapshotSamples() {
 		known[h] = true
 	}
-	var checked atomic.Int64
-	err := s.IterAll(workers, func(month string, r *report.ScanReport) error {
-		checked.Add(1)
-		if !known[r.SHA256] {
-			return fmt.Errorf("store: %s row %s not in sample index", month, r.SHA256)
-		}
-		if MonthKey(r.AnalysisDate) != month {
-			return fmt.Errorf("store: row %s at %d filed under %s", r.SHA256, r.AnalysisDate.Unix(), month)
-		}
-		if err := r.Validate(); err != nil {
-			return fmt.Errorf("store: row %s invalid: %w", r.SHA256, err)
-		}
-		return nil
-	})
+	agg := verifyAgg{known: known}
+	stats, err := s.Scan(Query{Cols: ColAll, Workers: workers}, &agg)
 	if err == nil {
 		err = s.verifyBlockIndexes(workers)
 	}
-	return int(checked.Load()), err
+	return int(stats.Rows), err
+}
+
+// verifyAgg is Verify's row kernel: every row must belong to an
+// indexed sample, be filed under its own month, and survive
+// report.Validate — which recomputes AV rank and active-engine counts
+// from the results, so the kernel needs the full projection.
+type verifyAgg struct {
+	known map[string]bool // read-only once Scan starts
+}
+
+type verifyPartial struct {
+	known map[string]bool
+	r     report.ScanReport // scratch: Results reused across rows
+}
+
+func (a *verifyAgg) NewPartial() Partial { return &verifyPartial{known: a.known} }
+
+func (a *verifyAgg) Merge(Partial) error { return nil }
+
+func (p *verifyPartial) Row(rv *RowView) error {
+	if !p.known[rv.SHA] {
+		return fmt.Errorf("store: %s row %s not in sample index", rv.Month, rv.SHA)
+	}
+	if MonthKey(fromUnix(rv.At)) != rv.Month {
+		return fmt.Errorf("store: row %s at %d filed under %s", rv.SHA, rv.At, rv.Month)
+	}
+	p.r = report.ScanReport{
+		SHA256:       rv.SHA,
+		FileType:     rv.FT,
+		AnalysisDate: fromUnix(rv.At),
+		AVRank:       rv.Rank,
+		EnginesTotal: rv.Tot,
+		Results:      p.r.Results[:0],
+	}
+	for i := range rv.Res {
+		r := &rv.Res[i]
+		p.r.Results = append(p.r.Results, report.EngineResult{
+			Engine:           r.Eng,
+			Verdict:          report.Verdict(r.Ver),
+			Label:            r.Lab,
+			SignatureVersion: r.Sig,
+		})
+	}
+	if err := p.r.Validate(); err != nil {
+		return fmt.Errorf("store: row %s invalid: %w", rv.SHA, err)
+	}
+	return nil
 }
 
 // ErrIndexMismatch is returned by Verify when a sidecar block entry
@@ -1940,6 +2025,13 @@ func (s *Store) verifyBlockIndexes(workers int) error {
 		if sum.ver != blockVer(j.bm) || sum.rows != j.bm.Rows || sum.raw != j.bm.Raw {
 			return fmt.Errorf("%w: %s block %d is v%d/%d rows/%d raw, sidecar says v%d/%d/%d",
 				ErrIndexMismatch, j.month, j.seq, sum.ver, sum.rows, sum.raw, blockVer(j.bm), j.bm.Rows, j.bm.Raw)
+		}
+		// Zone maps are pure functions of the payload, so a zoned entry
+		// must equal the recomputed zone exactly; pre-zone entries
+		// (Z == 0, legacy sidecars) claim nothing and are exempt.
+		if j.bm.Z != 0 && sum.zone != j.bm.zone() {
+			return fmt.Errorf("%w: %s block %d zone map disagrees with payload (sidecar %+v, payload %+v)",
+				ErrIndexMismatch, j.month, j.seq, j.bm.zone(), sum.zone)
 		}
 		if len(sum.shas) != len(j.want) {
 			return fmt.Errorf("%w: %s block %d holds %d samples, postings name %d",
